@@ -1,0 +1,4 @@
+//! Ablation: reassembly eviction timeout sweep.
+fn main() {
+    let _ = mcss_bench::ablations::eviction(mcss_bench::Mode::from_args());
+}

@@ -1,0 +1,4 @@
+//! Ablation: MICSS-compatible limited schedules vs unrestricted.
+fn main() {
+    let _ = mcss_bench::ablations::micss_limitation();
+}

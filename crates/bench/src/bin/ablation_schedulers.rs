@@ -1,0 +1,4 @@
+//! Ablation: dynamic vs static-LP vs round-robin schedulers.
+fn main() {
+    let _ = mcss_bench::ablations::schedulers(mcss_bench::Mode::from_args());
+}

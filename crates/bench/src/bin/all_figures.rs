@@ -1,0 +1,14 @@
+//! Runs every figure and ablation in sequence (the full reproduction).
+//! Pass --quick for reduced sweeps.
+fn main() {
+    let mode = mcss_bench::Mode::from_args();
+    let _ = mcss_bench::fig2::run();
+    let _ = mcss_bench::fig3::run(mode);
+    let _ = mcss_bench::fig4::run(mode);
+    let _ = mcss_bench::fig5::run(mode);
+    let _ = mcss_bench::fig6::run(mode);
+    let _ = mcss_bench::fig7::run(mode);
+    let _ = mcss_bench::ablations::schedulers(mode);
+    let _ = mcss_bench::ablations::micss_limitation();
+    let _ = mcss_bench::ablations::eviction(mode);
+}

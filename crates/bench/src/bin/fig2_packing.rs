@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: share packing with r = (3, 4, 8).
+fn main() {
+    let _ = mcss_bench::fig2::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5: loss at maximum rate on the Lossy setup.
+//! Pass --quick for a reduced sweep.
+fn main() {
+    let _ = mcss_bench::fig5::run(mcss_bench::Mode::from_args());
+}

@@ -1,0 +1,85 @@
+//! Figure 2: choosing `M` over one unit time to maximize rate with
+//! `r⃗ = (3, 4, 8)`.
+//!
+//! The paper's figure illustrates how the protocol packs shares onto
+//! channels of unequal rate as `μ` grows, and that above a threshold
+//! (Theorem 2) full utilization becomes impossible. This runner prints
+//! the optimal rate, per-channel share budgets `r'ᵢ = min(rᵢ, R_C)`, and
+//! utilization for a μ sweep over the figure's three channels.
+
+use mcss::prelude::*;
+
+use crate::Row;
+
+/// Runs the Figure 2 analysis; returns one row per μ with the optimal
+/// rate as `optimal` and total channel utilization (0..1) as `actual`.
+///
+/// # Panics
+///
+/// Panics only on internal model errors (cannot happen for the fixed
+/// figure-2 channel set).
+pub fn run() -> Vec<Row> {
+    let channels = setups::figure2();
+    let total: f64 = channels.total_rate();
+    let mu_full = optimal::full_utilization_mu(&channels);
+    println!("Figure 2: share packing over r = (3, 4, 8), total {total} shares/unit");
+    println!("full utilization possible up to mu = {mu_full:.4} (Theorem 2)\n");
+    println!(
+        "{:>5} {:>9} {:>7} {:>7} {:>7} {:>12} {:>9}",
+        "mu", "R_C", "r'_1", "r'_2", "r'_3", "utilization", "bound(T1)"
+    );
+    let mut rows = Vec::new();
+    let mut mu = 1.0;
+    while mu <= 3.0 + 1e-9 {
+        let rc = optimal::optimal_rate(&channels, mu).expect("valid mu");
+        let util = optimal::channel_utilization(&channels, mu).expect("valid mu");
+        let used: f64 = util.iter().sum();
+        let bound = optimal::rate_lower_bound(&channels, mu).expect("valid mu");
+        println!(
+            "{mu:>5.2} {rc:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>11.1}% {bound:>9.2}",
+            util[0],
+            util[1],
+            util[2],
+            100.0 * used / total,
+        );
+        rows.push(Row {
+            label: "fig2".into(),
+            x: mu,
+            optimal: rc,
+            actual: used / total,
+        });
+        mu += 0.25;
+    }
+    println!("\nas in the paper: mu <= {mu_full:.3} keeps every channel busy; beyond it");
+    println!("the fastest channel can no longer be filled (r'_3 < 8) and R_C falls faster.");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_full_until_theorem2_bound() {
+        let rows = run();
+        for r in &rows {
+            if r.x <= 1.875 + 1e-9 {
+                assert!(
+                    (r.actual - 1.0).abs() < 1e-9,
+                    "mu={} should be fully utilized",
+                    r.x
+                );
+            } else {
+                assert!(r.actual < 1.0, "mu={} cannot be fully utilized", r.x);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_examples_match_paper_arithmetic() {
+        let rows = run();
+        let at = |x: f64| rows.iter().find(|r| (r.x - x).abs() < 1e-9).unwrap();
+        assert!((at(1.0).optimal - 15.0).abs() < 1e-9);
+        assert!((at(3.0).optimal - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,378 @@
+//! Correlated and fixed-set adversaries: relaxing the disjoint-channel
+//! assumption.
+//!
+//! The base model (§III) assumes disjoint channels, so the adversary
+//! observes each channel independently with probability `zᵢ` — and §III-B
+//! argues this is the *optimal* case: "an attacker who is able to
+//! eavesdrop at a shared edge or vertex obtains data from multiple
+//! channels with the same effort", reducing privacy. This module makes
+//! that argument quantitative.
+//!
+//! A [`JointRisk`] is an arbitrary joint distribution over which subset
+//! of channels the adversary observes for a given symbol. Special cases:
+//!
+//! * [`JointRisk::independent`] — the paper's base model (product
+//!   distribution), which reproduces `z(k, M)` exactly;
+//! * [`JointRisk::fixed_taps`] — the MICSS/courier threat model: the
+//!   adversary always observes one fixed set of channels;
+//! * [`JointRisk::mixture`] — any mixture of tap sets (e.g. "with
+//!   probability 0.3 the adversary sits on the shared edge of channels
+//!   1 and 2, otherwise nowhere").
+//! * [`JointRisk::shared_edges`] — channels grouped by shared physical
+//!   edges: each group is tapped as a unit, independently across groups.
+//!
+//! # Examples
+//!
+//! Two channels that share an edge are strictly worse for privacy than
+//! two disjoint channels with the same marginal risk:
+//!
+//! ```
+//! use mcss_core::{adversary::JointRisk, setups, subset, Subset};
+//!
+//! let channels = setups::diverse_with_risk(&[0.3, 0.3, 0.0, 0.0, 0.0]);
+//! let m = Subset::from_indices(&[0, 1]);
+//!
+//! let disjoint = JointRisk::independent(&channels);
+//! let shared = JointRisk::shared_edges(&channels, &[vec![0, 1]]).unwrap();
+//! // Same per-channel marginals...
+//! assert!((shared.marginal(0) - 0.3).abs() < 1e-12);
+//! // ...but a threshold-2 symbol is 0.3/0.09 ≈ 3.3× more exposed.
+//! assert!(shared.subset_risk(2, m) > disjoint.subset_risk(2, m));
+//! ```
+
+use crate::channel::ChannelSet;
+use crate::error::ModelError;
+use crate::schedule::ShareSchedule;
+use crate::subset::Subset;
+
+/// A joint distribution over adversary observation sets.
+///
+/// `probs[s]` is the probability that, for a given symbol, the adversary
+/// observes exactly the channels in the subset with bitmask `s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointRisk {
+    n: usize,
+    probs: Vec<f64>,
+}
+
+impl JointRisk {
+    /// The paper's base model: each channel observed independently with
+    /// its configured risk `zᵢ`.
+    #[must_use]
+    pub fn independent(channels: &ChannelSet) -> Self {
+        let n = channels.len();
+        let size = 1usize << n;
+        let mut probs = vec![0.0; size];
+        for (s, slot) in probs.iter_mut().enumerate() {
+            let mut p = 1.0;
+            for (i, ch) in channels.iter().enumerate() {
+                let z = ch.risk();
+                p *= if s & (1 << i) != 0 { z } else { 1.0 - z };
+            }
+            *slot = p;
+        }
+        JointRisk { n, probs }
+    }
+
+    /// The MICSS / courier-mode threat model: the adversary always
+    /// observes exactly `taps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` references channels ≥ `n`.
+    #[must_use]
+    pub fn fixed_taps(n: usize, taps: Subset) -> Self {
+        assert!(taps.is_subset_of(Subset::full(n)), "taps out of range");
+        let mut probs = vec![0.0; 1usize << n];
+        probs[taps.bits() as usize] = 1.0;
+        JointRisk { n, probs }
+    }
+
+    /// An arbitrary mixture of tap sets. Probabilities must be
+    /// nonnegative; any missing mass is assigned to "observes nothing".
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidDistribution`] if probabilities are negative,
+    /// not finite, or sum to more than 1 (beyond tolerance);
+    /// [`ModelError::InvalidEntry`] if a tap set references channels
+    /// outside `0..n`.
+    pub fn mixture(n: usize, taps: &[(Subset, f64)]) -> Result<Self, ModelError> {
+        let mut probs = vec![0.0; 1usize << n];
+        let mut total = 0.0;
+        for &(s, p) in taps {
+            if !s.is_subset_of(Subset::full(n)) {
+                return Err(ModelError::InvalidEntry {
+                    k: 0,
+                    subset_len: s.len(),
+                });
+            }
+            if !p.is_finite() || p < 0.0 {
+                return Err(ModelError::InvalidDistribution { sum: p });
+            }
+            probs[s.bits() as usize] += p;
+            total += p;
+        }
+        if total > 1.0 + 1e-9 {
+            return Err(ModelError::InvalidDistribution { sum: total });
+        }
+        probs[0] += (1.0 - total).max(0.0);
+        Ok(JointRisk { n, probs })
+    }
+
+    /// Channels grouped by shared physical edges: each group is observed
+    /// as a unit (tapping the edge exposes every channel crossing it),
+    /// with the group's observation probability taken from the *maximum*
+    /// marginal risk among its members; groups are independent. Channels
+    /// not listed in any group remain independent with their own `zᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidEntry`] if groups overlap or reference
+    /// channels outside the set.
+    pub fn shared_edges(
+        channels: &ChannelSet,
+        groups: &[Vec<usize>],
+    ) -> Result<Self, ModelError> {
+        let n = channels.len();
+        let mut assigned = Subset::EMPTY;
+        // Unit = (member subset, observation probability).
+        let mut units: Vec<(Subset, f64)> = Vec::new();
+        for group in groups {
+            let mut s = Subset::EMPTY;
+            let mut z = 0.0f64;
+            for &i in group {
+                if i >= n || assigned.contains(i) {
+                    return Err(ModelError::InvalidEntry {
+                        k: 0,
+                        subset_len: group.len(),
+                    });
+                }
+                assigned = assigned.with(i);
+                s = s.with(i);
+                z = z.max(channels.channel(i).risk());
+            }
+            units.push((s, z));
+        }
+        for (i, ch) in channels.iter().enumerate() {
+            if !assigned.contains(i) {
+                units.push((Subset::singleton(i), ch.risk()));
+            }
+        }
+        // Product distribution over independent units.
+        let mut probs = vec![0.0; 1usize << n];
+        let combos = 1usize << units.len();
+        for mask in 0..combos {
+            let mut p = 1.0;
+            let mut observed = Subset::EMPTY;
+            for (j, &(s, z)) in units.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    p *= z;
+                    observed = observed.union(s);
+                } else {
+                    p *= 1.0 - z;
+                }
+            }
+            probs[observed.bits() as usize] += p;
+        }
+        Ok(JointRisk { n, probs })
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn num_channels(&self) -> usize {
+        self.n
+    }
+
+    /// The probability that channel `i` is observed (the marginal risk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    #[must_use]
+    pub fn marginal(&self, i: usize) -> f64 {
+        assert!(i < self.n, "channel index out of range");
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| s & (1 << i) != 0)
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// The probability that at least `k` of the shares sent on `M` are
+    /// observed — the generalization of `z(k, M)` to correlated taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `M` references channels ≥ `n`.
+    #[must_use]
+    pub fn subset_risk(&self, k: usize, m: Subset) -> f64 {
+        assert!(m.is_subset_of(Subset::full(self.n)), "subset out of range");
+        if k == 0 {
+            return 1.0;
+        }
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| (Subset::from_bits(s as u16).intersect(m)).len() >= k)
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// The schedule-level risk `Z(p)` under this adversary.
+    #[must_use]
+    pub fn schedule_risk(&self, schedule: &ShareSchedule) -> f64 {
+        schedule
+            .entries()
+            .iter()
+            .map(|(e, p)| p * self.subset_risk(e.k() as usize, e.subset()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_schedule::{self, Objective};
+    use crate::micss;
+    use crate::setups;
+    use crate::subset;
+
+    #[test]
+    fn independent_matches_base_model() {
+        let channels = setups::diverse_with_risk(&[0.1, 0.5, 0.25, 0.9, 0.0]);
+        let joint = JointRisk::independent(&channels);
+        for m in Subset::all_nonempty(5) {
+            for k in 1..=m.len() {
+                let a = joint.subset_risk(k, m);
+                let b = subset::risk(&channels, k, m);
+                assert!((a - b).abs() < 1e-12, "k={k} M={m}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_recovered() {
+        let risks = [0.1, 0.5, 0.25, 0.9, 0.0];
+        let channels = setups::diverse_with_risk(&risks);
+        let joint = JointRisk::independent(&channels);
+        for (i, &z) in risks.iter().enumerate() {
+            assert!((joint.marginal(i) - z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let channels = setups::diverse_with_risk(&[0.3; 5]);
+        for joint in [
+            JointRisk::independent(&channels),
+            JointRisk::fixed_taps(5, Subset::from_indices(&[1, 3])),
+            JointRisk::shared_edges(&channels, &[vec![0, 1], vec![2, 3]]).unwrap(),
+        ] {
+            let total: f64 = joint.probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fixed_taps_threshold_semantics() {
+        // Adversary always taps channels {0, 1}.
+        let joint = JointRisk::fixed_taps(5, Subset::from_indices(&[0, 1]));
+        let m = Subset::from_indices(&[0, 1, 2]);
+        assert_eq!(joint.subset_risk(1, m), 1.0);
+        assert_eq!(joint.subset_risk(2, m), 1.0);
+        assert_eq!(joint.subset_risk(3, m), 0.0); // needs channel 2 too
+        let far = Subset::from_indices(&[2, 3, 4]);
+        assert_eq!(joint.subset_risk(1, far), 0.0);
+    }
+
+    #[test]
+    fn micss_limited_schedule_is_safe_against_small_fixed_taps() {
+        // The §IV-E guarantee, restated with the adversary type: a
+        // limited schedule with floor(kappa) = 3 leaks nothing to an
+        // adversary holding any fixed 2 channels.
+        let channels = setups::diverse_with_risk(&[0.5; 5]);
+        let schedule =
+            micss::optimal_limited_schedule(&channels, 3.0, 4.0, Objective::Privacy)
+                .unwrap();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let joint = JointRisk::fixed_taps(5, Subset::from_indices(&[a, b]));
+                assert_eq!(joint.schedule_risk(&schedule), 0.0, "taps {{{a},{b}}}");
+            }
+        }
+        // Three fixed taps can leak.
+        let joint = JointRisk::fixed_taps(5, Subset::from_indices(&[0, 1, 2]));
+        assert!(joint.schedule_risk(&schedule) > 0.0);
+    }
+
+    #[test]
+    fn shared_edge_strictly_reduces_privacy() {
+        // The §III-B argument: same marginals, correlated taps, higher
+        // risk for every threshold k >= 2.
+        let channels = setups::diverse_with_risk(&[0.3, 0.3, 0.3, 0.3, 0.3]);
+        let disjoint = JointRisk::independent(&channels);
+        let shared =
+            JointRisk::shared_edges(&channels, &[vec![0, 1, 2]]).unwrap();
+        for i in 0..5 {
+            assert!((shared.marginal(i) - 0.3).abs() < 1e-12);
+        }
+        let m = Subset::from_indices(&[0, 1, 2]);
+        // Shared unit: risk(k>=2) = 0.3 (tap the edge, get everything).
+        // Independent: P(>=2 of 3 at 0.3) = 0.216; P(3 of 3) = 0.027.
+        assert!((shared.subset_risk(2, m) - 0.3).abs() < 1e-12);
+        assert!((shared.subset_risk(3, m) - 0.3).abs() < 1e-12);
+        assert!(shared.subset_risk(2, m) > disjoint.subset_risk(2, m) + 0.08);
+        assert!(shared.subset_risk(3, m) > disjoint.subset_risk(3, m) + 0.25);
+        // k = 1 is unchanged: observing *any* share has probability
+        // 1 - P(no unit observed)… with one merged unit it is exactly z.
+        assert!((shared.subset_risk(1, m) - 0.3).abs() < 1e-12);
+        assert!(disjoint.subset_risk(1, m) > shared.subset_risk(1, m));
+    }
+
+    #[test]
+    fn schedule_risk_under_correlation_exceeds_base_z() {
+        let channels = setups::diverse_with_risk(&[0.4; 5]);
+        let schedule = lp_schedule::optimal_schedule_at_max_rate(
+            &channels,
+            3.0,
+            4.0,
+            Objective::Privacy,
+        )
+        .unwrap();
+        let base = schedule.risk(&channels);
+        let shared =
+            JointRisk::shared_edges(&channels, &[vec![0, 1], vec![2, 3]]).unwrap();
+        let correlated = shared.schedule_risk(&schedule);
+        assert!(
+            correlated > base,
+            "correlated {correlated} should exceed independent {base}"
+        );
+        // And the independent joint reproduces the base exactly.
+        let indep = JointRisk::independent(&channels);
+        assert!((indep.schedule_risk(&schedule) - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_validation() {
+        assert!(JointRisk::mixture(3, &[(Subset::singleton(0), -0.1)]).is_err());
+        assert!(JointRisk::mixture(3, &[(Subset::singleton(0), 1.5)]).is_err());
+        assert!(JointRisk::mixture(2, &[(Subset::singleton(5), 0.1)]).is_err());
+        let j = JointRisk::mixture(
+            3,
+            &[(Subset::from_indices(&[0, 1]), 0.25), (Subset::singleton(2), 0.25)],
+        )
+        .unwrap();
+        // Remaining 0.5 observes nothing.
+        assert_eq!(j.subset_risk(1, Subset::full(3)), 0.5);
+        assert!((j.marginal(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_edges_reject_overlap_and_range() {
+        let channels = setups::diverse_with_risk(&[0.3; 5]);
+        assert!(JointRisk::shared_edges(&channels, &[vec![0, 1], vec![1, 2]]).is_err());
+        assert!(JointRisk::shared_edges(&channels, &[vec![7]]).is_err());
+    }
+}

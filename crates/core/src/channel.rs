@@ -1,0 +1,402 @@
+//! Channels and channel sets: the `(z, l, d, r)` quadruples of §III-B.
+
+use crate::error::ChannelError;
+use crate::subset::Subset;
+
+/// Maximum number of channels in a [`ChannelSet`].
+///
+/// Subsets are represented as 16-bit masks, so the model supports up to 16
+/// channels — far beyond the 5-channel testbed of the paper, and enough
+/// that the `O(2ⁿ)` subset enumerations stay tractable.
+pub const MAX_CHANNELS: usize = 16;
+
+/// One communication channel with its four measured properties (§III-A).
+///
+/// * `risk` (`z`) — probability an adversary observes a share sent on the
+///   channel, in `[0, 1]`.
+/// * `loss` (`l`) — probability a share is lost in transit, in `[0, 1)`.
+/// * `delay` (`d`) — expected one-way delay of a share that is not lost,
+///   in `[0, ∞)`, in arbitrary but consistent time units.
+/// * `rate` (`r`) — maximum shares transmittable per unit time, `> 0`.
+///
+/// The open/closed bounds follow the paper's definition: a channel that
+/// can never deliver (`l = 1`) or never send (`r = 0`) is excluded from
+/// the channel set by construction.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_core::Channel;
+///
+/// let ch = Channel::new(0.1, 0.01, 2.5e-3, 100.0)?;
+/// assert_eq!(ch.rate(), 100.0);
+/// # Ok::<(), mcss_core::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(try_from = "RawChannel", into = "RawChannel"))]
+pub struct Channel {
+    risk: f64,
+    loss: f64,
+    delay: f64,
+    rate: f64,
+}
+
+/// Unvalidated mirror of [`Channel`] used by the `serde` feature so that
+/// deserialization re-runs range validation.
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RawChannel {
+    risk: f64,
+    loss: f64,
+    delay: f64,
+    rate: f64,
+}
+
+#[cfg(feature = "serde")]
+impl TryFrom<RawChannel> for Channel {
+    type Error = ChannelError;
+
+    fn try_from(raw: RawChannel) -> Result<Self, ChannelError> {
+        Channel::new(raw.risk, raw.loss, raw.delay, raw.rate)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl From<Channel> for RawChannel {
+    fn from(ch: Channel) -> RawChannel {
+        RawChannel {
+            risk: ch.risk,
+            loss: ch.loss,
+            delay: ch.delay,
+            rate: ch.rate,
+        }
+    }
+}
+
+impl Channel {
+    /// Creates a channel, validating each property's range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChannelError`] naming the offending property when any
+    /// value is out of range or not finite.
+    pub fn new(risk: f64, loss: f64, delay: f64, rate: f64) -> Result<Self, ChannelError> {
+        if !risk.is_finite() || !(0.0..=1.0).contains(&risk) {
+            return Err(ChannelError::Risk { value: risk });
+        }
+        if !loss.is_finite() || !(0.0..1.0).contains(&loss) {
+            return Err(ChannelError::Loss { value: loss });
+        }
+        if !delay.is_finite() || delay < 0.0 {
+            return Err(ChannelError::Delay { value: delay });
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ChannelError::Rate { value: rate });
+        }
+        Ok(Channel {
+            risk,
+            loss,
+            delay,
+            rate,
+        })
+    }
+
+    /// A lossless, risk-free, zero-delay channel with the given rate —
+    /// handy for rate-only analyses like the paper's Identical setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Rate`] if `rate` is not positive and finite.
+    pub fn with_rate(rate: f64) -> Result<Self, ChannelError> {
+        Channel::new(0.0, 0.0, 0.0, rate)
+    }
+
+    /// Eavesdropping risk `z`.
+    #[must_use]
+    pub const fn risk(&self) -> f64 {
+        self.risk
+    }
+
+    /// Loss probability `l`.
+    #[must_use]
+    pub const fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// One-way delay `d`.
+    #[must_use]
+    pub const fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Rate `r` in shares per unit time.
+    #[must_use]
+    pub const fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl core::fmt::Display for Channel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "(z={}, l={}, d={}, r={})",
+            self.risk, self.loss, self.delay, self.rate
+        )
+    }
+}
+
+/// An ordered set `C` of disjoint channels (§III-B).
+///
+/// Channel indices are stable: index `i` in the set corresponds to bit
+/// `i` in a [`Subset`] mask.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_core::{Channel, ChannelSet};
+///
+/// let set = ChannelSet::new(vec![
+///     Channel::with_rate(3.0)?,
+///     Channel::with_rate(4.0)?,
+///     Channel::with_rate(8.0)?,
+/// ])?;
+/// assert_eq!(set.len(), 3);
+/// assert_eq!(set.total_rate(), 15.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(
+    feature = "serde",
+    serde(try_from = "Vec<Channel>", into = "Vec<Channel>")
+)]
+pub struct ChannelSet {
+    channels: Vec<Channel>,
+}
+
+impl TryFrom<Vec<Channel>> for ChannelSet {
+    type Error = ChannelError;
+
+    fn try_from(channels: Vec<Channel>) -> Result<Self, ChannelError> {
+        ChannelSet::new(channels)
+    }
+}
+
+impl From<ChannelSet> for Vec<Channel> {
+    fn from(set: ChannelSet) -> Vec<Channel> {
+        set.channels
+    }
+}
+
+impl ChannelSet {
+    /// Creates a channel set.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Empty`] for an empty vector,
+    /// [`ChannelError::TooMany`] for more than [`MAX_CHANNELS`].
+    pub fn new(channels: Vec<Channel>) -> Result<Self, ChannelError> {
+        if channels.is_empty() {
+            return Err(ChannelError::Empty);
+        }
+        if channels.len() > MAX_CHANNELS {
+            return Err(ChannelError::TooMany {
+                count: channels.len(),
+            });
+        }
+        Ok(ChannelSet { channels })
+    }
+
+    /// Number of channels `n = |C|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Always `false`: construction rejects empty sets. Present for
+    /// `len`/`is_empty` API symmetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The channel at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ len()`.
+    #[must_use]
+    pub fn channel(&self, i: usize) -> &Channel {
+        &self.channels[i]
+    }
+
+    /// Checked access to the channel at index `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Channel> {
+        self.channels.get(i)
+    }
+
+    /// Iterator over the channels in index order.
+    pub fn iter(&self) -> core::slice::Iter<'_, Channel> {
+        self.channels.iter()
+    }
+
+    /// The subset containing every channel.
+    #[must_use]
+    pub fn full_subset(&self) -> Subset {
+        Subset::full(self.len())
+    }
+
+    /// Sum of all channel rates — the ceiling `R_C` at `μ = 1` (§IV-C).
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.channels.iter().map(Channel::rate).sum()
+    }
+
+    /// The highest single-channel rate.
+    #[must_use]
+    pub fn max_rate(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(Channel::rate)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Risk vector `z⃗`.
+    #[must_use]
+    pub fn risks(&self) -> Vec<f64> {
+        self.channels.iter().map(Channel::risk).collect()
+    }
+
+    /// Loss vector `l⃗`.
+    #[must_use]
+    pub fn losses(&self) -> Vec<f64> {
+        self.channels.iter().map(Channel::loss).collect()
+    }
+
+    /// Delay vector `d⃗`.
+    #[must_use]
+    pub fn delays(&self) -> Vec<f64> {
+        self.channels.iter().map(Channel::delay).collect()
+    }
+
+    /// Rate vector `r⃗`.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        self.channels.iter().map(Channel::rate).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a ChannelSet {
+    type Item = &'a Channel;
+    type IntoIter = core::slice::Iter<'a, Channel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.channels.iter()
+    }
+}
+
+impl AsRef<[Channel]> for ChannelSet {
+    fn as_ref(&self) -> &[Channel] {
+        &self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_channel_ranges() {
+        assert!(Channel::new(0.0, 0.0, 0.0, 1.0).is_ok());
+        assert!(Channel::new(1.0, 0.999, 1e9, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn invalid_risk_rejected() {
+        assert!(matches!(
+            Channel::new(-0.1, 0.0, 0.0, 1.0),
+            Err(ChannelError::Risk { .. })
+        ));
+        assert!(matches!(
+            Channel::new(1.1, 0.0, 0.0, 1.0),
+            Err(ChannelError::Risk { .. })
+        ));
+        assert!(matches!(
+            Channel::new(f64::NAN, 0.0, 0.0, 1.0),
+            Err(ChannelError::Risk { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_of_one_rejected() {
+        // l ∈ [0, 1): a channel that always loses is not a channel.
+        assert!(matches!(
+            Channel::new(0.0, 1.0, 0.0, 1.0),
+            Err(ChannelError::Loss { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rate_rejected() {
+        // r ∈ (0, ∞): a channel that cannot send is excluded.
+        assert!(matches!(
+            Channel::new(0.0, 0.0, 0.0, 0.0),
+            Err(ChannelError::Rate { .. })
+        ));
+        assert!(matches!(
+            Channel::new(0.0, 0.0, 0.0, -3.0),
+            Err(ChannelError::Rate { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_delay_rejected() {
+        assert!(matches!(
+            Channel::new(0.0, 0.0, -1.0, 1.0),
+            Err(ChannelError::Delay { .. })
+        ));
+    }
+
+    #[test]
+    fn set_rejects_empty_and_oversized() {
+        assert!(matches!(ChannelSet::new(vec![]), Err(ChannelError::Empty)));
+        let many = vec![Channel::with_rate(1.0).unwrap(); MAX_CHANNELS + 1];
+        assert!(matches!(
+            ChannelSet::new(many),
+            Err(ChannelError::TooMany { .. })
+        ));
+        let ok = vec![Channel::with_rate(1.0).unwrap(); MAX_CHANNELS];
+        assert!(ChannelSet::new(ok).is_ok());
+    }
+
+    #[test]
+    fn vectors_and_aggregates() {
+        let set = ChannelSet::new(vec![
+            Channel::new(0.1, 0.01, 2.0, 5.0).unwrap(),
+            Channel::new(0.2, 0.02, 3.0, 20.0).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(set.risks(), vec![0.1, 0.2]);
+        assert_eq!(set.losses(), vec![0.01, 0.02]);
+        assert_eq!(set.delays(), vec![2.0, 3.0]);
+        assert_eq!(set.rates(), vec![5.0, 20.0]);
+        assert_eq!(set.total_rate(), 25.0);
+        assert_eq!(set.max_rate(), 20.0);
+        assert_eq!(set.full_subset().len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.get(1), Some(set.channel(1)));
+        assert_eq!(set.get(2), None);
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!((&set).into_iter().count(), 2);
+        assert_eq!(set.as_ref().len(), 2);
+    }
+
+    #[test]
+    fn display_shows_quadruple() {
+        let ch = Channel::new(0.5, 0.25, 1.5, 10.0).unwrap();
+        assert_eq!(ch.to_string(), "(z=0.5, l=0.25, d=1.5, r=10)");
+    }
+}

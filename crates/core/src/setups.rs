@@ -1,0 +1,169 @@
+//! The pre-defined experimental channel setups of §VI.
+//!
+//! The paper evaluates on two hosts joined by five shaped channels in four
+//! configurations. Rates are in Mbit/s, delays in seconds, loss as a
+//! probability. The paper does not assign eavesdropping risks to the
+//! testbed channels (its experiments measure rate, loss, and delay), so
+//! these constructors default every `z` to [`DEFAULT_RISK`]; the
+//! `*_with_risk` variants let callers choose.
+
+use crate::channel::{Channel, ChannelSet};
+
+/// Default eavesdropping risk assigned to testbed channels.
+pub const DEFAULT_RISK: f64 = 0.1;
+
+/// Per-channel rates of the Diverse setup, in Mbit/s.
+pub const DIVERSE_RATES: [f64; 5] = [5.0, 20.0, 60.0, 65.0, 100.0];
+
+/// Per-channel loss probabilities of the Lossy setup.
+pub const LOSSY_LOSS: [f64; 5] = [0.01, 0.005, 0.01, 0.02, 0.03];
+
+/// Per-channel one-way delays of the Delayed setup, in seconds.
+pub const DELAYED_DELAY: [f64; 5] = [2.5e-3, 0.25e-3, 12.5e-3, 5e-3, 0.5e-3];
+
+fn build(specs: impl IntoIterator<Item = (f64, f64, f64, f64)>) -> ChannelSet {
+    let channels = specs
+        .into_iter()
+        .map(|(z, l, d, r)| Channel::new(z, l, d, r).expect("setup constants are valid"))
+        .collect();
+    ChannelSet::new(channels).expect("setup has 1..=16 channels")
+}
+
+/// The **Identical** setup: five channels at the same rate, negligible
+/// loss and delay.
+///
+/// # Panics
+///
+/// Panics if `rate_mbps` is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_core::setups;
+/// let c = setups::identical(100.0);
+/// assert_eq!(c.len(), 5);
+/// assert_eq!(c.total_rate(), 500.0);
+/// ```
+#[must_use]
+pub fn identical(rate_mbps: f64) -> ChannelSet {
+    build((0..5).map(|_| (DEFAULT_RISK, 0.0, 0.0, rate_mbps)))
+}
+
+/// The **Identical** setup with `n` channels (the paper uses 5).
+///
+/// # Panics
+///
+/// Panics if `rate_mbps` is invalid or `n` is not in `1..=16`.
+#[must_use]
+pub fn identical_n(n: usize, rate_mbps: f64) -> ChannelSet {
+    build((0..n).map(|_| (DEFAULT_RISK, 0.0, 0.0, rate_mbps)))
+}
+
+/// The **Diverse** setup: rates 5, 20, 60, 65, 100 Mbit/s with negligible
+/// loss and delay.
+#[must_use]
+pub fn diverse() -> ChannelSet {
+    diverse_with_risk(&[DEFAULT_RISK; 5])
+}
+
+/// The Diverse setup with explicit per-channel risks.
+///
+/// # Panics
+///
+/// Panics if `risks` does not have exactly 5 entries in `[0, 1]`.
+#[must_use]
+pub fn diverse_with_risk(risks: &[f64]) -> ChannelSet {
+    assert_eq!(risks.len(), 5, "diverse setup has exactly 5 channels");
+    build(
+        DIVERSE_RATES
+            .iter()
+            .zip(risks)
+            .map(|(&r, &z)| (z, 0.0, 0.0, r)),
+    )
+}
+
+/// The **Lossy** setup: Diverse rates with loss 1, 0.5, 1, 2, 3 percent.
+#[must_use]
+pub fn lossy() -> ChannelSet {
+    build(
+        DIVERSE_RATES
+            .iter()
+            .zip(LOSSY_LOSS)
+            .map(|(&r, l)| (DEFAULT_RISK, l, 0.0, r)),
+    )
+}
+
+/// The **Delayed** setup: Diverse rates with one-way delays 2.5, 0.25,
+/// 12.5, 5, 0.5 ms.
+#[must_use]
+pub fn delayed() -> ChannelSet {
+    build(
+        DIVERSE_RATES
+            .iter()
+            .zip(DELAYED_DELAY)
+            .map(|(&r, d)| (DEFAULT_RISK, 0.0, d, r)),
+    )
+}
+
+/// The three-channel example of Figure 2, `r⃗ = (3, 4, 8)`.
+#[must_use]
+pub fn figure2() -> ChannelSet {
+    build([3.0, 4.0, 8.0].map(|r| (DEFAULT_RISK, 0.0, 0.0, r)))
+}
+
+/// The three-channel delay counterexample of §IV-E: negligible loss,
+/// `d⃗ = (2, 9, 10)`.
+#[must_use]
+pub fn micss_counterexample() -> ChannelSet {
+    build([2.0, 9.0, 10.0].map(|d| (DEFAULT_RISK, 0.0, d, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_setup() {
+        let c = identical(250.0);
+        assert_eq!(c.len(), 5);
+        for ch in &c {
+            assert_eq!(ch.rate(), 250.0);
+            assert_eq!(ch.loss(), 0.0);
+            assert_eq!(ch.delay(), 0.0);
+        }
+        assert_eq!(identical_n(3, 10.0).len(), 3);
+    }
+
+    #[test]
+    fn diverse_rates_match_paper() {
+        let c = diverse();
+        assert_eq!(c.rates(), DIVERSE_RATES.to_vec());
+        assert_eq!(c.total_rate(), 250.0);
+        assert_eq!(c.max_rate(), 100.0);
+    }
+
+    #[test]
+    fn lossy_setup_matches_paper() {
+        let c = lossy();
+        assert_eq!(c.rates(), DIVERSE_RATES.to_vec());
+        assert_eq!(c.losses(), LOSSY_LOSS.to_vec());
+    }
+
+    #[test]
+    fn delayed_setup_matches_paper() {
+        let c = delayed();
+        assert_eq!(c.delays(), DELAYED_DELAY.to_vec());
+    }
+
+    #[test]
+    fn special_sets() {
+        assert_eq!(figure2().rates(), vec![3.0, 4.0, 8.0]);
+        assert_eq!(micss_counterexample().delays(), vec![2.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 5")]
+    fn diverse_with_wrong_risk_count_panics() {
+        let _ = diverse_with_risk(&[0.1; 4]);
+    }
+}

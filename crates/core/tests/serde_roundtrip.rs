@@ -1,0 +1,94 @@
+//! Round-trip and validation tests for the `serde` feature: persisted
+//! channel sets and share schedules must re-validate on load, so a
+//! hand-edited (or corrupted) config can never smuggle an invalid model
+//! object into the process.
+#![cfg(feature = "serde")]
+
+use mcss_core::{setups, Channel, ChannelSet, ScheduleEntry, ShareSchedule, Subset};
+
+#[test]
+fn channel_round_trips() {
+    let ch = Channel::new(0.25, 0.01, 2.5e-3, 100.0).unwrap();
+    let json = serde_json::to_string(&ch).unwrap();
+    let back: Channel = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ch);
+}
+
+#[test]
+fn invalid_channel_rejected_on_load() {
+    for bad in [
+        r#"{"risk":1.5,"loss":0.0,"delay":0.0,"rate":1.0}"#,
+        r#"{"risk":0.5,"loss":1.0,"delay":0.0,"rate":1.0}"#,
+        r#"{"risk":0.5,"loss":0.0,"delay":-1.0,"rate":1.0}"#,
+        r#"{"risk":0.5,"loss":0.0,"delay":0.0,"rate":0.0}"#,
+    ] {
+        assert!(
+            serde_json::from_str::<Channel>(bad).is_err(),
+            "accepted invalid channel {bad}"
+        );
+    }
+}
+
+#[test]
+fn channel_set_round_trips_and_validates() {
+    let set = setups::lossy();
+    let json = serde_json::to_string(&set).unwrap();
+    let back: ChannelSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, set);
+    // Empty sets are invalid on load.
+    assert!(serde_json::from_str::<ChannelSet>("[]").is_err());
+}
+
+#[test]
+fn subset_is_transparent() {
+    let s = Subset::from_indices(&[0, 3, 7]);
+    let json = serde_json::to_string(&s).unwrap();
+    assert_eq!(json, s.bits().to_string());
+    assert_eq!(serde_json::from_str::<Subset>(&json).unwrap(), s);
+}
+
+#[test]
+fn schedule_entry_validates_on_load() {
+    let e = ScheduleEntry::new(2, Subset::from_indices(&[0, 1, 2])).unwrap();
+    let json = serde_json::to_string(&e).unwrap();
+    assert_eq!(serde_json::from_str::<ScheduleEntry>(&json).unwrap(), e);
+    // k = 0 and k > |M| must be rejected.
+    assert!(serde_json::from_str::<ScheduleEntry>(r#"{"k":0,"subset":7}"#).is_err());
+    assert!(serde_json::from_str::<ScheduleEntry>(r#"{"k":4,"subset":7}"#).is_err());
+}
+
+#[test]
+fn share_schedule_round_trips() {
+    let channels = setups::lossy();
+    let schedule = mcss_core::lp_schedule::optimal_schedule_at_max_rate(
+        &channels,
+        2.0,
+        3.4,
+        mcss_core::lp_schedule::Objective::Loss,
+    )
+    .unwrap();
+    let json = serde_json::to_string_pretty(&schedule).unwrap();
+    let back: ShareSchedule = serde_json::from_str(&json).unwrap();
+    // Loading re-normalizes the distribution, so probabilities may move
+    // by an ulp; compare structurally with a tolerance.
+    assert_eq!(back.entries().len(), schedule.entries().len());
+    for ((ea, pa), (eb, pb)) in back.entries().iter().zip(schedule.entries()) {
+        assert_eq!(ea, eb);
+        assert!((pa - pb).abs() < 1e-12);
+    }
+    assert!((back.kappa() - 2.0).abs() < 1e-6);
+    assert!((back.loss(&channels) - schedule.loss(&channels)).abs() < 1e-12);
+}
+
+#[test]
+fn tampered_schedule_rejected() {
+    // Probabilities not summing to 1.
+    let bad = r#"{"n":2,"entries":[[{"k":1,"subset":1},0.4]]}"#;
+    assert!(serde_json::from_str::<ShareSchedule>(bad).is_err());
+    // Negative mass.
+    let bad = r#"{"n":2,"entries":[[{"k":1,"subset":1},-0.5],[{"k":1,"subset":2},1.5]]}"#;
+    assert!(serde_json::from_str::<ShareSchedule>(bad).is_err());
+    // Entry referencing channels outside n.
+    let bad = r#"{"n":1,"entries":[[{"k":1,"subset":2},1.0]]}"#;
+    assert!(serde_json::from_str::<ShareSchedule>(bad).is_err());
+}

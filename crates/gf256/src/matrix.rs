@@ -1,0 +1,316 @@
+//! Dense linear algebra over GF(2⁸): Gaussian elimination, rank, and
+//! linear-system solving.
+//!
+//! Used by Blakley's geometric threshold scheme (intersecting
+//! hyperplanes) and by tests that reason about share-space dimensions.
+
+use crate::Gf256;
+
+/// A dense matrix over GF(2⁸), row major.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{matrix::Matrix, Gf256};
+///
+/// let m = Matrix::identity(3);
+/// assert_eq!(m.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// The n×n identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Gf256::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<Gf256>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "rows must have equal length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The rank of the matrix (dimension of the row space).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.row_reduce()
+    }
+
+    /// In-place forward elimination to row echelon form; returns the
+    /// rank.
+    fn row_reduce(&mut self) -> usize {
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row == self.rows {
+                break;
+            }
+            let Some(src) = (pivot_row..self.rows).find(|&r| !self[(r, col)].is_zero())
+            else {
+                continue;
+            };
+            self.swap_rows(pivot_row, src);
+            let inv = self[(pivot_row, col)].inv().expect("pivot is nonzero");
+            for c in col..self.cols {
+                self[(pivot_row, c)] *= inv;
+            }
+            for r in 0..self.rows {
+                if r != pivot_row && !self[(r, col)].is_zero() {
+                    let factor = self[(r, col)];
+                    for c in col..self.cols {
+                        let sub = factor * self[(pivot_row, c)];
+                        self[(r, c)] += sub;
+                    }
+                }
+            }
+            pivot_row += 1;
+        }
+        pivot_row
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self[(a, c)];
+            self[(a, c)] = self[(b, c)];
+            self[(b, c)] = tmp;
+        }
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[Gf256]) -> Vec<Gf256> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self[(r, c)] * v[c])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for Matrix {
+    type Output = Gf256;
+
+    fn index(&self, (r, c): (usize, usize)) -> &Gf256 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Gf256 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves the square linear system `A·x = b` over GF(2⁸).
+///
+/// Returns `None` if `A` is singular (the system has no unique
+/// solution).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{matrix::{solve, Matrix}, Gf256};
+///
+/// // x + y = 3, x = 1  →  y = 2 (over GF(2⁸): 1 ⊕ 2 = 3)
+/// let a = Matrix::from_rows(&[
+///     vec![Gf256::ONE, Gf256::ONE],
+///     vec![Gf256::ONE, Gf256::ZERO],
+/// ]);
+/// let x = solve(&a, &[Gf256::new(3), Gf256::new(1)]).unwrap();
+/// assert_eq!(x, vec![Gf256::new(1), Gf256::new(2)]);
+/// ```
+#[must_use]
+pub fn solve(a: &Matrix, b: &[Gf256]) -> Option<Vec<Gf256>> {
+    assert_eq!(a.rows(), a.cols(), "system must be square");
+    assert_eq!(b.len(), a.rows(), "dimension mismatch");
+    let n = a.rows();
+    // Augmented matrix [A | b].
+    let mut aug = Matrix::zero(n, n + 1);
+    for r in 0..n {
+        for c in 0..n {
+            aug[(r, c)] = a[(r, c)];
+        }
+        aug[(r, n)] = b[r];
+    }
+    aug.row_reduce();
+    // A has full rank iff Gauss-Jordan turned the left block into the
+    // identity (checking the augmented rank alone would accept
+    // inconsistent systems, whose contradiction row inflates the rank).
+    for r in 0..n {
+        if aug[(r, r)] != Gf256::ONE {
+            return None;
+        }
+    }
+    Some((0..n).map(|r| aug[(r, n)]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g(v: u8) -> Gf256 {
+        Gf256::new(v)
+    }
+
+    #[test]
+    fn identity_properties() {
+        let id = Matrix::identity(4);
+        assert_eq!(id.rank(), 4);
+        let v: Vec<Gf256> = [1, 2, 3, 4].iter().map(|&x| g(x)).collect();
+        assert_eq!(id.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // Row 2 = row 0 ⊕ row 1.
+        let m = Matrix::from_rows(&[
+            vec![g(1), g(2), g(3)],
+            vec![g(4), g(5), g(6)],
+            vec![g(5), g(7), g(5)],
+        ]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn zero_matrix_rank() {
+        assert_eq!(Matrix::zero(3, 5).rank(), 0);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![g(2), g(1)],
+            vec![g(1), g(1)],
+        ]);
+        let x = vec![g(7), g(9)];
+        let b = a.mul_vec(&x);
+        assert_eq!(solve(&a, &b).unwrap(), x);
+    }
+
+    #[test]
+    fn singular_system_detected() {
+        let a = Matrix::from_rows(&[
+            vec![g(1), g(2)],
+            vec![g(1), g(2)],
+        ]);
+        assert_eq!(solve(&a, &[g(1), g(2)]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn solve_rejects_rectangular() {
+        let a = Matrix::zero(2, 3);
+        let _ = solve(&a, &[Gf256::ZERO, Gf256::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[vec![g(1)], vec![g(1), g(2)]]);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_round_trips_random_systems(
+            entries in proptest::collection::vec(any::<u8>(), 16),
+            xs in proptest::collection::vec(any::<u8>(), 4),
+        ) {
+            let rows: Vec<Vec<Gf256>> = entries
+                .chunks(4)
+                .map(|ch| ch.iter().map(|&v| g(v)).collect())
+                .collect();
+            let a = Matrix::from_rows(&rows);
+            let x: Vec<Gf256> = xs.iter().map(|&v| g(v)).collect();
+            let b = a.mul_vec(&x);
+            match solve(&a, &b) {
+                // Unique solution must be the planted one.
+                Some(got) => prop_assert_eq!(got, x),
+                // Singular: rank must actually be deficient.
+                None => prop_assert!(a.rank() < 4),
+            }
+        }
+
+        #[test]
+        fn rank_bounded_by_dimensions(
+            entries in proptest::collection::vec(any::<u8>(), 12),
+        ) {
+            let rows: Vec<Vec<Gf256>> = entries
+                .chunks(4)
+                .map(|ch| ch.iter().map(|&v| g(v)).collect())
+                .collect();
+            let m = Matrix::from_rows(&rows);
+            prop_assert!(m.rank() <= m.rows().min(m.cols()));
+        }
+    }
+}

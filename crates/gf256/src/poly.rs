@@ -1,0 +1,550 @@
+//! Polynomials over GF(2⁸): evaluation and Lagrange interpolation.
+//!
+//! Shamir secret sharing hides a secret in the constant coefficient of a
+//! random degree-(k−1) polynomial and publishes evaluations at nonzero
+//! points. Reconstruction interpolates the constant term back from any k
+//! of those points. This module provides both primitives, plus general
+//! interpolation at arbitrary abscissae for tests and diagnostics.
+
+use crate::Gf256;
+
+/// A dense polynomial over GF(2⁸), stored low-order coefficient first.
+///
+/// The zero polynomial is represented by an empty coefficient vector; all
+/// constructors trim trailing zero coefficients so that
+/// `degree` = `coeffs.len() - 1` holds for nonzero polynomials.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{Gf256, Poly};
+///
+/// // p(x) = 5 + 2x
+/// let p = Poly::new(vec![Gf256::new(5), Gf256::new(2)]);
+/// assert_eq!(p.eval(Gf256::ZERO), Gf256::new(5));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly {
+    /// Creates a polynomial from low-order-first coefficients, trimming
+    /// trailing zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_gf256::{Gf256, Poly};
+    /// let p = Poly::new(vec![Gf256::ONE, Gf256::ZERO]);
+    /// assert_eq!(p.degree(), Some(0));
+    /// ```
+    #[must_use]
+    pub fn new(mut coeffs: Vec<Gf256>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_gf256::{Gf256, Poly};
+    /// assert!(Poly::zero().is_zero());
+    /// ```
+    #[must_use]
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// A constant polynomial.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_gf256::{Gf256, Poly};
+    /// let p = Poly::constant(Gf256::new(9));
+    /// assert_eq!(p.eval(Gf256::new(200)), Gf256::new(9));
+    /// ```
+    #[must_use]
+    pub fn constant(c: Gf256) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// Draws a polynomial of exactly the requested degree bound with the
+    /// given constant term: `secret + c₁x + … + c_{degree}x^{degree}` where
+    /// `c₁…` are uniform random field elements.
+    ///
+    /// This is the Shamir splitting polynomial; `degree` is `k − 1`.
+    /// The leading coefficients may be zero — requiring a nonzero leading
+    /// coefficient would bias the distribution and weaken secrecy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_gf256::{Gf256, Poly};
+    /// let mut rng = rand::rng();
+    /// let p = Poly::random_with_constant(Gf256::new(42), 3, &mut rng);
+    /// assert_eq!(p.eval(Gf256::ZERO), Gf256::new(42));
+    /// ```
+    #[must_use]
+    pub fn random_with_constant<R: rand::Rng + ?Sized>(
+        secret: Gf256,
+        degree: usize,
+        rng: &mut R,
+    ) -> Self {
+        use rand::RngExt as _;
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(secret);
+        for _ in 0..degree {
+            coeffs.push(Gf256::new(rng.random()));
+        }
+        Poly::new(coeffs)
+    }
+
+    /// Returns `true` for the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial, or `None` for the zero polynomial.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_gf256::{Gf256, Poly};
+    /// assert_eq!(Poly::zero().degree(), None);
+    /// assert_eq!(Poly::constant(Gf256::ONE).degree(), Some(0));
+    /// ```
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficients, low order first (empty for the zero polynomial).
+    #[must_use]
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_gf256::{Gf256, Poly};
+    /// // p(x) = 1 + x + x²  ⇒  p(2) = 1 ⊕ 2 ⊕ 4 = 7
+    /// let p = Poly::new(vec![Gf256::ONE, Gf256::ONE, Gf256::ONE]);
+    /// assert_eq!(p.eval(Gf256::new(2)), Gf256::new(7));
+    /// ```
+    #[must_use]
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+}
+
+impl core::ops::Add for &Poly {
+    type Output = Poly;
+
+    fn add(self, rhs: &Poly) -> Poly {
+        let (long, short) = if self.coeffs.len() >= rhs.coeffs.len() {
+            (&self.coeffs, &rhs.coeffs)
+        } else {
+            (&rhs.coeffs, &self.coeffs)
+        };
+        let mut out = long.clone();
+        for (o, &c) in out.iter_mut().zip(short) {
+            *o += c;
+        }
+        Poly::new(out)
+    }
+}
+
+impl core::ops::Add for Poly {
+    type Output = Poly;
+
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl core::ops::Mul for &Poly {
+    type Output = Poly;
+
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+}
+
+impl core::ops::Mul for Poly {
+    type Output = Poly;
+
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+/// Interpolates the value at `x = 0` of the unique polynomial of degree
+/// `< points.len()` passing through the given `(x, y)` points.
+///
+/// This is the hot path of Shamir reconstruction, specialized to the
+/// constant term so it runs in O(k²) multiplications with no allocation.
+///
+/// # Errors
+///
+/// Returns [`InterpolationError::DuplicateX`] if two points share an
+/// abscissa and [`InterpolationError::Empty`] when `points` is empty.
+/// An `x` of zero is rejected as [`InterpolationError::ZeroX`]: a share at
+/// x = 0 would *be* the secret and is never produced by splitting.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{Gf256, poly};
+///
+/// // p(x) = 7 + 3x through x = 1, 2
+/// let pts = [
+///     (Gf256::new(1), Gf256::new(7 ^ 3)),
+///     (Gf256::new(2), Gf256::new(7 ^ 6)),
+/// ];
+/// assert_eq!(poly::interpolate_at_zero(&pts).unwrap(), Gf256::new(7));
+/// ```
+pub fn interpolate_at_zero(
+    points: &[(Gf256, Gf256)],
+) -> Result<Gf256, InterpolationError> {
+    if points.is_empty() {
+        return Err(InterpolationError::Empty);
+    }
+    for (idx, &(xi, _)) in points.iter().enumerate() {
+        if xi.is_zero() {
+            return Err(InterpolationError::ZeroX);
+        }
+        if points[..idx].iter().any(|&(xj, _)| xj == xi) {
+            return Err(InterpolationError::DuplicateX { x: xi.value() });
+        }
+    }
+    let mut acc = Gf256::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // Lagrange basis at 0: Π_{j≠i} x_j / (x_j − x_i); subtraction is
+        // XOR so x_j − x_i = x_j + x_i.
+        let mut num = Gf256::ONE;
+        let mut den = Gf256::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i != j {
+                num *= xj;
+                den *= xj + xi;
+            }
+        }
+        // den is nonzero: abscissae are pairwise distinct.
+        acc += yi * num / den;
+    }
+    Ok(acc)
+}
+
+/// Interpolates the full polynomial through the given points.
+///
+/// Used by tests and diagnostics; reconstruction should prefer
+/// [`interpolate_at_zero`].
+///
+/// # Errors
+///
+/// Same conditions as [`interpolate_at_zero`], except `x = 0` points are
+/// allowed here.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{Gf256, Poly, poly};
+///
+/// let p = Poly::new(vec![Gf256::new(3), Gf256::new(1), Gf256::new(8)]);
+/// let pts: Vec<_> = [1u8, 2, 3]
+///     .iter()
+///     .map(|&x| (Gf256::new(x), p.eval(Gf256::new(x))))
+///     .collect();
+/// assert_eq!(poly::interpolate(&pts).unwrap(), p);
+/// ```
+pub fn interpolate(points: &[(Gf256, Gf256)]) -> Result<Poly, InterpolationError> {
+    if points.is_empty() {
+        return Err(InterpolationError::Empty);
+    }
+    for (idx, &(xi, _)) in points.iter().enumerate() {
+        if points[..idx].iter().any(|&(xj, _)| xj == xi) {
+            return Err(InterpolationError::DuplicateX { x: xi.value() });
+        }
+    }
+    let n = points.len();
+    let mut result = vec![Gf256::ZERO; n];
+    // Basis polynomial accumulator, reused across terms.
+    let mut basis: Vec<Gf256> = Vec::with_capacity(n);
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        basis.clear();
+        basis.push(Gf256::ONE);
+        let mut den = Gf256::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // Multiply basis by (x − x_j) = (x + x_j).
+            basis.push(Gf256::ZERO);
+            for t in (0..basis.len() - 1).rev() {
+                let low = basis[t];
+                basis[t + 1] += low;
+                basis[t] = low * xj;
+            }
+            den *= xi + xj;
+        }
+        let scale = yi / den;
+        for (t, &b) in basis.iter().enumerate() {
+            result[t] += b * scale;
+        }
+    }
+    Ok(Poly::new(result))
+}
+
+/// Error from polynomial interpolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterpolationError {
+    /// No points were supplied.
+    Empty,
+    /// Two points share the same abscissa.
+    DuplicateX {
+        /// The repeated x coordinate.
+        x: u8,
+    },
+    /// A point with x = 0 was supplied where shares must be nonzero.
+    ZeroX,
+}
+
+impl core::fmt::Display for InterpolationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InterpolationError::Empty => write!(f, "no interpolation points supplied"),
+            InterpolationError::DuplicateX { x } => {
+                write!(f, "duplicate interpolation abscissa {x:#04x}")
+            }
+            InterpolationError::ZeroX => {
+                write!(f, "share abscissa of zero is not permitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpolationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn poly_from_bytes(bytes: &[u8]) -> Poly {
+        Poly::new(bytes.iter().map(|&b| Gf256::new(b)).collect())
+    }
+
+    #[test]
+    fn zero_polynomial_basics() {
+        let z = Poly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Gf256::new(17)), Gf256::ZERO);
+        assert_eq!(Poly::new(vec![Gf256::ZERO; 4]), z);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly::new(vec![Gf256::new(1), Gf256::new(2), Gf256::ZERO]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs().len(), 2);
+    }
+
+    #[test]
+    fn constant_eval_everywhere() {
+        let p = Poly::constant(Gf256::new(0x5a));
+        for x in Gf256::all() {
+            assert_eq!(p.eval(x), Gf256::new(0x5a));
+        }
+    }
+
+    #[test]
+    fn eval_known_values() {
+        // p(x) = 3 + x + 2x² over GF(256): p(1) = 3^1^2 = 0, p(0) = 3.
+        let p = poly_from_bytes(&[3, 1, 2]);
+        assert_eq!(p.eval(Gf256::ZERO), Gf256::new(3));
+        assert_eq!(p.eval(Gf256::ONE), Gf256::new(0));
+    }
+
+    #[test]
+    fn random_with_constant_fixes_secret() {
+        let mut rng = rand::rng();
+        for degree in 0..8 {
+            let p = Poly::random_with_constant(Gf256::new(0xee), degree, &mut rng);
+            assert_eq!(p.eval(Gf256::ZERO), Gf256::new(0xee));
+            assert!(p.degree().unwrap_or(0) <= degree);
+        }
+    }
+
+    #[test]
+    fn interpolate_at_zero_rejects_bad_input() {
+        assert_eq!(interpolate_at_zero(&[]), Err(InterpolationError::Empty));
+        let dup = [
+            (Gf256::new(1), Gf256::new(5)),
+            (Gf256::new(1), Gf256::new(6)),
+        ];
+        assert_eq!(
+            interpolate_at_zero(&dup),
+            Err(InterpolationError::DuplicateX { x: 1 })
+        );
+        let zero = [(Gf256::ZERO, Gf256::new(5))];
+        assert_eq!(interpolate_at_zero(&zero), Err(InterpolationError::ZeroX));
+    }
+
+    #[test]
+    fn interpolate_rejects_duplicates_but_allows_zero_x() {
+        let pts = [
+            (Gf256::ZERO, Gf256::new(9)),
+            (Gf256::new(1), Gf256::new(9)),
+        ];
+        let p = interpolate(&pts).unwrap();
+        assert_eq!(p, Poly::constant(Gf256::new(9)));
+    }
+
+    #[test]
+    fn single_point_interpolation_is_constant() {
+        let pts = [(Gf256::new(7), Gf256::new(0x33))];
+        assert_eq!(interpolate_at_zero(&pts).unwrap(), Gf256::new(0x33));
+        assert_eq!(interpolate(&pts).unwrap(), Poly::constant(Gf256::new(0x33)));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            InterpolationError::Empty,
+            InterpolationError::DuplicateX { x: 3 },
+            InterpolationError::ZeroX,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn polynomial_ring_axioms(
+            a in proptest::collection::vec(any::<u8>(), 0..6),
+            b in proptest::collection::vec(any::<u8>(), 0..6),
+            c in proptest::collection::vec(any::<u8>(), 0..6),
+            x in any::<u8>(),
+        ) {
+            let (a, b, c) = (poly_from_bytes(&a), poly_from_bytes(&b), poly_from_bytes(&c));
+            let x = Gf256::new(x);
+            // Evaluation is a ring homomorphism.
+            prop_assert_eq!((&a + &b).eval(x), a.eval(x) + b.eval(x));
+            prop_assert_eq!((&a * &b).eval(x), a.eval(x) * b.eval(x));
+            // Commutativity and associativity.
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+            // Distributivity.
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            // Characteristic 2: p + p = 0.
+            prop_assert!((&a + &a).is_zero());
+            // Identities.
+            prop_assert_eq!(&a + &Poly::zero(), a.clone());
+            prop_assert_eq!(&a * &Poly::constant(Gf256::ONE), a.clone());
+            prop_assert!((&a * &Poly::zero()).is_zero());
+        }
+
+        #[test]
+        fn interpolation_is_linear(
+            ys1 in proptest::collection::vec(any::<u8>(), 1..7),
+            ys2 in proptest::collection::vec(any::<u8>(), 1..7),
+        ) {
+            // interpolate(p1 pts) + interpolate(p2 pts) passes through the
+            // pointwise sums — interpolation is linear in the ordinates.
+            let n = ys1.len().min(ys2.len());
+            let mk = |ys: &[u8]| -> Vec<(Gf256, Gf256)> {
+                ys.iter()
+                    .take(n)
+                    .enumerate()
+                    .map(|(i, &y)| (Gf256::new(i as u8 + 1), Gf256::new(y)))
+                    .collect()
+            };
+            let p1 = interpolate(&mk(&ys1)).unwrap();
+            let p2 = interpolate(&mk(&ys2)).unwrap();
+            let sum_pts: Vec<(Gf256, Gf256)> = mk(&ys1)
+                .iter()
+                .zip(mk(&ys2))
+                .map(|(&(x, y1), (_, y2))| (x, y1 + y2))
+                .collect();
+            let psum = interpolate(&sum_pts).unwrap();
+            prop_assert_eq!(&p1 + &p2, psum);
+        }
+
+        #[test]
+        fn interpolation_recovers_polynomial(
+            coeffs in proptest::collection::vec(any::<u8>(), 1..8),
+            extra in 0usize..5,
+        ) {
+            let p = poly_from_bytes(&coeffs);
+            let npts = coeffs.len() + extra;
+            prop_assume!(npts <= 255);
+            let pts: Vec<_> = (1..=npts as u8)
+                .map(|x| (Gf256::new(x), p.eval(Gf256::new(x))))
+                .collect();
+            let q = interpolate(&pts).unwrap();
+            prop_assert_eq!(&q, &p);
+            prop_assert_eq!(
+                interpolate_at_zero(&pts).unwrap(),
+                p.eval(Gf256::ZERO)
+            );
+        }
+
+        #[test]
+        fn interpolation_at_zero_agrees_with_full(
+            ys in proptest::collection::vec(any::<u8>(), 1..10),
+        ) {
+            let pts: Vec<_> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (Gf256::new(i as u8 + 1), Gf256::new(y)))
+                .collect();
+            let full = interpolate(&pts).unwrap().eval(Gf256::ZERO);
+            let direct = interpolate_at_zero(&pts).unwrap();
+            prop_assert_eq!(full, direct);
+        }
+
+        #[test]
+        fn horner_matches_naive_eval(
+            coeffs in proptest::collection::vec(any::<u8>(), 0..10),
+            x in any::<u8>(),
+        ) {
+            let p = poly_from_bytes(&coeffs);
+            let x = Gf256::new(x);
+            let naive = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Gf256::new(c) * x.pow(i as u32))
+                .sum::<Gf256>();
+            prop_assert_eq!(p.eval(x), naive);
+        }
+    }
+}

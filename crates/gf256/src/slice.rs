@@ -1,0 +1,217 @@
+//! Bulk field operations on byte slices.
+//!
+//! Shamir sharing of packet-sized secrets evaluates one polynomial per
+//! byte. Doing that byte-by-byte walks the log/exp tables with a data
+//! dependency per step; the slice forms here process whole coefficient
+//! *planes* at once (all bytes' i-th coefficients together), which lets
+//! the compiler unroll and keeps a single scalar's log lookup out of the
+//! inner loop. [`mcss_shamir`](https://docs.rs/mcss-shamir) evaluates
+//! shares with one [`scale_add_assign`] per coefficient plane (Horner
+//! over planes).
+
+use crate::{Gf256, EXP, GROUP_ORDER, LOG};
+
+/// `dst[i] ← dst[i] · x  ⊕  src[i]` for every `i` — one Horner step over
+/// a coefficient plane.
+///
+/// With `x = 0` this reduces to copying `src` into `dst`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{slice, Gf256};
+///
+/// let mut acc = [0x02, 0x03];
+/// slice::scale_add_assign(&mut acc, &[0x01, 0x00], Gf256::new(2));
+/// assert_eq!(acc, [0x04 ^ 0x01, 0x06]);
+/// ```
+pub fn scale_add_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
+    assert_eq!(dst.len(), src.len(), "plane lengths must match");
+    if x.is_zero() {
+        dst.copy_from_slice(src);
+        return;
+    }
+    if x == Gf256::ONE {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let log_x = LOG[x.value() as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let scaled = if *d == 0 {
+            0
+        } else {
+            EXP[LOG[*d as usize] as usize + log_x]
+        };
+        *d = scaled ^ s;
+    }
+}
+
+/// `dst[i] ← dst[i] ⊕ src[i] · x` for every `i` — the accumulation step
+/// of Lagrange reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{slice, Gf256};
+///
+/// let mut acc = [0x01u8, 0x00];
+/// slice::add_scaled_assign(&mut acc, &[0x02, 0x02], Gf256::new(3));
+/// assert_eq!(acc, [0x01 ^ 0x06, 0x06]);
+/// ```
+pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
+    assert_eq!(dst.len(), src.len(), "plane lengths must match");
+    if x.is_zero() {
+        return;
+    }
+    if x == Gf256::ONE {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let log_x = LOG[x.value() as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= EXP[LOG[s as usize] as usize + log_x];
+        }
+    }
+}
+
+/// Multiplies every byte in place by the scalar `x`.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{slice, Gf256};
+///
+/// let mut v = [1u8, 2, 4];
+/// slice::scale_assign(&mut v, Gf256::new(2));
+/// assert_eq!(v, [2, 4, 8]);
+/// ```
+pub fn scale_assign(dst: &mut [u8], x: Gf256) {
+    if x.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if x == Gf256::ONE {
+        return;
+    }
+    let log_x = LOG[x.value() as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = EXP[LOG[*d as usize] as usize + log_x];
+        }
+    }
+}
+
+/// Reference check that the doubled EXP table really removes the modular
+/// reduction: the largest reachable index is `2·(GROUP_ORDER − 1)`.
+#[allow(dead_code)]
+const _: () = assert!(2 * (GROUP_ORDER - 1) < 512);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scale_add_matches_scalar_ops() {
+        let dst0 = [0u8, 1, 2, 0xff, 0x80];
+        let src = [9u8, 0, 0xaa, 1, 0x7f];
+        for x in [0u8, 1, 2, 3, 0x53, 0xff] {
+            let x = Gf256::new(x);
+            let mut dst = dst0;
+            scale_add_assign(&mut dst, &src, x);
+            for i in 0..dst0.len() {
+                let want = Gf256::new(dst0[i]) * x + Gf256::new(src[i]);
+                assert_eq!(dst[i], want.value(), "x={x} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_matches_scalar_ops() {
+        let dst0 = [0u8, 1, 2, 0xff, 0x80];
+        let src = [9u8, 0, 0xaa, 1, 0x7f];
+        for x in [0u8, 1, 2, 3, 0x53, 0xff] {
+            let x = Gf256::new(x);
+            let mut dst = dst0;
+            add_scaled_assign(&mut dst, &src, x);
+            for i in 0..dst0.len() {
+                let want = Gf256::new(dst0[i]) + Gf256::new(src[i]) * x;
+                assert_eq!(dst[i], want.value(), "x={x} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_assign_matches_scalar_ops() {
+        let v0 = [0u8, 1, 2, 0xff, 0x80];
+        for x in [0u8, 1, 2, 0x53, 0xff] {
+            let x = Gf256::new(x);
+            let mut v = v0;
+            scale_assign(&mut v, x);
+            for i in 0..v0.len() {
+                assert_eq!(v[i], (Gf256::new(v0[i]) * x).value(), "x={x} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plane lengths")]
+    fn mismatched_lengths_panic() {
+        let mut d = [0u8; 2];
+        scale_add_assign(&mut d, &[0u8; 3], Gf256::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn horner_over_planes_equals_pointwise_eval(
+            planes in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 8), 1..6),
+            x in any::<u8>(),
+        ) {
+            // Evaluate, for every byte position b, the polynomial whose
+            // coefficients are planes[*][b] at the point x — once with
+            // the slice Horner, once with Poly::eval.
+            let x = Gf256::new(x);
+            let len = planes[0].len();
+            let mut acc = vec![0u8; len];
+            for plane in planes.iter().rev() {
+                scale_add_assign(&mut acc, plane, x);
+            }
+            for b in 0..len {
+                let coeffs: Vec<Gf256> =
+                    planes.iter().map(|p| Gf256::new(p[b])).collect();
+                let poly = crate::Poly::new(coeffs);
+                prop_assert_eq!(acc[b], poly.eval(x).value());
+            }
+        }
+
+        #[test]
+        fn add_scaled_linearity(
+            a in proptest::collection::vec(any::<u8>(), 16),
+            b in proptest::collection::vec(any::<u8>(), 16),
+            x in any::<u8>(),
+        ) {
+            // acc ⊕ b·x computed bulk equals scalar fold.
+            let x = Gf256::new(x);
+            let mut acc = a.clone();
+            add_scaled_assign(&mut acc, &b, x);
+            for i in 0..16 {
+                let want = Gf256::new(a[i]) + Gf256::new(b[i]) * x;
+                prop_assert_eq!(acc[i], want.value());
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Two-phase dense tableau simplex with Bland's anti-cycling rule.
+//!
+//! Internal engine behind [`Problem::solve`](crate::Problem::solve). The
+//! program is brought to standard form (equalities with nonnegative
+//! right-hand sides over nonnegative variables, via slack and surplus
+//! columns), phase 1 minimizes the sum of artificial variables to find a
+//! basic feasible solution, and phase 2 minimizes the real objective.
+
+use crate::{ConstraintRow, LpError, Relation};
+
+/// Absolute tolerance used for pivoting and feasibility decisions.
+pub const EPSILON: f64 = 1e-9;
+
+/// Hard cap on pivots per phase. Bland's rule guarantees finite
+/// termination, so hitting this indicates numerical breakdown.
+const MAX_ITERATIONS: usize = 100_000;
+
+/// Dense tableau: `m` constraint rows over `n` columns plus a rhs column,
+/// and a reduced-cost row maintained incrementally.
+struct Tableau {
+    m: usize,
+    n: usize,
+    /// Row-major `m × (n + 1)`; column `n` is the rhs.
+    a: Vec<f64>,
+    /// `z_j − c_j` for each column plus the objective value in slot `n`.
+    zrow: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * (self.n + 1) + j]
+    }
+
+    fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.a[i * (self.n + 1) + j]
+    }
+
+    fn rhs(&self, i: usize) -> f64 {
+        self.at(i, self.n)
+    }
+
+    /// Rebuilds the reduced-cost row from scratch for cost vector `c`
+    /// (indexed over all `n` columns).
+    fn price(&mut self, c: &[f64]) {
+        let width = self.n + 1;
+        for j in 0..width {
+            let mut z = 0.0;
+            for i in 0..self.m {
+                let cb = c[self.basis[i]];
+                if cb != 0.0 {
+                    z += cb * self.a[i * width + j];
+                }
+            }
+            self.zrow[j] = z - if j < self.n { c[j] } else { 0.0 };
+        }
+    }
+
+    /// Performs one pivot on (row, col), updating rows, basis and zrow.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.n + 1;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > EPSILON);
+        let inv = 1.0 / piv;
+        for j in 0..width {
+            self.a[row * width + j] *= inv;
+        }
+        // Re-normalize the pivot element exactly.
+        self.a[row * width + col] = 1.0;
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.at(i, col);
+            if factor.abs() > 0.0 {
+                for j in 0..width {
+                    self.a[i * width + j] -= factor * self.a[row * width + j];
+                }
+                self.a[i * width + col] = 0.0;
+            }
+        }
+        let zfactor = self.zrow[col];
+        if zfactor.abs() > 0.0 {
+            for j in 0..width {
+                self.zrow[j] -= zfactor * self.a[row * width + j];
+            }
+            self.zrow[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations until optimality, restricted to columns
+    /// `< allowed_cols`. Returns `Err(Unbounded)` if a favorable column
+    /// has no positive entries.
+    fn optimize(&mut self, allowed_cols: usize) -> Result<(), LpError> {
+        for _ in 0..MAX_ITERATIONS {
+            // Bland: entering column = smallest index with z_j − c_j > 0.
+            let Some(col) = (0..allowed_cols).find(|&j| self.zrow[j] > EPSILON) else {
+                return Ok(());
+            };
+            // Ratio test with Bland tie-breaking by basic variable index.
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+            for i in 0..self.m {
+                let aij = self.at(i, col);
+                if aij > EPSILON {
+                    let ratio = self.rhs(i) / aij;
+                    let key = (ratio, self.basis[i], i);
+                    best = match best {
+                        None => Some(key),
+                        Some(cur) => {
+                            if ratio < cur.0 - EPSILON
+                                || (ratio < cur.0 + EPSILON && self.basis[i] < cur.1)
+                            {
+                                Some(key)
+                            } else {
+                                Some(cur)
+                            }
+                        }
+                    };
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solves `min obj·x` subject to `rows`, `x ≥ 0`. Returns the optimal
+/// variable values (length = `obj.len()`).
+pub(crate) fn solve(obj: &[f64], rows: &[ConstraintRow]) -> Result<Vec<f64>, LpError> {
+    let nvars = obj.len();
+    let m = rows.len();
+    // Count slack/surplus columns.
+    let nslack = rows
+        .iter()
+        .filter(|r| r.relation != Relation::Eq)
+        .count();
+    let nstruct = nvars + nslack;
+    let n = nstruct + m; // artificials appended per row
+    let width = n + 1;
+
+    let mut t = Tableau {
+        m,
+        n,
+        a: vec![0.0; m * width],
+        zrow: vec![0.0; width],
+        basis: vec![0; m],
+    };
+
+    let mut slack_idx = nvars;
+    for (i, row) in rows.iter().enumerate() {
+        // Make the rhs nonnegative by negating the row if necessary.
+        let flip = row.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (j, &c) in row.coeffs.iter().enumerate() {
+            *t.at_mut(i, j) = sign * c;
+        }
+        *t.at_mut(i, n) = sign * row.rhs;
+        match row.relation {
+            Relation::Le => {
+                *t.at_mut(i, slack_idx) = sign; // slack (surplus if flipped)
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                *t.at_mut(i, slack_idx) = -sign; // surplus (slack if flipped)
+                slack_idx += 1;
+            }
+            Relation::Eq => {}
+        }
+        // Artificial variable for every row keeps the construction simple
+        // and uniform; phase 1 removes them.
+        *t.at_mut(i, nstruct + i) = 1.0;
+        t.basis[i] = nstruct + i;
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_cost = vec![0.0; n];
+    for c in phase1_cost.iter_mut().skip(nstruct) {
+        *c = 1.0;
+    }
+    t.price(&phase1_cost);
+    t.optimize(n)?;
+    // zrow[n] holds z − 0 = c_B·b = current phase-1 objective.
+    if t.zrow[n].abs() > 1e-7 {
+        return Err(LpError::Infeasible);
+    }
+
+    // Drive any remaining artificial variables out of the basis.
+    for i in 0..m {
+        if t.basis[i] >= nstruct {
+            if let Some(col) = (0..nstruct).find(|&j| t.at(i, j).abs() > EPSILON) {
+                t.pivot(i, col);
+            }
+            // If no structural column pivots, the row is redundant
+            // (all-zero); the artificial stays basic at value ~0, which is
+            // harmless as long as phase 2 never lets it grow — enforced by
+            // restricting entering columns to structurals below.
+        }
+    }
+
+    // Phase 2: the real objective over structural columns only.
+    let mut phase2_cost = vec![0.0; n];
+    phase2_cost[..nvars].copy_from_slice(obj);
+    t.price(&phase2_cost);
+    t.optimize(nstruct)?;
+
+    let mut x = vec![0.0; nvars];
+    for i in 0..m {
+        if t.basis[i] < nvars {
+            x[t.basis[i]] = t.rhs(i).max(0.0);
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Problem, Relation};
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    /// Brute-force LP solver for cross-checking: enumerate all basic
+    /// solutions (choices of tight constraints / axes), keep feasible
+    /// ones, return the best objective. Only valid when an optimum exists
+    /// at a vertex, which holds for bounded feasible LPs.
+    fn brute_force_min(obj: &[f64], rows: &[(Vec<f64>, Relation, f64)]) -> Option<f64> {
+        let n = obj.len();
+        // Build the full inequality system: rows plus x_i >= 0.
+        // Each candidate vertex is the solution of n equations chosen from
+        // the system (equalities must always be included).
+        let mut eqs: Vec<(Vec<f64>, f64)> = Vec::new();
+        let mut optional: Vec<(Vec<f64>, f64)> = Vec::new();
+        for (c, r, b) in rows {
+            match r {
+                Relation::Eq => eqs.push((c.clone(), *b)),
+                _ => optional.push((c.clone(), *b)),
+            }
+        }
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            optional.push((e, 0.0));
+        }
+        let need = n.saturating_sub(eqs.len());
+        let mut best: Option<f64> = None;
+        let idx: Vec<usize> = (0..optional.len()).collect();
+        for combo in combinations(&idx, need) {
+            let mut a: Vec<Vec<f64>> = eqs.iter().map(|(c, _)| c.clone()).collect();
+            let mut b: Vec<f64> = eqs.iter().map(|(_, v)| *v).collect();
+            for &i in &combo {
+                a.push(optional[i].0.clone());
+                b.push(optional[i].1);
+            }
+            if let Some(x) = solve_linear(&a, &b) {
+                if feasible(&x, rows) {
+                    let v: f64 = obj.iter().zip(&x).map(|(c, x)| c * x).sum();
+                    best = Some(best.map_or(v, |b: f64| b.min(v)));
+                }
+            }
+        }
+        best
+    }
+
+    fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+        if k == 0 {
+            return vec![vec![]];
+        }
+        if items.len() < k {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for (i, &first) in items.iter().enumerate() {
+            for mut rest in combinations(&items[i + 1..], k - 1) {
+                rest.insert(0, first);
+                out.push(rest);
+            }
+        }
+        out
+    }
+
+    fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+        let n = a.first()?.len();
+        if a.len() != n {
+            return None;
+        }
+        let mut m: Vec<Vec<f64>> = a
+            .iter()
+            .zip(b)
+            .map(|(row, &rhs)| {
+                let mut r = row.clone();
+                r.push(rhs);
+                r
+            })
+            .collect();
+        for col in 0..n {
+            let piv = (col..n).max_by(|&i, &j| {
+                m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
+            })?;
+            if m[piv][col].abs() < 1e-9 {
+                return None;
+            }
+            m.swap(col, piv);
+            let d = m[col][col];
+            for v in m[col][col..=n].iter_mut() {
+                *v /= d;
+            }
+            for i in 0..n {
+                if i != col && m[i][col].abs() > 0.0 {
+                    let f = m[i][col];
+                    let pivot_row = m[col].clone();
+                    for (v, pv) in m[i][col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                        *v -= f * pv;
+                    }
+                }
+            }
+        }
+        Some(m.iter().map(|r| r[n]).collect())
+    }
+
+    fn feasible(x: &[f64], rows: &[(Vec<f64>, Relation, f64)]) -> bool {
+        if x.iter().any(|&v| v < -1e-7) {
+            return false;
+        }
+        rows.iter().all(|(c, r, b)| {
+            let lhs: f64 = c.iter().zip(x).map(|(c, x)| c * x).sum();
+            match r {
+                Relation::Le => lhs <= b + 1e-7,
+                Relation::Ge => lhs >= b - 1e-7,
+                Relation::Eq => (lhs - b).abs() < 1e-7,
+            }
+        })
+    }
+
+    #[test]
+    fn randomized_cross_check_against_vertex_enumeration() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(424242);
+        let mut checked = 0;
+        for _ in 0..200 {
+            let n = rng.random_range(1..=3);
+            let nrows = rng.random_range(1..=3usize);
+            let obj: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let mut rows = Vec::new();
+            for _ in 0..nrows {
+                let coeffs: Vec<f64> =
+                    (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+                let rel = match rng.random_range(0..3) {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                let rhs = rng.random_range(-4.0..4.0);
+                rows.push((coeffs, rel, rhs));
+            }
+            // Bound the region so vertex enumeration is exhaustive.
+            for i in 0..n {
+                let mut c = vec![0.0; n];
+                c[i] = 1.0;
+                rows.push((c, Relation::Le, 10.0));
+            }
+            let mut p = Problem::minimize(&obj);
+            for (c, r, b) in &rows {
+                p.constraint(c, *r, *b).unwrap();
+            }
+            let simplex = p.solve();
+            let brute = brute_force_min(&obj, &rows);
+            match (simplex, brute) {
+                (Ok(s), Some(b)) => {
+                    assert!(
+                        (s.objective() - b).abs() < 1e-5,
+                        "simplex {} vs brute {b} on obj {obj:?} rows {rows:?}",
+                        s.objective()
+                    );
+                    checked += 1;
+                }
+                (Err(LpError::Infeasible), None) => {
+                    checked += 1;
+                }
+                (got, want) => panic!(
+                    "disagreement: simplex {got:?} vs brute {want:?} on obj {obj:?} rows {rows:?}"
+                ),
+            }
+        }
+        assert!(checked >= 150, "too few comparable cases: {checked}");
+    }
+
+    #[test]
+    fn many_variable_probability_program() {
+        // 80 variables, the size the n=5 schedule LP reaches.
+        let n = 80;
+        let costs: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let mut p = Problem::minimize(&costs);
+        p.constraint(&vec![1.0; n], Relation::Eq, 1.0).unwrap();
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        p.constraint(&weights, Relation::Eq, 3.0).unwrap();
+        let s = p.solve().unwrap();
+        let total: f64 = s.values().iter().sum();
+        assert!((total - 1.0).abs() < 1e-7);
+        let mean: f64 = weights
+            .iter()
+            .zip(s.values())
+            .map(|(w, v)| w * v)
+            .sum();
+        assert!((mean - 3.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,109 @@
+//! Frames: the unit of transmission on a simulated link.
+
+use bytes::Bytes;
+
+/// A datagram in flight. Cheaply cloneable (the payload is an [`Bytes`]
+/// handle).
+///
+/// # Examples
+///
+/// ```
+/// use mcss_netsim::Frame;
+///
+/// let f = Frame::new(vec![1, 2, 3]);
+/// assert_eq!(f.len(), 3);
+/// assert_eq!(f.payload(), &[1, 2, 3][..]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    payload: Bytes,
+}
+
+impl Frame {
+    /// Wraps a payload into a frame.
+    #[must_use]
+    pub fn new(payload: impl Into<Bytes>) -> Self {
+        Frame {
+            payload: payload.into(),
+        }
+    }
+
+    /// The payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Consumes the frame, returning the payload handle.
+    #[must_use]
+    pub fn into_payload(self) -> Bytes {
+        self.payload
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Payload size in bits (excluding per-link framing overhead, which
+    /// the link adds per its [`LinkConfig`](crate::LinkConfig)).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.payload.len() as u64 * 8
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(v: Vec<u8>) -> Self {
+        Frame::new(v)
+    }
+}
+
+impl From<Bytes> for Frame {
+    fn from(b: Bytes) -> Self {
+        Frame { payload: b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let f = Frame::new(vec![9u8; 100]);
+        assert_eq!(f.len(), 100);
+        assert_eq!(f.bits(), 800);
+        assert!(!f.is_empty());
+        assert_eq!(f.clone().into_payload().len(), 100);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = Frame::new(Vec::new());
+        assert!(f.is_empty());
+        assert_eq!(f.bits(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Frame = vec![1u8, 2].into();
+        let b: Frame = Bytes::from_static(&[1u8, 2]).into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clones_share_payload() {
+        let f = Frame::new(vec![0u8; 1024]);
+        let g = f.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(f.payload().as_ptr(), g.payload().as_ptr());
+    }
+}

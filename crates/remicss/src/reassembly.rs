@@ -1,0 +1,396 @@
+//! Receiver-side share reassembly (§V).
+//!
+//! Without reliable share transport, shares of many symbols are in flight
+//! at once: loss, reordering, and differing channel rates interleave
+//! them arbitrarily. The receiver buffers partial symbols in a table and,
+//! borrowing from IP fragment reassembly, bounds that table two ways:
+//!
+//! * **timeout eviction** — a partial symbol older than the timeout is
+//!   abandoned (its remaining shares are presumed lost);
+//! * **memory cap** — when buffered share bytes exceed the cap, the
+//!   oldest partial symbols are evicted first.
+//!
+//! Completed symbols are remembered briefly so that late duplicate
+//! shares are recognized as stale rather than re-buffered.
+
+use std::collections::{HashMap, VecDeque};
+
+use mcss_netsim::SimTime;
+use mcss_shamir::{reconstruct, Share};
+
+use crate::wire::ShareFrame;
+
+/// Outcome of offering one share frame to the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Accept {
+    /// The share was buffered; the symbol is still incomplete.
+    Stored,
+    /// The share completed its symbol; here is the reconstructed payload.
+    Completed(Vec<u8>),
+    /// A share with this abscissa was already buffered for this symbol.
+    Duplicate,
+    /// The symbol was already completed or evicted; the share is stale.
+    Stale,
+    /// The share disagreed with its siblings (length or threshold) and
+    /// was rejected.
+    Inconsistent,
+}
+
+/// Counters kept by the reassembly table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReassemblyStats {
+    /// Symbols successfully reconstructed.
+    pub completed: u64,
+    /// Partial symbols evicted by the timeout.
+    pub timeout_evictions: u64,
+    /// Partial symbols evicted by the memory cap.
+    pub memory_evictions: u64,
+    /// Duplicate shares discarded.
+    pub duplicates: u64,
+    /// Stale shares (for already-completed or evicted symbols).
+    pub stale: u64,
+    /// Shares rejected for disagreeing with buffered siblings.
+    pub inconsistent: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    k: u8,
+    shares: Vec<Share>,
+    first_seen: SimTime,
+    bytes: usize,
+}
+
+/// The share reassembly table.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_remicss::{reassembly::{Accept, ReassemblyTable}, wire::ShareFrame};
+/// use mcss_netsim::SimTime;
+/// use mcss_shamir::{split, Params};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = ReassemblyTable::new(SimTime::from_millis(100), 1 << 20);
+/// let shares = split(b"secret", Params::new(2, 3)?, &mut rand::rng())?;
+/// let f0 = ShareFrame::new(0, 2, 3, shares[0].x(), 0, shares[0].data().to_vec())?;
+/// let f1 = ShareFrame::new(0, 2, 3, shares[1].x(), 0, shares[1].data().to_vec())?;
+/// assert_eq!(table.accept(&f0, SimTime::ZERO), Accept::Stored);
+/// let Accept::Completed(payload) = table.accept(&f1, SimTime::ZERO) else {
+///     panic!("second share should complete a 2-of-3 symbol");
+/// };
+/// assert_eq!(payload, b"secret");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReassemblyTable {
+    timeout: SimTime,
+    capacity_bytes: usize,
+    buffered_bytes: usize,
+    pending: HashMap<u64, Pending>,
+    /// Insertion order of pending symbols, for oldest-first memory
+    /// eviction (may contain ids already completed or evicted).
+    order: VecDeque<u64>,
+    /// Recently completed or evicted symbols and when they resolved.
+    resolved: HashMap<u64, SimTime>,
+    stats: ReassemblyStats,
+}
+
+impl ReassemblyTable {
+    /// Creates a table with the given eviction timeout and memory cap.
+    #[must_use]
+    pub fn new(timeout: SimTime, capacity_bytes: usize) -> Self {
+        ReassemblyTable {
+            timeout,
+            capacity_bytes,
+            buffered_bytes: 0,
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            resolved: HashMap::new(),
+            stats: ReassemblyStats::default(),
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> ReassemblyStats {
+        self.stats
+    }
+
+    /// Number of partial symbols currently buffered.
+    #[must_use]
+    pub fn pending_symbols(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffered share bytes.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered_bytes
+    }
+
+    /// Offers a share frame to the table at time `now`.
+    pub fn accept(&mut self, frame: &ShareFrame, now: SimTime) -> Accept {
+        let seq = frame.seq();
+        if self.resolved.contains_key(&seq) {
+            self.stats.stale += 1;
+            return Accept::Stale;
+        }
+        let share = Share::new(frame.x(), frame.k(), frame.payload().to_vec());
+        match self.pending.get_mut(&seq) {
+            None => {
+                if frame.k() == 1 {
+                    // Threshold 1: the share is the symbol.
+                    let payload = share.into_data();
+                    self.resolve(seq, now);
+                    self.stats.completed += 1;
+                    return Accept::Completed(payload);
+                }
+                let bytes = frame.payload().len();
+                self.make_room(bytes);
+                self.pending.insert(
+                    seq,
+                    Pending {
+                        k: frame.k(),
+                        shares: vec![share],
+                        first_seen: now,
+                        bytes,
+                    },
+                );
+                self.order.push_back(seq);
+                self.buffered_bytes += bytes;
+                Accept::Stored
+            }
+            Some(p) => {
+                if p.k != frame.k()
+                    || p.shares
+                        .first()
+                        .is_some_and(|s| s.data().len() != frame.payload().len())
+                {
+                    self.stats.inconsistent += 1;
+                    return Accept::Inconsistent;
+                }
+                if p.shares.iter().any(|s| s.x() == frame.x()) {
+                    self.stats.duplicates += 1;
+                    return Accept::Duplicate;
+                }
+                p.shares.push(share);
+                self.buffered_bytes += frame.payload().len();
+                p.bytes += frame.payload().len();
+                if p.shares.len() >= p.k as usize {
+                    let p = self.pending.remove(&seq).expect("just seen");
+                    self.buffered_bytes -= p.bytes;
+                    self.resolve(seq, now);
+                    match reconstruct(&p.shares) {
+                        Ok(payload) => {
+                            self.stats.completed += 1;
+                            Accept::Completed(payload)
+                        }
+                        Err(_) => {
+                            self.stats.inconsistent += 1;
+                            Accept::Inconsistent
+                        }
+                    }
+                } else {
+                    Accept::Stored
+                }
+            }
+        }
+    }
+
+    /// Evicts timed-out partial symbols and prunes stale resolution
+    /// records. Call periodically (the session does so on a timer).
+    pub fn sweep(&mut self, now: SimTime) {
+        let timeout = self.timeout;
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now.saturating_sub(p.first_seen) > timeout)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in expired {
+            let p = self.pending.remove(&seq).expect("listed above");
+            self.buffered_bytes -= p.bytes;
+            self.resolve(seq, now);
+            self.stats.timeout_evictions += 1;
+        }
+        // Forget resolutions old enough that no share can still arrive
+        // (keep them one extra timeout beyond the eviction horizon).
+        let horizon = self.timeout * 2;
+        self.resolved
+            .retain(|_, &mut t| now.saturating_sub(t) <= horizon);
+        self.order.retain(|seq| self.pending.contains_key(seq));
+    }
+
+    fn resolve(&mut self, seq: u64, now: SimTime) {
+        self.resolved.insert(seq, now);
+    }
+
+    /// Evicts oldest partial symbols until `incoming` more bytes fit
+    /// under the cap.
+    fn make_room(&mut self, incoming: usize) {
+        while self.buffered_bytes + incoming > self.capacity_bytes {
+            // Oldest still-pending symbol.
+            let Some(seq) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(p) = self.pending.remove(&seq) {
+                self.buffered_bytes -= p.bytes;
+                let at = p.first_seen;
+                self.resolve(seq, at);
+                self.stats.memory_evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcss_shamir::{split, Params};
+    use rand::SeedableRng;
+
+    fn frames(seq: u64, k: u8, m: u8, payload: &[u8]) -> Vec<ShareFrame> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seq + 1);
+        let shares = split(payload, Params::new(k, m).unwrap(), &mut rng).unwrap();
+        shares
+            .iter()
+            .map(|s| ShareFrame::new(seq, k, m, s.x(), 0, s.data().to_vec()).unwrap())
+            .collect()
+    }
+
+    fn table() -> ReassemblyTable {
+        ReassemblyTable::new(SimTime::from_millis(100), 1 << 20)
+    }
+
+    #[test]
+    fn completes_at_threshold() {
+        let mut t = table();
+        let fs = frames(1, 3, 5, b"payload");
+        assert_eq!(t.accept(&fs[0], SimTime::ZERO), Accept::Stored);
+        assert_eq!(t.accept(&fs[2], SimTime::ZERO), Accept::Stored);
+        let Accept::Completed(p) = t.accept(&fs[4], SimTime::ZERO) else {
+            panic!("3rd share must complete");
+        };
+        assert_eq!(p, b"payload");
+        assert_eq!(t.stats().completed, 1);
+        assert_eq!(t.pending_symbols(), 0);
+        assert_eq!(t.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn threshold_one_completes_immediately() {
+        let mut t = table();
+        let fs = frames(9, 1, 3, b"now");
+        let Accept::Completed(p) = t.accept(&fs[1], SimTime::ZERO) else {
+            panic!("k=1 completes on first share");
+        };
+        assert_eq!(p, b"now");
+    }
+
+    #[test]
+    fn late_shares_are_stale() {
+        let mut t = table();
+        let fs = frames(2, 2, 3, b"xy");
+        t.accept(&fs[0], SimTime::ZERO);
+        t.accept(&fs[1], SimTime::ZERO);
+        assert_eq!(t.accept(&fs[2], SimTime::ZERO), Accept::Stale);
+        assert_eq!(t.stats().stale, 1);
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let mut t = table();
+        let fs = frames(3, 3, 3, b"dup");
+        t.accept(&fs[0], SimTime::ZERO);
+        assert_eq!(t.accept(&fs[0], SimTime::ZERO), Accept::Duplicate);
+        assert_eq!(t.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn inconsistent_share_rejected() {
+        let mut t = table();
+        let fs = frames(4, 2, 3, b"abcd");
+        t.accept(&fs[0], SimTime::ZERO);
+        // Same seq, different k.
+        let alien = ShareFrame::new(4, 3, 3, 2, 0, vec![0u8; 4]).unwrap();
+        assert_eq!(t.accept(&alien, SimTime::ZERO), Accept::Inconsistent);
+        // Same seq, different length.
+        let alien = ShareFrame::new(4, 2, 3, 2, 0, vec![0u8; 9]).unwrap();
+        assert_eq!(t.accept(&alien, SimTime::ZERO), Accept::Inconsistent);
+        assert_eq!(t.stats().inconsistent, 2);
+    }
+
+    #[test]
+    fn timeout_evicts_partials() {
+        let mut t = ReassemblyTable::new(SimTime::from_millis(10), 1 << 20);
+        let fs = frames(5, 2, 3, b"slow");
+        t.accept(&fs[0], SimTime::ZERO);
+        t.sweep(SimTime::from_millis(5));
+        assert_eq!(t.pending_symbols(), 1, "not yet timed out");
+        t.sweep(SimTime::from_millis(11));
+        assert_eq!(t.pending_symbols(), 0);
+        assert_eq!(t.stats().timeout_evictions, 1);
+        // A share arriving after eviction is stale.
+        assert_eq!(t.accept(&fs[1], SimTime::from_millis(12)), Accept::Stale);
+    }
+
+    #[test]
+    fn memory_cap_evicts_oldest() {
+        // Cap of 100 bytes; 40-byte shares.
+        let mut t = ReassemblyTable::new(SimTime::from_secs(1), 100);
+        let a = frames(10, 2, 2, &[1u8; 40]);
+        let b = frames(11, 2, 2, &[2u8; 40]);
+        let c = frames(12, 2, 2, &[3u8; 40]);
+        t.accept(&a[0], SimTime::ZERO);
+        t.accept(&b[0], SimTime::from_nanos(1));
+        assert_eq!(t.buffered_bytes(), 80);
+        // Third symbol exceeds the cap: symbol 10 (oldest) is evicted.
+        t.accept(&c[0], SimTime::from_nanos(2));
+        assert_eq!(t.stats().memory_evictions, 1);
+        assert_eq!(t.buffered_bytes(), 80);
+        assert_eq!(t.accept(&a[1], SimTime::from_nanos(3)), Accept::Stale);
+        // Symbols 11 and 12 still complete.
+        assert!(matches!(
+            t.accept(&b[1], SimTime::from_nanos(4)),
+            Accept::Completed(_)
+        ));
+        assert!(matches!(
+            t.accept(&c[1], SimTime::from_nanos(5)),
+            Accept::Completed(_)
+        ));
+    }
+
+    #[test]
+    fn resolved_records_pruned() {
+        let mut t = ReassemblyTable::new(SimTime::from_millis(10), 1 << 20);
+        let fs = frames(20, 1, 1, b"x");
+        t.accept(&fs[0], SimTime::ZERO);
+        // After 2× timeout the resolution record is pruned, so a late
+        // duplicate is treated as a fresh symbol (and completes again,
+        // as in IP reassembly where the id space is reused).
+        t.sweep(SimTime::from_millis(25));
+        assert!(matches!(
+            t.accept(&fs[0], SimTime::from_millis(26)),
+            Accept::Completed(_)
+        ));
+    }
+
+    #[test]
+    fn interleaved_symbols_reassemble() {
+        let mut t = table();
+        let a = frames(30, 2, 3, b"AAAA");
+        let b = frames(31, 2, 3, b"BBBB");
+        t.accept(&a[0], SimTime::ZERO);
+        t.accept(&b[2], SimTime::ZERO);
+        assert_eq!(t.pending_symbols(), 2);
+        let Accept::Completed(pb) = t.accept(&b[0], SimTime::ZERO) else {
+            panic!()
+        };
+        let Accept::Completed(pa) = t.accept(&a[1], SimTime::ZERO) else {
+            panic!()
+        };
+        assert_eq!((pa.as_slice(), pb.as_slice()), (&b"AAAA"[..], &b"BBBB"[..]));
+    }
+}

@@ -1,0 +1,772 @@
+//! The end-to-end protocol session: a [`mcss_netsim::Application`]
+//! joining a paced symbol source, the ReMICSS sender, and the receiver.
+//!
+//! Two workloads mirror the paper's measurements:
+//!
+//! * [`Workload::Cbr`] — `iperf`-style: host A offers symbols at a fixed
+//!   rate for a fixed duration; host B reports achieved rate and loss
+//!   (Figures 3, 5, 6, 7).
+//! * [`Workload::Echo`] — the RTT utility: completed symbols are sent
+//!   back *through the protocol* and host A records round-trip times;
+//!   one-way delay is RTT/2 (Figure 4).
+
+use mcss_netsim::traffic::Pacer;
+use mcss_netsim::stats::{DelaySummary, ThroughputMeter};
+use mcss_netsim::{
+    Application, ChannelId, Context, Endpoint, Frame, SendOutcome, SimTime,
+};
+use mcss_shamir::{split, Params};
+
+use crate::adaptive::AdaptiveController;
+use crate::config::{ProtocolConfig, SchedulerKind};
+use crate::cpu::CpuClock;
+use crate::reassembly::{Accept, ReassemblyTable, ReassemblyStats};
+use crate::scheduler::{
+    ChannelState, DynamicScheduler, RoundRobinScheduler, Scheduler, StaticScheduler,
+};
+use crate::wire::{self, ControlFrame, ShareFrame};
+
+const TIMER_SOURCE: u64 = 0;
+const TIMER_SWEEP: u64 = 1;
+const TIMER_FEEDBACK: u64 = 2;
+
+/// How often the receiver reports its delivery count back to the sender
+/// when adaptation is enabled.
+const FEEDBACK_PERIOD: SimTime = SimTime::from_millis(50);
+
+/// The traffic pattern a session runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Constant symbol rate from A to B for `duration`.
+    Cbr {
+        /// Offered source symbols per second.
+        symbol_rate: f64,
+        /// Sending window.
+        duration: SimTime,
+    },
+    /// Constant symbol rate from A, echoed back by B through the
+    /// protocol; A records round-trip times.
+    Echo {
+        /// Offered source symbols per second.
+        symbol_rate: f64,
+        /// Sending window.
+        duration: SimTime,
+    },
+}
+
+impl Workload {
+    /// A CBR workload.
+    #[must_use]
+    pub fn cbr(symbol_rate: f64, duration: SimTime) -> Self {
+        Workload::Cbr {
+            symbol_rate,
+            duration,
+        }
+    }
+
+    /// An echo workload.
+    #[must_use]
+    pub fn echo(symbol_rate: f64, duration: SimTime) -> Self {
+        Workload::Echo {
+            symbol_rate,
+            duration,
+        }
+    }
+
+    fn symbol_rate(&self) -> f64 {
+        match *self {
+            Workload::Cbr { symbol_rate, .. } | Workload::Echo { symbol_rate, .. } => symbol_rate,
+        }
+    }
+
+    fn duration(&self) -> SimTime {
+        match *self {
+            Workload::Cbr { duration, .. } | Workload::Echo { duration, .. } => duration,
+        }
+    }
+}
+
+/// Everything a finished session reports — the numbers the paper's
+/// figures are made of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionReport {
+    /// Symbols the source offered.
+    pub offered_symbols: u64,
+    /// Symbols actually split and transmitted.
+    pub sent_symbols: u64,
+    /// Symbols reconstructed at the receiver within the window.
+    pub delivered_symbols: u64,
+    /// Reconstructed symbols whose payload failed verification
+    /// (must be zero: Shamir reconstruction is exact).
+    pub corrupted_symbols: u64,
+    /// Achieved payload throughput, bits per second over the window.
+    pub achieved_payload_bps: f64,
+    /// Achieved symbol rate over the window.
+    pub achieved_symbol_rate: f64,
+    /// Symbol loss fraction: `1 − (eventually delivered) / sent`.
+    /// Counted against *all* deliveries (even after the measurement
+    /// window) so that in-flight symbols at window end do not read as
+    /// lost; run the simulation past the window before reporting.
+    pub loss_fraction: f64,
+    /// Mean one-way symbol latency (send to reconstruction).
+    pub mean_one_way_delay: Option<SimTime>,
+    /// Mean protocol round-trip time (echo workload only).
+    pub mean_rtt: Option<SimTime>,
+    /// Mean threshold over sent symbols (should approach κ).
+    pub mean_k: f64,
+    /// Mean multiplicity over sent symbols (should approach μ).
+    pub mean_m: f64,
+    /// Share frames rejected by local channel queues.
+    pub send_queue_drops: u64,
+    /// Symbols shed by the sender CPU model.
+    pub sender_cpu_shed: u64,
+    /// Symbols shed by the receiver CPU model.
+    pub receiver_cpu_shed: u64,
+    /// Undecodable frames received (must be zero in the simulator).
+    pub wire_errors: u64,
+    /// Receiver reassembly-table counters.
+    pub reassembly: ReassemblyStats,
+    /// Final operating `μ` of the adaptive controller, if enabled.
+    pub adaptive_final_mu: Option<f64>,
+    /// Number of `μ` adjustments the adaptive controller made.
+    pub adaptive_adjustments: u64,
+}
+
+/// A running protocol session between hosts A and B.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct Session {
+    config: ProtocolConfig,
+    n: usize,
+    workload: Workload,
+    scheduler_a: Box<dyn Scheduler>,
+    scheduler_b: Box<dyn Scheduler>,
+    table_a: ReassemblyTable,
+    table_b: ReassemblyTable,
+    pacer: Pacer,
+    next_seq: u64,
+    offered: u64,
+    sent: u64,
+    sum_k: u64,
+    sum_m: u64,
+    meter: ThroughputMeter,
+    delivered_window: u64,
+    delivered_total: u64,
+    delay: DelaySummary,
+    rtt: DelaySummary,
+    corrupted: u64,
+    send_queue_drops: u64,
+    wire_errors: u64,
+    cpu_a: CpuClock,
+    cpu_b: CpuClock,
+    adaptive: Option<AdaptiveController>,
+    feedback_epoch: u32,
+    last_epoch_seen: Option<u32>,
+    last_feedback_delivered: u64,
+    last_feedback_sent: u64,
+}
+
+impl core::fmt::Debug for Session {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("n", &self.n)
+            .field("workload", &self.workload)
+            .field("sent", &self.sent)
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_scheduler(
+    kind: &SchedulerKind,
+    kappa: f64,
+    mu: f64,
+    n: usize,
+) -> Result<Box<dyn Scheduler>, mcss_core::ModelError> {
+    Ok(match kind {
+        SchedulerKind::Dynamic => Box::new(DynamicScheduler::new(kappa, mu, n)?),
+        SchedulerKind::Static(schedule) => Box::new(StaticScheduler::new(schedule.clone())),
+        SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new(kappa, mu, n)?),
+    })
+}
+
+/// Deterministic payload pattern, verified at the receiver.
+fn pattern(seq: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seq.wrapping_mul(31).wrapping_add(i as u64) & 0xff) as u8)
+        .collect()
+}
+
+impl Session {
+    /// Builds a session for `n` channels.
+    ///
+    /// # Errors
+    ///
+    /// [`mcss_core::ModelError::InvalidParameters`] if the config's
+    /// `(κ, μ)` are invalid for `n` channels.
+    pub fn new(
+        config: ProtocolConfig,
+        n: usize,
+        workload: Workload,
+    ) -> Result<Self, mcss_core::ModelError> {
+        let scheduler_a = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
+        let scheduler_b = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
+        let adaptive = match config.adaptive_target() {
+            None => None,
+            Some(target) => {
+                if !matches!(config.scheduler(), SchedulerKind::Dynamic) {
+                    // Adaptation rewrites the dynamic sampler's mu; it is
+                    // meaningless for externally fixed schedules.
+                    return Err(mcss_core::ModelError::InvalidParameters {
+                        kappa: config.kappa(),
+                        mu: config.mu(),
+                        n,
+                    });
+                }
+                Some(AdaptiveController::new(
+                    config.kappa(),
+                    config.mu(),
+                    n,
+                    target,
+                )?)
+            }
+        };
+        let table = || {
+            ReassemblyTable::new(
+                config.reassembly_timeout(),
+                config.reassembly_capacity_bytes(),
+            )
+        };
+        Ok(Session {
+            scheduler_a,
+            scheduler_b,
+            table_a: table(),
+            table_b: table(),
+            pacer: Pacer::new(workload.symbol_rate(), 1),
+            next_seq: 0,
+            offered: 0,
+            sent: 0,
+            sum_k: 0,
+            sum_m: 0,
+            meter: ThroughputMeter::new(),
+            delivered_window: 0,
+            delivered_total: 0,
+            delay: DelaySummary::new(),
+            rtt: DelaySummary::new(),
+            corrupted: 0,
+            send_queue_drops: 0,
+            wire_errors: 0,
+            cpu_a: CpuClock::new(),
+            cpu_b: CpuClock::new(),
+            adaptive,
+            feedback_epoch: 0,
+            last_epoch_seen: None,
+            last_feedback_delivered: 0,
+            last_feedback_sent: 0,
+            config,
+            n,
+            workload,
+        })
+    }
+
+    /// The session's report over a measurement `window` (typically the
+    /// workload duration).
+    #[must_use]
+    pub fn report(&self, window: SimTime) -> SessionReport {
+        let delivered = self.delivered_window;
+        SessionReport {
+            offered_symbols: self.offered,
+            sent_symbols: self.sent,
+            delivered_symbols: delivered,
+            corrupted_symbols: self.corrupted,
+            achieved_payload_bps: self.meter.rate_bps(window),
+            achieved_symbol_rate: delivered as f64 / window.as_secs_f64(),
+            loss_fraction: if self.sent == 0 {
+                0.0
+            } else {
+                1.0 - self.delivered_total as f64 / self.sent as f64
+            },
+            mean_one_way_delay: self.delay.mean(),
+            mean_rtt: self.rtt.mean(),
+            mean_k: if self.sent == 0 {
+                0.0
+            } else {
+                self.sum_k as f64 / self.sent as f64
+            },
+            mean_m: if self.sent == 0 {
+                0.0
+            } else {
+                self.sum_m as f64 / self.sent as f64
+            },
+            send_queue_drops: self.send_queue_drops,
+            sender_cpu_shed: self.cpu_a.shed(),
+            receiver_cpu_shed: self.cpu_b.shed(),
+            wire_errors: self.wire_errors,
+            reassembly: self.table_b.stats(),
+            adaptive_final_mu: self.adaptive.as_ref().map(AdaptiveController::mu),
+            adaptive_adjustments: self
+                .adaptive
+                .as_ref()
+                .map_or(0, AdaptiveController::adjustments),
+        }
+    }
+
+    /// The adaptive controller's state, if adaptation is enabled.
+    #[must_use]
+    pub fn adaptive(&self) -> Option<&AdaptiveController> {
+        self.adaptive.as_ref()
+    }
+
+    /// Splits and transmits one symbol from `from`. Returns `false` if
+    /// the symbol was shed by the CPU model before transmission.
+    fn transmit(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: Endpoint,
+        seq: u64,
+        stamp: u64,
+        payload: &[u8],
+    ) -> bool {
+        let backlogs: Vec<SimTime> = (0..self.n).map(|i| ctx.backlog(i, from)).collect();
+        let state = ChannelState::new(&backlogs, self.config.readiness_threshold());
+        let scheduler = match from {
+            Endpoint::A => &mut self.scheduler_a,
+            Endpoint::B => &mut self.scheduler_b,
+        };
+        let choice = scheduler.choose(&state, ctx.rng());
+        let m = choice.channels.len();
+        if let Some(cpu) = self.config.cpu() {
+            let cost = cpu.send_cost(m, payload.len());
+            let clock = match from {
+                Endpoint::A => &mut self.cpu_a,
+                Endpoint::B => &mut self.cpu_b,
+            };
+            if !clock.try_charge(ctx.now(), cost, cpu) {
+                return false;
+            }
+        }
+        let params = Params::new(choice.k, m as u8).expect("scheduler guarantees k <= m");
+        let shares = split(payload, params, ctx.rng()).expect("split cannot fail");
+        if from == Endpoint::A {
+            self.sum_k += u64::from(choice.k);
+            self.sum_m += m as u64;
+        }
+        for (share, &channel) in shares.iter().zip(&choice.channels) {
+            let frame = ShareFrame::new(
+                seq,
+                choice.k,
+                m as u8,
+                share.x(),
+                stamp,
+                share.data().to_vec(),
+            )
+            .expect("share parameters validated");
+            if ctx.send(channel, from, Frame::new(frame.encode())) == SendOutcome::Dropped {
+                self.send_queue_drops += 1;
+            }
+        }
+        true
+    }
+
+    fn on_source_tick(&mut self, ctx: &mut Context<'_>) {
+        if ctx.now() >= self.workload.duration() {
+            return;
+        }
+        self.offered += 1;
+        let seq = self.next_seq;
+        let payload = pattern(seq, self.config.symbol_bytes());
+        let stamp = ctx.now().as_nanos();
+        if self.transmit(ctx, Endpoint::A, seq, stamp, &payload) {
+            self.next_seq += 1;
+            self.sent += 1;
+        }
+        let next = self.pacer.next_tick();
+        ctx.set_timer(next, TIMER_SOURCE);
+    }
+
+    fn sweep_period(&self) -> SimTime {
+        SimTime::from_nanos(
+            (self.config.reassembly_timeout().as_nanos() / 4).max(1_000_000),
+        )
+    }
+
+    fn on_deliver_at_b(&mut self, ctx: &mut Context<'_>, frame: ShareFrame) {
+        let seq = frame.seq();
+        let k = frame.k() as usize;
+        let stamp = frame.sent_at_nanos();
+        if let Accept::Completed(payload) = self.table_b.accept(&frame, ctx.now()) {
+            if let Some(cpu) = self.config.cpu() {
+                let cost = cpu.recv_cost(k, payload.len());
+                if !self.cpu_b.try_charge(ctx.now(), cost, cpu) {
+                    return; // receiver saturated: symbol dropped
+                }
+            }
+            if payload != pattern(seq, payload.len()) {
+                self.corrupted += 1;
+                return;
+            }
+            self.delivered_total += 1;
+            let window = self.workload.duration();
+            if ctx.now() <= window {
+                self.delivered_window += 1;
+                self.meter.record(ctx.now(), (payload.len() * 8) as u64);
+                self.delay
+                    .record(ctx.now() - SimTime::from_nanos(stamp));
+            }
+            if matches!(self.workload, Workload::Echo { .. }) {
+                // Bounce the symbol back through the protocol, keeping
+                // the original timestamp so A measures full protocol RTT.
+                self.transmit(ctx, Endpoint::B, seq, stamp, &payload);
+            }
+        }
+    }
+
+    fn on_deliver_at_a(&mut self, ctx: &mut Context<'_>, frame: ShareFrame) {
+        let stamp = frame.sent_at_nanos();
+        if let Accept::Completed(payload) = self.table_a.accept(&frame, ctx.now()) {
+            if let Some(cpu) = self.config.cpu() {
+                let cost = cpu.recv_cost(frame.k() as usize, payload.len());
+                if !self.cpu_a.try_charge(ctx.now(), cost, cpu) {
+                    return;
+                }
+            }
+            self.rtt.record(ctx.now() - SimTime::from_nanos(stamp));
+        }
+    }
+}
+
+impl Session {
+    fn send_feedback(&mut self, ctx: &mut Context<'_>) {
+        self.feedback_epoch += 1;
+        let frame = ControlFrame::new(self.feedback_epoch, self.delivered_total);
+        // Tiny frame, sent on every channel for loss resilience.
+        for ch in 0..self.n {
+            let _ = ctx.send(ch, Endpoint::B, Frame::new(frame.encode()));
+        }
+    }
+
+    fn on_control_at_a(&mut self, ctx: &mut Context<'_>, frame: ControlFrame) {
+        if self.last_epoch_seen.is_some_and(|e| frame.epoch() <= e) {
+            return; // duplicate copy from another channel
+        }
+        self.last_epoch_seen = Some(frame.epoch());
+        let delivered = frame.delivered().saturating_sub(self.last_feedback_delivered);
+        let sent = self.sent.saturating_sub(self.last_feedback_sent);
+        self.last_feedback_delivered = frame.delivered();
+        self.last_feedback_sent = self.sent;
+        let Some(ctl) = self.adaptive.as_mut() else {
+            return;
+        };
+        let old_mu = ctl.mu();
+        let new_mu = ctl.observe(delivered, sent);
+        if (new_mu - old_mu).abs() > 1e-12 {
+            self.scheduler_a = Box::new(
+                DynamicScheduler::new(self.config.kappa(), new_mu, self.n)
+                    .expect("controller keeps mu within [kappa, n]"),
+            );
+        }
+        let _ = ctx;
+    }
+}
+
+impl Application for Session {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        assert!(
+            self.config.mu() <= self.n as f64,
+            "config mu exceeds channel count"
+        );
+        let first = self.pacer.next_tick();
+        ctx.set_timer(first, TIMER_SOURCE);
+        let sweep = self.sweep_period();
+        ctx.set_timer(sweep, TIMER_SWEEP);
+        if self.adaptive.is_some() {
+            ctx.set_timer(FEEDBACK_PERIOD, TIMER_FEEDBACK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        match token {
+            TIMER_SOURCE => self.on_source_tick(ctx),
+            TIMER_FEEDBACK => {
+                self.send_feedback(ctx);
+                if ctx.now() < self.workload.duration() {
+                    let next = ctx.now() + FEEDBACK_PERIOD;
+                    ctx.set_timer(next, TIMER_FEEDBACK);
+                }
+            }
+            TIMER_SWEEP => {
+                self.table_a.sweep(ctx.now());
+                self.table_b.sweep(ctx.now());
+                // Keep sweeping a while after sending stops so stragglers
+                // are evicted, then let the simulation drain.
+                if ctx.now()
+                    < self.workload.duration() + self.config.reassembly_timeout() * 4
+                {
+                    let next = ctx.now() + self.sweep_period();
+                    ctx.set_timer(next, TIMER_SWEEP);
+                }
+            }
+            other => panic!("unknown timer token {other}"),
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        ctx: &mut Context<'_>,
+        _channel: ChannelId,
+        to: Endpoint,
+        frame: Frame,
+    ) {
+        match wire::decode_message(frame.payload()) {
+            Err(_) => self.wire_errors += 1,
+            Ok(wire::Message::Share(share_frame)) => match to {
+                Endpoint::B => self.on_deliver_at_b(ctx, share_frame),
+                Endpoint::A => self.on_deliver_at_a(ctx, share_frame),
+            },
+            Ok(wire::Message::Control(control)) => {
+                if to == Endpoint::A {
+                    self.on_control_at_a(ctx, control);
+                }
+                // Control frames arriving at B (echo of our own order)
+                // cannot occur: B only ever sends them.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+    use mcss_core::setups;
+    use mcss_core::ShareSchedule;
+    use mcss_netsim::Simulator;
+
+    fn run(
+        channels: &mcss_core::ChannelSet,
+        config: ProtocolConfig,
+        workload: Workload,
+        seed: u64,
+    ) -> SessionReport {
+        let window = workload.duration();
+        let net = testbed::network_for(channels, &config);
+        let session = Session::new(config, channels.len(), workload).unwrap();
+        let mut sim = Simulator::new(net, session, seed);
+        sim.run_until(window + SimTime::from_secs(2));
+        sim.app().report(window)
+    }
+
+    #[test]
+    fn cbr_on_clean_channels_delivers_everything() {
+        let channels = setups::diverse();
+        let config = ProtocolConfig::new(2.0, 3.0).unwrap();
+        let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_millis(500)),
+            1,
+        );
+        assert!(r.offered_symbols > 100);
+        assert_eq!(r.offered_symbols, r.sent_symbols);
+        assert_eq!(r.corrupted_symbols, 0);
+        assert_eq!(r.wire_errors, 0);
+        assert!(
+            r.loss_fraction < 0.01,
+            "clean channels lost {}",
+            r.loss_fraction
+        );
+        // Dynamic scheduler respects the configured means.
+        assert!((r.mean_k - 2.0).abs() < 0.05, "mean k {}", r.mean_k);
+        assert!((r.mean_m - 3.0).abs() < 0.05, "mean m {}", r.mean_m);
+    }
+
+    #[test]
+    fn achieved_rate_tracks_offered_when_undersubscribed() {
+        let channels = setups::identical(100.0);
+        let config = ProtocolConfig::new(1.0, 2.0).unwrap();
+        let opt = testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let offered = 0.6 * opt;
+        let r = run(
+            &channels,
+            config.clone(),
+            Workload::cbr(offered, SimTime::from_millis(500)),
+            2,
+        );
+        let expected_bps = testbed::payload_bps(offered, &config);
+        assert!(
+            (r.achieved_payload_bps - expected_bps).abs() / expected_bps < 0.05,
+            "achieved {} vs offered {expected_bps}",
+            r.achieved_payload_bps
+        );
+    }
+
+    #[test]
+    fn lossy_channels_lose_roughly_the_subset_loss() {
+        // κ = m = 5 on the Lossy setup: symbol lost if ANY share lost.
+        let channels = setups::lossy();
+        let config = ProtocolConfig::new(5.0, 5.0).unwrap();
+        let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_secs(4)),
+            3,
+        );
+        // l(5, C) = 1 − Π(1−lᵢ) ≈ 7.3%; ~1570 symbols give σ ≈ 0.7%.
+        let expect: f64 =
+            1.0 - setups::LOSSY_LOSS.iter().map(|l| 1.0 - l).product::<f64>();
+        assert!(
+            (r.loss_fraction - expect).abs() < 0.025,
+            "loss {} expected ~{expect}",
+            r.loss_fraction
+        );
+    }
+
+    #[test]
+    fn redundancy_masks_loss() {
+        // κ = 1, μ = 5: symbol survives unless all five shares are lost.
+        let channels = setups::lossy();
+        let config = ProtocolConfig::new(1.0, 5.0).unwrap();
+        let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_secs(1)),
+            4,
+        );
+        assert!(
+            r.loss_fraction < 1e-3,
+            "full redundancy still lost {}",
+            r.loss_fraction
+        );
+    }
+
+    #[test]
+    fn echo_workload_measures_rtt() {
+        let channels = setups::delayed();
+        let config = ProtocolConfig::new(1.0, 1.0).unwrap();
+        let offered = 0.2 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::echo(offered, SimTime::from_millis(500)),
+            5,
+        );
+        let rtt = r.mean_rtt.expect("echo produces RTT samples");
+        // One-way delays range 0.25–12.5 ms; RTT must be within sanity.
+        assert!(rtt >= SimTime::from_micros(400), "rtt {rtt}");
+        assert!(rtt <= SimTime::from_millis(40), "rtt {rtt}");
+    }
+
+    #[test]
+    fn static_scheduler_respects_lp_schedule() {
+        let channels = setups::diverse();
+        let config = ProtocolConfig::new(2.0, 3.0).unwrap();
+        let share_channels =
+            testbed::share_rate_channels(&channels, &config).unwrap();
+        let schedule = mcss_core::lp_schedule::optimal_schedule_at_max_rate(
+            &share_channels,
+            2.0,
+            3.0,
+            mcss_core::lp_schedule::Objective::Privacy,
+        )
+        .unwrap();
+        let config = config.with_scheduler(SchedulerKind::Static(schedule));
+        let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_millis(500)),
+            6,
+        );
+        assert!((r.mean_k - 2.0).abs() < 0.05);
+        assert!((r.mean_m - 3.0).abs() < 0.05);
+        assert!(r.loss_fraction < 0.01);
+    }
+
+    #[test]
+    fn round_robin_scheduler_works() {
+        let channels = setups::identical(50.0);
+        let config =
+            ProtocolConfig::new(2.0, 2.0).unwrap().with_scheduler(SchedulerKind::RoundRobin);
+        let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_millis(300)),
+            7,
+        );
+        assert!(r.delivered_symbols > 0);
+        assert!(r.loss_fraction < 0.01);
+    }
+
+    #[test]
+    fn max_privacy_static_schedule_runs() {
+        let channels = setups::diverse();
+        let config = ProtocolConfig::new(5.0, 5.0)
+            .unwrap()
+            .with_scheduler(SchedulerKind::Static(ShareSchedule::max_privacy(5)));
+        let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_millis(300)),
+            8,
+        );
+        assert_eq!(r.mean_k, 5.0);
+        assert_eq!(r.mean_m, 5.0);
+        assert!(r.loss_fraction < 0.01);
+    }
+
+    #[test]
+    fn cpu_model_caps_throughput() {
+        let channels = setups::identical(800.0);
+        let base = ProtocolConfig::new(1.0, 1.0).unwrap();
+        let offered = testbed::optimal_symbol_rate(&channels, &base).unwrap();
+        // Without CPU model: near wire rate. With: capped well below.
+        let free = run(
+            &channels,
+            base.clone(),
+            Workload::cbr(offered, SimTime::from_millis(300)),
+            9,
+        );
+        let capped_cfg = base.with_cpu_model(crate::cpu::CpuModel::paper_testbed());
+        let capped = run(
+            &channels,
+            capped_cfg,
+            Workload::cbr(offered, SimTime::from_millis(300)),
+            9,
+        );
+        assert!(
+            capped.achieved_payload_bps < 0.5 * free.achieved_payload_bps,
+            "cpu cap ineffective: {} vs {}",
+            capped.achieved_payload_bps,
+            free.achieved_payload_bps
+        );
+        assert!(capped.sender_cpu_shed > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let channels = setups::lossy();
+        let mk = || ProtocolConfig::new(2.0, 3.5).unwrap();
+        let w = Workload::cbr(1000.0, SimTime::from_millis(300));
+        let a = run(&channels, mk(), w, 77);
+        let b = run(&channels, mk(), w, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_zero_sent_is_safe() {
+        let s = Session::new(
+            ProtocolConfig::new(1.0, 1.0).unwrap(),
+            5,
+            Workload::cbr(10.0, SimTime::ZERO),
+        )
+        .unwrap();
+        let r = s.report(SimTime::from_secs(1));
+        assert_eq!(r.mean_k, 0.0);
+        assert_eq!(r.delivered_symbols, 0);
+    }
+}

@@ -1,0 +1,533 @@
+//! The ReMICSS wire format: one share per frame.
+//!
+//! ```text
+//!  0      2    3    4    5    6        8                16               24
+//!  +------+----+----+----+----+--------+----------------+----------------+
+//!  | magic| ver| k  | m  | x  | length | symbol seq     | send timestamp |
+//!  +------+----+----+----+----+--------+----------------+----------------+
+//!  | share payload (length bytes) …                                      |
+//!  +----------------------------------------------------------------------+
+//! ```
+//!
+//! The timestamp carries the sender's clock at symbol transmission and
+//! lets the receiver compute one-way latency without a side channel
+//! (both hosts share the simulated clock).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_BYTES: usize = 24;
+
+/// Frame magic, `b"RM"`.
+pub const MAGIC: [u8; 2] = *b"RM";
+
+/// Protocol version this implementation speaks.
+pub const VERSION: u8 = 1;
+
+/// A decoded share frame.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_remicss::wire::ShareFrame;
+///
+/// let f = ShareFrame::new(7, 2, 3, 1, 123456, vec![0xaa; 16])?;
+/// let encoded = f.encode();
+/// let decoded = ShareFrame::decode(&encoded)?;
+/// assert_eq!(decoded, f);
+/// # Ok::<(), mcss_remicss::wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShareFrame {
+    seq: u64,
+    k: u8,
+    m: u8,
+    x: u8,
+    sent_at_nanos: u64,
+    payload: Bytes,
+}
+
+impl ShareFrame {
+    /// Builds a frame, validating the share parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidShare`] unless `1 ≤ k ≤ m` and `1 ≤ x ≤ m`;
+    /// [`WireError::PayloadTooLarge`] if the payload exceeds `u16::MAX`
+    /// bytes.
+    pub fn new(
+        seq: u64,
+        k: u8,
+        m: u8,
+        x: u8,
+        sent_at_nanos: u64,
+        payload: impl Into<Bytes>,
+    ) -> Result<Self, WireError> {
+        if k == 0 || k > m || x == 0 || x > m {
+            return Err(WireError::InvalidShare { k, m, x });
+        }
+        let payload = payload.into();
+        if payload.len() > u16::MAX as usize {
+            return Err(WireError::PayloadTooLarge {
+                len: payload.len(),
+            });
+        }
+        Ok(ShareFrame {
+            seq,
+            k,
+            m,
+            x,
+            sent_at_nanos,
+            payload,
+        })
+    }
+
+    /// The symbol sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The threshold `k` for this symbol.
+    #[must_use]
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// The multiplicity `m` for this symbol.
+    #[must_use]
+    pub fn m(&self) -> u8 {
+        self.m
+    }
+
+    /// The share abscissa (1-based).
+    #[must_use]
+    pub fn x(&self) -> u8 {
+        self.x
+    }
+
+    /// Sender clock at transmission, in nanoseconds.
+    #[must_use]
+    pub fn sent_at_nanos(&self) -> u64 {
+        self.sent_at_nanos
+    }
+
+    /// The share payload.
+    #[must_use]
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Total encoded size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serializes the frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.k);
+        buf.put_u8(self.m);
+        buf.put_u8(self.x);
+        buf.put_u16(self.payload.len() as u16);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.sent_at_nanos);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a frame.
+    ///
+    /// # Errors
+    ///
+    /// - [`WireError::Truncated`] if the buffer is shorter than the
+    ///   header or the declared payload length.
+    /// - [`WireError::BadMagic`] / [`WireError::BadVersion`] for foreign
+    ///   or future frames.
+    /// - [`WireError::InvalidShare`] for inconsistent `(k, m, x)`.
+    /// - [`WireError::TrailingBytes`] if the buffer is longer than the
+    ///   declared frame.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: HEADER_BYTES,
+            });
+        }
+        if buf[0..2] != MAGIC {
+            return Err(WireError::BadMagic {
+                found: [buf[0], buf[1]],
+            });
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::BadVersion { found: buf[2] });
+        }
+        let k = buf[3];
+        let m = buf[4];
+        let x = buf[5];
+        let len = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+        let seq = u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let sent_at_nanos = u64::from_be_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let need = HEADER_BYTES + len;
+        if buf.len() < need {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need,
+            });
+        }
+        if buf.len() > need {
+            return Err(WireError::TrailingBytes {
+                extra: buf.len() - need,
+            });
+        }
+        ShareFrame::new(
+            seq,
+            k,
+            m,
+            x,
+            sent_at_nanos,
+            Bytes::copy_from_slice(&buf[HEADER_BYTES..need]),
+        )
+    }
+}
+
+/// Magic bytes of a control (feedback) frame, `b"RC"`.
+pub const CONTROL_MAGIC: [u8; 2] = *b"RC";
+
+/// Size of an encoded control frame in bytes.
+pub const CONTROL_BYTES: usize = 2 + 1 + 4 + 8;
+
+/// Receiver-to-sender feedback: cumulative delivery count, used by the
+/// adaptive multiplicity controller
+/// ([`adaptive`](crate::adaptive)).
+///
+/// # Examples
+///
+/// ```
+/// use mcss_remicss::wire::ControlFrame;
+///
+/// let c = ControlFrame::new(3, 1234);
+/// assert_eq!(ControlFrame::decode(&c.encode()).unwrap(), c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlFrame {
+    epoch: u32,
+    delivered: u64,
+}
+
+impl ControlFrame {
+    /// Builds a feedback frame for `epoch` reporting `delivered`
+    /// cumulative symbol deliveries.
+    #[must_use]
+    pub fn new(epoch: u32, delivered: u64) -> Self {
+        ControlFrame { epoch, delivered }
+    }
+
+    /// The feedback epoch number.
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Cumulative symbols the receiver has reconstructed.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Serializes the frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(CONTROL_BYTES);
+        buf.put_slice(&CONTROL_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(self.epoch);
+        buf.put_u64(self.delivered);
+        buf.freeze()
+    }
+
+    /// Parses a control frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`], [`WireError::BadMagic`],
+    /// [`WireError::BadVersion`], or [`WireError::TrailingBytes`] as for
+    /// [`ShareFrame::decode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < CONTROL_BYTES {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: CONTROL_BYTES,
+            });
+        }
+        if buf[0..2] != CONTROL_MAGIC {
+            return Err(WireError::BadMagic {
+                found: [buf[0], buf[1]],
+            });
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::BadVersion { found: buf[2] });
+        }
+        if buf.len() > CONTROL_BYTES {
+            return Err(WireError::TrailingBytes {
+                extra: buf.len() - CONTROL_BYTES,
+            });
+        }
+        Ok(ControlFrame {
+            epoch: u32::from_be_bytes(buf[3..7].try_into().expect("4 bytes")),
+            delivered: u64::from_be_bytes(buf[7..15].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// Any frame the protocol puts on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A share of a source symbol.
+    Share(ShareFrame),
+    /// Receiver feedback.
+    Control(ControlFrame),
+}
+
+/// Decodes either frame kind by dispatching on the magic bytes.
+///
+/// # Errors
+///
+/// [`WireError`] as for the respective `decode` functions;
+/// [`WireError::BadMagic`] if neither magic matches.
+pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
+    if buf.len() >= 2 && buf[0..2] == CONTROL_MAGIC {
+        ControlFrame::decode(buf).map(Message::Control)
+    } else {
+        ShareFrame::decode(buf).map(Message::Share)
+    }
+}
+
+/// Error from encoding or decoding a [`ShareFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Buffer shorter than the frame it claims to hold.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The magic bytes are not `b"RM"`.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 2],
+    },
+    /// Unsupported protocol version.
+    BadVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// Share parameters violate `1 ≤ k ≤ m` and `1 ≤ x ≤ m`.
+    InvalidShare {
+        /// Declared threshold.
+        k: u8,
+        /// Declared multiplicity.
+        m: u8,
+        /// Declared abscissa.
+        x: u8,
+    },
+    /// Payload longer than the 16-bit length field allows.
+    PayloadTooLarge {
+        /// The offending length.
+        len: usize,
+    },
+    /// The buffer extends past the declared frame end.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?}")
+            }
+            WireError::BadVersion { found } => write!(f, "unsupported version {found}"),
+            WireError::InvalidShare { k, m, x } => {
+                write!(f, "invalid share parameters k={k} m={m} x={x}")
+            }
+            WireError::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds the 16-bit length field")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShareFrame {
+        ShareFrame::new(0xdead_beef, 2, 5, 3, 987_654_321, vec![7u8; 100]).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = sample();
+        assert_eq!(ShareFrame::decode(&f.encode()).unwrap(), f);
+        assert_eq!(f.encoded_len(), HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = sample();
+        assert_eq!(f.seq(), 0xdead_beef);
+        assert_eq!((f.k(), f.m(), f.x()), (2, 5, 3));
+        assert_eq!(f.sent_at_nanos(), 987_654_321);
+        assert_eq!(f.payload().len(), 100);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let f = ShareFrame::new(1, 1, 1, 1, 0, Bytes::new()).unwrap();
+        assert_eq!(ShareFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn invalid_share_params_rejected() {
+        for (k, m, x) in [(0, 1, 1), (2, 1, 1), (1, 1, 0), (1, 1, 2), (3, 2, 1)] {
+            assert_eq!(
+                ShareFrame::new(0, k, m, x, 0, Bytes::new()).unwrap_err(),
+                WireError::InvalidShare { k, m, x }
+            );
+        }
+    }
+
+    #[test]
+    fn payload_too_large_rejected() {
+        let e = ShareFrame::new(0, 1, 1, 1, 0, vec![0u8; 65536]).unwrap_err();
+        assert_eq!(e, WireError::PayloadTooLarge { len: 65536 });
+    }
+
+    #[test]
+    fn decode_truncated() {
+        let enc = sample().encode();
+        assert!(matches!(
+            ShareFrame::decode(&enc[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            ShareFrame::decode(&enc[..HEADER_BYTES + 5]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            ShareFrame::decode(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_bad_magic_and_version() {
+        let mut enc = sample().encode().to_vec();
+        enc[0] = b'X';
+        assert!(matches!(
+            ShareFrame::decode(&enc),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut enc = sample().encode().to_vec();
+        enc[2] = 9;
+        assert_eq!(
+            ShareFrame::decode(&enc).unwrap_err(),
+            WireError::BadVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn decode_trailing_bytes() {
+        let mut enc = sample().encode().to_vec();
+        enc.push(0);
+        assert_eq!(
+            ShareFrame::decode(&enc).unwrap_err(),
+            WireError::TrailingBytes { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn decode_corrupt_share_params() {
+        let mut enc = sample().encode().to_vec();
+        enc[3] = 0; // k = 0
+        assert!(matches!(
+            ShareFrame::decode(&enc),
+            Err(WireError::InvalidShare { .. })
+        ));
+    }
+
+    #[test]
+    fn control_frame_round_trip() {
+        let c = ControlFrame::new(u32::MAX, u64::MAX);
+        assert_eq!(ControlFrame::decode(&c.encode()).unwrap(), c);
+        assert_eq!(c.encode().len(), CONTROL_BYTES);
+    }
+
+    #[test]
+    fn control_frame_decode_errors() {
+        let enc = ControlFrame::new(1, 2).encode();
+        assert!(matches!(
+            ControlFrame::decode(&enc[..5]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut bad = enc.to_vec();
+        bad[2] = 9;
+        assert_eq!(
+            ControlFrame::decode(&bad).unwrap_err(),
+            WireError::BadVersion { found: 9 }
+        );
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert!(matches!(
+            ControlFrame::decode(&long),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn message_dispatch() {
+        let share = sample();
+        match decode_message(&share.encode()).unwrap() {
+            Message::Share(s) => assert_eq!(s, share),
+            Message::Control(_) => panic!("expected share"),
+        }
+        let ctl = ControlFrame::new(7, 8);
+        match decode_message(&ctl.encode()).unwrap() {
+            Message::Control(c) => assert_eq!(c, ctl),
+            Message::Share(_) => panic!("expected control"),
+        }
+        assert!(decode_message(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let errors: Vec<WireError> = vec![
+            WireError::Truncated { have: 1, need: 2 },
+            WireError::BadMagic { found: [0, 0] },
+            WireError::BadVersion { found: 2 },
+            WireError::InvalidShare { k: 0, m: 0, x: 0 },
+            WireError::PayloadTooLarge { len: 70000 },
+            WireError::TrailingBytes { extra: 3 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

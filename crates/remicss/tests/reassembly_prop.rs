@@ -1,0 +1,142 @@
+//! Property tests for the reassembly table: arbitrary interleavings,
+//! duplications, and losses of shares must preserve its invariants.
+
+use mcss_netsim::SimTime;
+use mcss_remicss::reassembly::{Accept, ReassemblyTable};
+use mcss_remicss::wire::ShareFrame;
+use mcss_shamir::{split, Params};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// A scripted delivery: (symbol index, share index, repeat?).
+fn arbitrary_script() -> impl Strategy<Value = (Vec<(u8, u8, u8)>, Vec<(u8, u8)>)> {
+    // Symbols use k = 2, m = 4, so any two distinct shares complete.
+    let deliveries = proptest::collection::vec((0u8..6, 0u8..4, 1u8..3), 1..60);
+    let params = proptest::collection::vec((2u8..=4, 0u8..=2), 6);
+    (deliveries, params.prop_map(|v| v.into_iter().map(|(k, extra)| (k, extra)).collect()))
+}
+
+proptest! {
+    /// Whatever order shares arrive in, each symbol completes exactly
+    /// once, duplicates are flagged, and byte accounting never goes
+    /// negative or leaks.
+    #[test]
+    fn interleaved_delivery_invariants(
+        (script, _params) in arbitrary_script(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let k = 2u8;
+        let m = 4u8;
+        let symbols: Vec<Vec<ShareFrame>> = (0..6u64)
+            .map(|seq| {
+                let payload = vec![seq as u8; 32];
+                split(&payload, Params::new(k, m).unwrap(), &mut rng)
+                    .unwrap()
+                    .iter()
+                    .map(|s| {
+                        ShareFrame::new(seq, k, m, s.x(), 0, s.data().to_vec()).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut table = ReassemblyTable::new(SimTime::from_secs(1), 1 << 20);
+        let mut completed = [false; 6];
+        for (si, xi, repeats) in script {
+            let frame = &symbols[si as usize][xi as usize];
+            for _ in 0..repeats {
+                match table.accept(frame, SimTime::ZERO) {
+                    Accept::Completed(payload) => {
+                        prop_assert!(!completed[si as usize], "double completion");
+                        completed[si as usize] = true;
+                        prop_assert_eq!(payload, vec![si; 32]);
+                    }
+                    Accept::Stored | Accept::Duplicate | Accept::Stale => {}
+                    Accept::Inconsistent => prop_assert!(false, "consistent input"),
+                }
+            }
+        }
+        // Accounting: buffered bytes are exactly 32 per stored share of
+        // incomplete symbols.
+        prop_assert_eq!(table.buffered_bytes() % 32, 0);
+        let stats = table.stats();
+        prop_assert_eq!(stats.completed as usize,
+            completed.iter().filter(|&&c| c).count());
+        prop_assert_eq!(stats.inconsistent, 0);
+    }
+
+    /// Sweeping at any point never breaks accounting, and after the
+    /// timeout horizon the table is empty.
+    #[test]
+    fn sweeps_preserve_accounting(
+        arrivals in proptest::collection::vec((0u8..8, 0u8..3, 0u64..200), 1..40),
+        sweep_at in proptest::collection::vec(0u64..400, 0..8),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let k = 3u8;
+        let m = 3u8;
+        let symbols: Vec<Vec<ShareFrame>> = (0..8u64)
+            .map(|seq| {
+                let payload = vec![seq as u8; 16];
+                split(&payload, Params::new(k, m).unwrap(), &mut rng)
+                    .unwrap()
+                    .iter()
+                    .map(|s| ShareFrame::new(seq, k, m, s.x(), 0, s.data().to_vec()).unwrap())
+                    .collect()
+            })
+            .collect();
+        let timeout = SimTime::from_millis(50);
+        let mut table = ReassemblyTable::new(timeout, 1 << 20);
+        let mut events: Vec<(u64, Option<(u8, u8)>)> = arrivals
+            .iter()
+            .map(|&(si, xi, at)| (at, Some((si, xi))))
+            .chain(sweep_at.iter().map(|&at| (at, None)))
+            .collect();
+        events.sort_by_key(|&(at, _)| at);
+        for (at, ev) in events {
+            let now = SimTime::from_millis(at);
+            match ev {
+                Some((si, xi)) => {
+                    let _ = table.accept(&symbols[si as usize][xi as usize], now);
+                }
+                None => table.sweep(now),
+            }
+            prop_assert!(table.buffered_bytes() <= 1 << 20);
+        }
+        // A final sweep far in the future clears all partials.
+        table.sweep(SimTime::from_secs(100));
+        prop_assert_eq!(table.pending_symbols(), 0);
+        prop_assert_eq!(table.buffered_bytes(), 0);
+    }
+
+    /// The memory cap is a hard invariant under adversarial arrival
+    /// patterns: buffered bytes never exceed capacity.
+    #[test]
+    fn memory_cap_is_hard(
+        arrivals in proptest::collection::vec((0u16..500, 0u8..2), 1..200),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let cap = 1000usize; // 31 shares of 32 bytes
+        let mut table = ReassemblyTable::new(SimTime::from_secs(10), cap);
+        for (i, (seq, xi)) in arrivals.iter().enumerate() {
+            // k = 2, m = 2: each first share is stored, second completes.
+            let payload = vec![0u8; 32];
+            let shares = split(&payload, Params::new(2, 2).unwrap(), &mut rng).unwrap();
+            let s = &shares[(*xi % 2) as usize];
+            let frame = ShareFrame::new(
+                u64::from(*seq),
+                2,
+                2,
+                s.x(),
+                0,
+                s.data().to_vec(),
+            )
+            .unwrap();
+            let _ = table.accept(&frame, SimTime::from_nanos(i as u64));
+            prop_assert!(
+                table.buffered_bytes() <= cap,
+                "cap breached: {} > {cap}",
+                table.buffered_bytes()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Robustness of the wire codec: arbitrary bytes never panic the
+//! decoder, and valid frames survive arbitrary field values.
+
+use bytes::Bytes;
+use mcss_remicss::wire::{decode_message, ControlFrame, Message, ShareFrame};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panicking is not.
+        let _ = ShareFrame::decode(&bytes);
+        let _ = ControlFrame::decode(&bytes);
+        let _ = decode_message(&bytes);
+    }
+
+    #[test]
+    fn share_frame_round_trips_arbitrary_fields(
+        seq in any::<u64>(),
+        m in 1u8..=255,
+        k_off in 0u8..=254,
+        x_off in 0u8..=254,
+        stamp in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let k = 1 + k_off % m;
+        let x = 1 + x_off % m;
+        let frame = ShareFrame::new(seq, k, m, x, stamp, payload).unwrap();
+        let decoded = ShareFrame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn control_frame_round_trips(epoch in any::<u32>(), delivered in any::<u64>()) {
+        let c = ControlFrame::new(epoch, delivered);
+        prop_assert_eq!(ControlFrame::decode(&c.encode()).unwrap(), c);
+        match decode_message(&c.encode()).unwrap() {
+            Message::Control(got) => prop_assert_eq!(got, c),
+            Message::Share(_) => prop_assert!(false, "misdispatched"),
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_error_cleanly(
+        cut in 0usize..24,
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let frame = ShareFrame::new(1, 1, 1, 1, 0, payload).unwrap();
+        let enc = frame.encode();
+        let cut = cut.min(enc.len().saturating_sub(1));
+        prop_assert!(ShareFrame::decode(&enc[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let frame = ShareFrame::new(7, 2, 3, 1, 99, payload).unwrap();
+        let mut enc = frame.encode().to_vec();
+        let idx = flip_byte % enc.len();
+        enc[idx] ^= 1 << flip_bit;
+        // Must either decode to *something* or error — never panic.
+        let _ = decode_message(&Bytes::from(enc));
+    }
+}

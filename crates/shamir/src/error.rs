@@ -1,0 +1,109 @@
+//! Error type for splitting and reconstruction.
+
+/// Error returned by secret sharing operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ShareError {
+    /// Parameters violate `1 ≤ k ≤ m`.
+    InvalidParams {
+        /// The offending threshold.
+        threshold: u8,
+        /// The offending multiplicity.
+        multiplicity: u8,
+    },
+    /// Reconstruction was given no shares.
+    NoShares,
+    /// Fewer shares than the recorded threshold were supplied.
+    NotEnoughShares {
+        /// The threshold `k` recorded in the shares.
+        needed: usize,
+        /// How many distinct shares were supplied.
+        got: usize,
+    },
+    /// Two shares carry the same abscissa.
+    DuplicateShare {
+        /// The repeated abscissa.
+        x: u8,
+    },
+    /// Shares disagree on the threshold.
+    MismatchedThreshold {
+        /// Threshold of the first share.
+        expected: u8,
+        /// The disagreeing threshold.
+        found: u8,
+    },
+    /// Shares disagree on data length.
+    MismatchedLength {
+        /// Length of the first share.
+        expected: usize,
+        /// The disagreeing length.
+        found: usize,
+    },
+}
+
+impl core::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShareError::InvalidParams {
+                threshold,
+                multiplicity,
+            } => write!(
+                f,
+                "invalid parameters: threshold {threshold} not in 1..={multiplicity}"
+            ),
+            ShareError::NoShares => write!(f, "no shares supplied"),
+            ShareError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: need {needed}, got {got}")
+            }
+            ShareError::DuplicateShare { x } => {
+                write!(f, "duplicate share with abscissa {x}")
+            }
+            ShareError::MismatchedThreshold { expected, found } => {
+                write!(f, "shares disagree on threshold: {expected} vs {found}")
+            }
+            ShareError::MismatchedLength { expected, found } => {
+                write!(f, "shares disagree on length: {expected} vs {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let cases: Vec<ShareError> = vec![
+            ShareError::InvalidParams {
+                threshold: 0,
+                multiplicity: 3,
+            },
+            ShareError::NoShares,
+            ShareError::NotEnoughShares { needed: 3, got: 1 },
+            ShareError::DuplicateShare { x: 2 },
+            ShareError::MismatchedThreshold {
+                expected: 2,
+                found: 3,
+            },
+            ShareError::MismatchedLength {
+                expected: 5,
+                found: 6,
+            },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ShareError>();
+    }
+}

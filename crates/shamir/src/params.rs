@@ -1,0 +1,138 @@
+//! Validated `(k, m)` threshold-scheme parameters.
+
+use crate::{ShareError, MAX_SHARES};
+
+/// Validated threshold-scheme parameters: threshold `k` and multiplicity
+/// `m` with `1 ≤ k ≤ m ≤ 255`.
+///
+/// In the protocol model these are the per-symbol integer parameters; the
+/// fractional schedule parameters `κ` and `μ` are averages of these over
+/// many symbols.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_shamir::Params;
+///
+/// let p = Params::new(2, 5)?;
+/// assert_eq!(p.threshold(), 2);
+/// assert_eq!(p.multiplicity(), 5);
+/// assert_eq!(p.loss_tolerance(), 3);   // m − k
+/// assert_eq!(p.privacy_tolerance(), 1); // k − 1
+/// # Ok::<(), mcss_shamir::ShareError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Params {
+    threshold: u8,
+    multiplicity: u8,
+}
+
+impl Params {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShareError::InvalidParams`] unless `1 ≤ k ≤ m` (the `m ≤
+    /// 255` bound is enforced by the type of `m`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcss_shamir::Params;
+    /// assert!(Params::new(0, 3).is_err());
+    /// assert!(Params::new(4, 3).is_err());
+    /// assert!(Params::new(3, 3).is_ok());
+    /// ```
+    pub fn new(threshold: u8, multiplicity: u8) -> Result<Self, ShareError> {
+        if threshold == 0 || threshold > multiplicity {
+            return Err(ShareError::InvalidParams {
+                threshold,
+                multiplicity,
+            });
+        }
+        debug_assert!(multiplicity as usize <= MAX_SHARES);
+        Ok(Params {
+            threshold,
+            multiplicity,
+        })
+    }
+
+    /// The threshold `k`: shares needed to reconstruct.
+    #[must_use]
+    pub const fn threshold(self) -> u8 {
+        self.threshold
+    }
+
+    /// The multiplicity `m`: shares generated per secret.
+    #[must_use]
+    pub const fn multiplicity(self) -> u8 {
+        self.multiplicity
+    }
+
+    /// Number of share losses tolerated without losing the secret, `m − k`
+    /// (Blakley's "abnegations").
+    #[must_use]
+    pub const fn loss_tolerance(self) -> u8 {
+        self.multiplicity - self.threshold
+    }
+
+    /// Number of share observations tolerated without disclosure, `k − 1`
+    /// (Blakley's "betrayals").
+    #[must_use]
+    pub const fn privacy_tolerance(self) -> u8 {
+        self.threshold - 1
+    }
+}
+
+impl core::fmt::Display for Params {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}-of-{}", self.threshold, self.multiplicity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range_accepted() {
+        for m in 1..=10u8 {
+            for k in 1..=m {
+                let p = Params::new(k, m).unwrap();
+                assert_eq!(p.threshold(), k);
+                assert_eq!(p.multiplicity(), m);
+                assert_eq!(p.loss_tolerance() + p.privacy_tolerance() + 1, m);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(Params::new(0, 0).is_err());
+        assert!(Params::new(0, 1).is_err());
+        assert!(Params::new(2, 1).is_err());
+        assert!(Params::new(255, 254).is_err());
+    }
+
+    #[test]
+    fn max_shares_ok() {
+        let p = Params::new(255, 255).unwrap();
+        assert_eq!(p.loss_tolerance(), 0);
+        assert_eq!(p.privacy_tolerance(), 254);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Params::new(2, 5).unwrap().to_string(), "2-of-5");
+    }
+
+    #[test]
+    fn ordering_and_hash_derives_usable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Params::new(1, 2).unwrap());
+        set.insert(Params::new(1, 2).unwrap());
+        assert_eq!(set.len(), 1);
+        assert!(Params::new(1, 2).unwrap() < Params::new(2, 2).unwrap());
+    }
+}

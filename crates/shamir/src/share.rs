@@ -1,0 +1,105 @@
+//! The [`Share`] type produced by splitting and consumed by
+//! reconstruction.
+
+/// One share of a split secret.
+///
+/// A share carries its abscissa `x` (nonzero field point), the threshold
+/// `k` needed for reconstruction, and one evaluation byte per secret byte.
+/// In the multichannel protocol each share travels on its own channel.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_shamir::Share;
+///
+/// let s = Share::new(1, 2, vec![0xde, 0xad]);
+/// assert_eq!(s.x(), 1);
+/// assert_eq!(s.threshold(), 2);
+/// assert_eq!(s.data(), &[0xde, 0xad]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Share {
+    x: u8,
+    threshold: u8,
+    data: Vec<u8>,
+}
+
+impl Share {
+    /// Assembles a share from its parts.
+    ///
+    /// Used by [`split`](crate::split) and by protocol receivers decoding
+    /// shares off the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `x == 0`: the point x = 0 holds the secret
+    /// itself and is never a valid share abscissa.
+    #[must_use]
+    pub fn new(x: u8, threshold: u8, data: Vec<u8>) -> Self {
+        debug_assert_ne!(x, 0, "share abscissa must be nonzero");
+        Share { x, threshold, data }
+    }
+
+    /// The share's abscissa (1-based field point).
+    #[must_use]
+    pub const fn x(&self) -> u8 {
+        self.x
+    }
+
+    /// The threshold `k` recorded in the share.
+    #[must_use]
+    pub const fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    /// The evaluation bytes, one per secret byte.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the share and returns its evaluation bytes.
+    #[must_use]
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl core::fmt::Display for Share {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "share x={} k={} ({} bytes)",
+            self.x,
+            self.threshold,
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Share::new(3, 2, vec![1, 2, 3]);
+        assert_eq!(s.x(), 3);
+        assert_eq!(s.threshold(), 2);
+        assert_eq!(s.data(), &[1, 2, 3]);
+        assert_eq!(s.clone().into_data(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = Share::new(7, 4, vec![0; 10]).to_string();
+        assert!(s.contains("x=7") && s.contains("k=4") && s.contains("10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "abscissa")]
+    #[cfg(debug_assertions)]
+    fn zero_x_panics_in_debug() {
+        let _ = Share::new(0, 1, vec![]);
+    }
+}

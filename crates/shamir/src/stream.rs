@@ -1,0 +1,290 @@
+//! Streaming secret sharing: split a byte stream into fixed-size symbols
+//! and share each symbol independently.
+//!
+//! The protocol model treats the sender's input as a sequence of source
+//! symbols `x₁x₂x₃…`; this module provides that symbol framing for
+//! arbitrary byte streams. Each symbol may use different `(k, m)`
+//! parameters — exactly what a share schedule requires — so the splitter
+//! takes the parameters per symbol.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcss_shamir::{Params, stream::{StreamSplitter, StreamAssembler}};
+//!
+//! # fn main() -> Result<(), mcss_shamir::ShareError> {
+//! let mut splitter = StreamSplitter::new(4); // 4-byte symbols
+//! splitter.push(b"hello, multichannel world");
+//! let params = Params::new(2, 3)?;
+//! let mut rng = rand::rng();
+//!
+//! let mut assembler = StreamAssembler::new();
+//! while let Some(symbol) = splitter.next_symbol() {
+//!     let shares = symbol.split(params, &mut rng)?;
+//!     assembler.accept(symbol.seq(), &shares[..2])?;
+//! }
+//! // Flush the trailing partial symbol.
+//! if let Some(symbol) = splitter.flush() {
+//!     let shares = symbol.split(params, &mut rng)?;
+//!     assembler.accept(symbol.seq(), &shares[..2])?;
+//! }
+//! assert_eq!(assembler.into_bytes(), b"hello, multichannel world");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{reconstruct, split, Params, Share, ShareError};
+
+/// A numbered source symbol awaiting splitting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    seq: u64,
+    data: Vec<u8>,
+}
+
+impl Symbol {
+    /// Creates a symbol with an explicit sequence number.
+    #[must_use]
+    pub fn new(seq: u64, data: Vec<u8>) -> Self {
+        Symbol { seq, data }
+    }
+
+    /// The symbol's position in the stream.
+    #[must_use]
+    pub const fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The symbol payload.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Splits this symbol into shares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShareError`] from [`split`].
+    pub fn split<R: rand::Rng + ?Sized>(
+        &self,
+        params: Params,
+        rng: &mut R,
+    ) -> Result<Vec<Share>, ShareError> {
+        split(&self.data, params, rng)
+    }
+}
+
+/// Splits an incoming byte stream into fixed-size symbols.
+///
+/// Bytes are buffered with [`push`](StreamSplitter::push) and withdrawn as
+/// full symbols with [`next_symbol`](StreamSplitter::next_symbol); a final
+/// short symbol is produced by [`flush`](StreamSplitter::flush).
+#[derive(Debug, Clone)]
+pub struct StreamSplitter {
+    symbol_size: usize,
+    buf: Vec<u8>,
+    next_seq: u64,
+}
+
+impl StreamSplitter {
+    /// Creates a splitter producing symbols of `symbol_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol_size` is zero.
+    #[must_use]
+    pub fn new(symbol_size: usize) -> Self {
+        assert!(symbol_size > 0, "symbol size must be positive");
+        StreamSplitter {
+            symbol_size,
+            buf: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Appends bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet emitted.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Withdraws the next full symbol, if one is available.
+    pub fn next_symbol(&mut self) -> Option<Symbol> {
+        if self.buf.len() < self.symbol_size {
+            return None;
+        }
+        let rest = self.buf.split_off(self.symbol_size);
+        let data = core::mem::replace(&mut self.buf, rest);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Symbol { seq, data })
+    }
+
+    /// Withdraws whatever remains as a final (possibly short) symbol.
+    ///
+    /// Returns `None` if the buffer is empty.
+    pub fn flush(&mut self) -> Option<Symbol> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let data = core::mem::take(&mut self.buf);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Symbol { seq, data })
+    }
+}
+
+/// Reassembles reconstructed symbols back into an ordered byte stream.
+///
+/// Symbols may arrive out of order; they are stitched together by sequence
+/// number. Missing symbols leave a gap that makes
+/// [`into_bytes`](StreamAssembler::into_bytes) stop at the gap, mirroring
+/// in-order delivery semantics.
+#[derive(Debug, Clone, Default)]
+pub struct StreamAssembler {
+    symbols: std::collections::BTreeMap<u64, Vec<u8>>,
+}
+
+impl StreamAssembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamAssembler::default()
+    }
+
+    /// Reconstructs a symbol from shares and stores it at `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShareError`] from [`reconstruct`]. A repeated `seq`
+    /// overwrites the previous reconstruction (idempotent for identical
+    /// shares).
+    pub fn accept(&mut self, seq: u64, shares: &[Share]) -> Result<(), ShareError> {
+        let data = reconstruct(shares)?;
+        self.symbols.insert(seq, data);
+        Ok(())
+    }
+
+    /// Number of symbols stored so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether no symbols have been stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Concatenates the contiguous prefix of symbols starting at sequence
+    /// number 0, consuming the assembler.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (want, (seq, data)) in (0u64..).zip(self.symbols) {
+            if seq != want {
+                break;
+            }
+            out.extend_from_slice(&data);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn splitter_emits_fixed_size_symbols() {
+        let mut s = StreamSplitter::new(3);
+        s.push(b"abcdefgh");
+        let a = s.next_symbol().unwrap();
+        assert_eq!((a.seq(), a.data()), (0, &b"abc"[..]));
+        let b = s.next_symbol().unwrap();
+        assert_eq!((b.seq(), b.data()), (1, &b"def"[..]));
+        assert!(s.next_symbol().is_none());
+        assert_eq!(s.pending(), 2);
+        let tail = s.flush().unwrap();
+        assert_eq!((tail.seq(), tail.data()), (2, &b"gh"[..]));
+        assert!(s.flush().is_none());
+    }
+
+    #[test]
+    fn incremental_pushes_accumulate() {
+        let mut s = StreamSplitter::new(4);
+        s.push(b"ab");
+        assert!(s.next_symbol().is_none());
+        s.push(b"cd");
+        assert_eq!(s.next_symbol().unwrap().data(), b"abcd");
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol size")]
+    fn zero_symbol_size_panics() {
+        let _ = StreamSplitter::new(0);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut rng = rng();
+        let params = Params::new(2, 3).unwrap();
+        let s0 = Symbol::new(0, b"AAAA".to_vec());
+        let s1 = Symbol::new(1, b"BBBB".to_vec());
+        let sh0 = s0.split(params, &mut rng).unwrap();
+        let sh1 = s1.split(params, &mut rng).unwrap();
+        let mut asm = StreamAssembler::new();
+        asm.accept(1, &sh1[1..]).unwrap();
+        asm.accept(0, &sh0[..2]).unwrap();
+        assert_eq!(asm.into_bytes(), b"AAAABBBB");
+    }
+
+    #[test]
+    fn gap_stops_concatenation() {
+        let mut rng = rng();
+        let params = Params::new(1, 1).unwrap();
+        let mut asm = StreamAssembler::new();
+        let s0 = Symbol::new(0, b"X".to_vec()).split(params, &mut rng).unwrap();
+        let s2 = Symbol::new(2, b"Z".to_vec()).split(params, &mut rng).unwrap();
+        asm.accept(0, &s0).unwrap();
+        asm.accept(2, &s2).unwrap();
+        assert_eq!(asm.len(), 2);
+        assert_eq!(asm.into_bytes(), b"X");
+    }
+
+    #[test]
+    fn full_round_trip_varying_params() {
+        let mut rng = rng();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut split = StreamSplitter::new(64);
+        split.push(&payload);
+        let mut asm = StreamAssembler::new();
+        let mut k = 1u8;
+        let mut process = |sym: Symbol, asm: &mut StreamAssembler, k: &mut u8| {
+            // Vary parameters per symbol like a share schedule would.
+            let params = Params::new(*k, 5).unwrap();
+            *k = *k % 5 + 1;
+            let shares = sym.split(params, &mut rng).unwrap();
+            asm.accept(sym.seq(), &shares).unwrap();
+        };
+        while let Some(sym) = split.next_symbol() {
+            process(sym, &mut asm, &mut k);
+        }
+        if let Some(sym) = split.flush() {
+            process(sym, &mut asm, &mut k);
+        }
+        assert_eq!(asm.into_bytes(), payload);
+    }
+}

@@ -1,0 +1,84 @@
+//! Explore the privacy/loss/delay/rate tradeoff surface of a channel set.
+//!
+//! For a grid of `(κ, μ)` parameters this prints, per point: the optimal
+//! multichannel rate (Theorem 4), and the best achievable risk, loss,
+//! and delay of schedules that sustain that rate (the §IV-D linear
+//! program). It is the numeric version of the mental model behind the
+//! paper's Figure 1: every row is a different point on the continuum
+//! between "MPTCP-like throughput" and "courier-mode secrecy".
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run -p mcss --release --example tradeoff_explorer [setup]
+//! ```
+//!
+//! where `setup` is one of `identical`, `diverse`, `lossy` (default), or
+//! `delayed`.
+
+use mcss::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let setup = std::env::args().nth(1).unwrap_or_else(|| "lossy".into());
+    let channels = match setup.as_str() {
+        "identical" => setups::identical(100.0),
+        "diverse" => setups::diverse(),
+        "lossy" => setups::lossy(),
+        "delayed" => setups::delayed(),
+        other => {
+            eprintln!("unknown setup {other:?}; use identical|diverse|lossy|delayed");
+            std::process::exit(2);
+        }
+    };
+    let n = channels.len();
+    println!("tradeoff surface for the {setup} setup ({n} channels)");
+    println!(
+        "full utilization holds up to mu = {:.3} (Theorem 2)\n",
+        optimal::full_utilization_mu(&channels)
+    );
+    println!(
+        "{:>5} {:>5} {:>10} {:>12} {:>12} {:>12}",
+        "kappa", "mu", "rate", "risk Z(p)", "loss L(p)", "delay D(p)"
+    );
+
+    let mut kappa = 1.0;
+    while kappa <= n as f64 + 1e-9 {
+        let mut mu = kappa;
+        while mu <= n as f64 + 1e-9 {
+            let rc = optimal::optimal_rate(&channels, mu)?;
+            let risk = lp_schedule::optimal_schedule_at_max_rate(
+                &channels,
+                kappa,
+                mu,
+                Objective::Privacy,
+            )?
+            .risk(&channels);
+            let loss = lp_schedule::optimal_schedule_at_max_rate(
+                &channels,
+                kappa,
+                mu,
+                Objective::Loss,
+            )?
+            .loss(&channels);
+            let delay = lp_schedule::optimal_schedule_at_max_rate(
+                &channels,
+                kappa,
+                mu,
+                Objective::Delay,
+            )?
+            .delay(&channels);
+            println!(
+                "{kappa:>5.2} {mu:>5.2} {rc:>10.2} {risk:>12.5} {loss:>12.3e} {delay:>12.3e}"
+            );
+            mu += 1.0;
+        }
+        kappa += 1.0;
+    }
+
+    println!("\nreading the table:");
+    println!("  - rate falls as mu rises: more shares per symbol eat channel budget;");
+    println!("  - risk falls as kappa rises: the adversary needs more taps;");
+    println!("  - loss falls as mu - kappa widens: more redundancy per symbol;");
+    println!("  - the best row depends on which property your application values.");
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: the analytic model's predictions must match
+//! what the simulator measures, channel by channel and end to end.
+
+use mcss::netsim::{SimTime, Simulator};
+use mcss::netsim::traffic::{ChannelProbe, EchoBenchmark};
+use mcss::prelude::*;
+
+/// Calibration step of §VI-A: probing each channel with iperf-style CBR
+/// traffic recovers the configured rate vector `r⃗` within a few percent.
+#[test]
+fn probing_recovers_configured_rates() {
+    let channels = setups::diverse();
+    let config = ProtocolConfig::new(1.0, 1.0).unwrap();
+    for (i, ch) in channels.iter().enumerate() {
+        let capacity = ch.rate() * 1e6;
+        let probe = ChannelProbe::new(i, capacity * 2.0, 1250, SimTime::from_secs(1));
+        let net = testbed::network_for(&channels, &config);
+        let mut sim = Simulator::new(net, probe, 10 + i as u64);
+        sim.run_until(SimTime::from_secs(2));
+        let measured = sim.app().achieved_bps();
+        assert!(
+            (measured - capacity).abs() / capacity < 0.03,
+            "channel {i}: measured {measured}, configured {capacity}"
+        );
+    }
+}
+
+/// Probing the Lossy setup recovers the configured loss vector `l⃗`.
+#[test]
+fn probing_recovers_configured_loss() {
+    let channels = setups::lossy();
+    let config = ProtocolConfig::new(1.0, 1.0).unwrap();
+    for (i, ch) in channels.iter().enumerate() {
+        let probe = ChannelProbe::new(i, ch.rate() * 1e6 * 0.5, 1250, SimTime::from_secs(4));
+        let net = testbed::network_for(&channels, &config);
+        let mut sim = Simulator::new(net, probe, 20 + i as u64);
+        sim.run_until(SimTime::from_secs(5));
+        let measured = sim.app().loss_fraction();
+        assert!(
+            (measured - ch.loss()).abs() < 0.01,
+            "channel {i}: measured loss {measured}, configured {}",
+            ch.loss()
+        );
+    }
+}
+
+/// Echo benchmarks on the Delayed setup recover the configured one-way
+/// delays `d⃗` (RTT/2, as the paper computes).
+#[test]
+fn echo_recovers_configured_delays() {
+    let channels = setups::delayed();
+    let config = ProtocolConfig::new(1.0, 1.0).unwrap();
+    for (i, ch) in channels.iter().enumerate() {
+        let bench = EchoBenchmark::new(i, 1e6, 125, SimTime::from_millis(500));
+        let net = testbed::network_for(&channels, &config);
+        let mut sim = Simulator::new(net, bench, 30 + i as u64);
+        sim.run_until(SimTime::from_secs(1));
+        let measured = sim.app().mean_one_way_delay().unwrap().as_secs_f64();
+        // One-way latency = propagation + serialization of the 125-byte
+        // probe at the channel's line rate.
+        let expected = ch.delay() + 125.0 * 8.0 / (ch.rate() * 1e6);
+        assert!(
+            (measured - expected).abs() < 0.1e-3,
+            "channel {i}: measured {measured}s, expected {expected}s"
+        );
+    }
+}
+
+/// End-to-end: the protocol's measured symbol loss matches the schedule
+/// loss L(p) predicted by the subset formulas, for several (κ, μ).
+#[test]
+fn protocol_loss_matches_model_prediction() {
+    let channels = setups::lossy();
+    for (seed, (kappa, mu)) in [(1u64, (1.0, 2.0)), (2, (2.0, 2.0)), (3, (2.0, 4.0))] {
+        let config = ProtocolConfig::new(kappa, mu).unwrap();
+        // The dynamic scheduler on an undersubscribed network spreads by
+        // readiness; predict with the Theorem 5 construction (prefix
+        // subsets) is wrong here, so compare against the *measured* mean
+        // (k, m) using uniform random subsets is also wrong. Instead
+        // drive the protocol with an explicit LP schedule so the model
+        // prediction is exact.
+        let share_channels = testbed::share_rate_channels(&channels, &config).unwrap();
+        let schedule =
+            lp_schedule::optimal_schedule(&share_channels, kappa, mu, Objective::Loss).unwrap();
+        let predicted = schedule.loss(&share_channels);
+        // A §IV-B schedule may concentrate on few channels; offer half of
+        // what *it* can sustain so queues stay empty.
+        let offered = 0.5 * schedule.max_symbol_rate(&share_channels);
+        let config = config.with_scheduler(SchedulerKind::Static(schedule));
+        let session = Session::new(
+            config.clone(),
+            channels.len(),
+            Workload::cbr(offered, SimTime::from_secs(2)),
+        )
+        .unwrap();
+        let net = testbed::network_for(&channels, &config);
+        let mut sim = Simulator::new(net, session, seed);
+        sim.run_until(SimTime::from_secs(4));
+        let report = sim.app().report(SimTime::from_secs(2));
+        assert!(
+            (report.loss_fraction - predicted).abs() < 0.012,
+            "kappa={kappa} mu={mu}: measured {} predicted {predicted}",
+            report.loss_fraction
+        );
+    }
+}
+
+/// End-to-end: measured one-way delay of an LP-scheduled session matches
+/// the schedule delay D(p) on the Delayed setup (plus serialization,
+/// which is small at this symbol size and rate).
+#[test]
+fn protocol_delay_matches_model_prediction() {
+    let channels = setups::delayed();
+    let kappa = 2.0;
+    let mu = 3.0;
+    let config = ProtocolConfig::new(kappa, mu).unwrap();
+    let share_channels = testbed::share_rate_channels(&channels, &config).unwrap();
+    let schedule =
+        lp_schedule::optimal_schedule(&share_channels, kappa, mu, Objective::Delay).unwrap();
+    let predicted = schedule.delay(&share_channels);
+    let offered = 0.3 * schedule.max_symbol_rate(&share_channels);
+    let config = config.with_scheduler(SchedulerKind::Static(schedule));
+    let session = Session::new(
+        config.clone(),
+        channels.len(),
+        Workload::cbr(offered, SimTime::from_secs(1)),
+    )
+    .unwrap();
+    let net = testbed::network_for(&channels, &config);
+    let mut sim = Simulator::new(net, session, 9);
+    sim.run_until(SimTime::from_secs(2));
+    let report = sim.app().report(SimTime::from_secs(1));
+    let measured = report.mean_one_way_delay.unwrap().as_secs_f64();
+    // Allow serialization + queueing slack on top of propagation.
+    assert!(
+        measured >= predicted - 1e-4 && measured < predicted + 2.5e-3,
+        "measured {measured}s, model D(p) = {predicted}s"
+    );
+}
+
+/// The schedule-driven protocol sustains the Theorem 4 optimal rate on
+/// the Diverse setup within a few percent (the paper's headline result:
+/// 3-4% of optimal).
+#[test]
+fn protocol_rate_reaches_theorem4_optimum() {
+    let channels = setups::diverse();
+    for (seed, mu) in [(4u64, 1.5), (5, 2.5), (6, 3.5)] {
+        let kappa = 1.0;
+        let config = ProtocolConfig::new(kappa, mu).unwrap();
+        let share_channels = testbed::share_rate_channels(&channels, &config).unwrap();
+        let schedule = lp_schedule::optimal_schedule_at_max_rate(
+            &share_channels,
+            kappa,
+            mu,
+            Objective::Privacy,
+        )
+        .unwrap();
+        let config = config.with_scheduler(SchedulerKind::Static(schedule));
+        let optimal_rate = testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        // Offer exactly the optimum: overdriving would shed redundant
+        // shares at the queues, letting low-κ symbols complete above
+        // R_C (the model's budget assumes every chosen share is sent).
+        let session = Session::new(
+            config.clone(),
+            channels.len(),
+            Workload::cbr(optimal_rate, SimTime::from_secs(1)),
+        )
+        .unwrap();
+        let net = testbed::network_for(&channels, &config);
+        let mut sim = Simulator::new(net, session, seed);
+        sim.run_until(SimTime::from_secs(3));
+        let report = sim.app().report(SimTime::from_secs(1));
+        let achieved = report.achieved_symbol_rate;
+        assert!(
+            achieved > 0.93 * optimal_rate,
+            "mu={mu}: achieved {achieved}, optimal {optimal_rate}"
+        );
+        assert!(
+            achieved < 1.005 * optimal_rate,
+            "mu={mu}: achieved {achieved} exceeds optimal {optimal_rate}"
+        );
+    }
+}

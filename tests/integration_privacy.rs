@@ -1,0 +1,177 @@
+//! Privacy integration: the secrecy guarantees the whole stack is built
+//! on, validated end to end — from field arithmetic up to the privacy
+//! measure.
+
+use mcss::gf256::{poly, Gf256};
+use mcss::prelude::*;
+use rand::RngExt as _;
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0x9e3779b9)
+}
+
+/// Fewer than k shares are information-theoretically useless: for every
+/// candidate secret there exists a completion consistent with the
+/// observed shares. Verified exactly (not statistically) for k = 3 by
+/// constructing the completing polynomial.
+#[test]
+fn observed_shares_below_threshold_are_consistent_with_any_secret() {
+    let mut r = rng();
+    let secret = [0x42u8];
+    let shares = split(&secret, Params::new(3, 5).unwrap(), &mut r).unwrap();
+    // Adversary observed shares at x = 1 and x = 4.
+    let (y1, y4) = (shares[0].data()[0], shares[3].data()[0]);
+    for candidate in 0u16..=255 {
+        // There must exist a quadratic through (0, candidate), (1, y1),
+        // (4, y4) — interpolation constructs exactly one.
+        let p = poly::interpolate(&[
+            (Gf256::ZERO, Gf256::new(candidate as u8)),
+            (Gf256::new(1), Gf256::new(y1)),
+            (Gf256::new(4), Gf256::new(y4)),
+        ])
+        .unwrap();
+        assert!(p.degree().unwrap_or(0) <= 2);
+        assert_eq!(p.eval(Gf256::ZERO).value(), candidate as u8);
+    }
+}
+
+/// Statistical flatness: the distribution of one share byte is uniform
+/// regardless of the secret — two very different secrets give
+/// indistinguishable marginals (coarse chi-square bound).
+#[test]
+fn share_marginals_independent_of_secret() {
+    let mut r = rng();
+    let trials = 51_200;
+    let mut counts = [[0u32; 256]; 2];
+    for (idx, secret) in [[0x00u8], [0xffu8]].iter().enumerate() {
+        for _ in 0..trials {
+            let shares = split(secret, Params::new(2, 2).unwrap(), &mut r).unwrap();
+            counts[idx][shares[0].data()[0] as usize] += 1;
+        }
+    }
+    let expected = trials as f64 / 256.0;
+    let chi2: [f64; 2] = [0, 1].map(|i| {
+        counts[i]
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    });
+    // 255 dof: mean 255, sd ~22.6; allow a very wide band to avoid flakes.
+    for (i, c) in chi2.iter().enumerate() {
+        assert!((120.0..420.0).contains(c), "secret {i}: chi2 {c}");
+    }
+}
+
+/// The whole-stack privacy game: transmit symbols through schedules, tap
+/// channels per the risk vector, and check that the measured compromise
+/// rate matches the model's Z(p) — the paper's central privacy measure.
+#[test]
+fn end_to_end_privacy_measure_matches_monte_carlo() {
+    let mut r = rng();
+    let channels = setups::diverse_with_risk(&[0.5, 0.2, 0.1, 0.3, 0.4]);
+    let trials = 200_000u32;
+    for (kappa, mu) in [(1.0, 1.0), (2.0, 3.0), (3.0, 3.0), (4.5, 5.0)] {
+        let schedule = lp_schedule::optimal_schedule_at_max_rate(
+            &channels,
+            kappa,
+            mu,
+            Objective::Privacy,
+        )
+        .unwrap();
+        let predicted = schedule.risk(&channels);
+        let mut compromised = 0u32;
+        for _ in 0..trials {
+            let e = schedule.sample(&mut r);
+            let observed = e
+                .subset()
+                .iter()
+                .filter(|&i| r.random_bool(channels.channel(i).risk()))
+                .count();
+            if observed >= e.k() as usize {
+                compromised += 1;
+            }
+        }
+        let measured = f64::from(compromised) / f64::from(trials);
+        let sigma = (predicted * (1.0 - predicted) / f64::from(trials)).sqrt();
+        assert!(
+            (measured - predicted).abs() < 5.0 * sigma + 1e-4,
+            "({kappa}, {mu}): measured {measured}, predicted {predicted}"
+        );
+    }
+}
+
+/// Raising κ at fixed μ strictly improves privacy on the IV-D frontier
+/// (and the measured schedules actually deliver those κ).
+#[test]
+fn privacy_improves_monotonically_with_kappa() {
+    let channels = setups::diverse_with_risk(&[0.3; 5]);
+    let mu = 4.0;
+    let mut prev = f64::INFINITY;
+    for kappa10 in [10u32, 15, 20, 25, 30, 35, 40] {
+        let kappa = f64::from(kappa10) / 10.0;
+        let s = lp_schedule::optimal_schedule_at_max_rate(
+            &channels,
+            kappa,
+            mu,
+            Objective::Privacy,
+        )
+        .unwrap();
+        let z = s.risk(&channels);
+        assert!(
+            z <= prev + 1e-12,
+            "risk should fall with kappa: {z} after {prev} at kappa={kappa}"
+        );
+        assert!((s.kappa() - kappa).abs() < 1e-6);
+        prev = z;
+    }
+}
+
+/// The MICSS-compatible limited schedule gives a *hard* floor guarantee:
+/// an adversary with fewer than ⌊κ⌋ taps compromises nothing, ever —
+/// unlike the unrestricted schedule, which trades occasional low-k
+/// symbols for average-case optimality.
+#[test]
+fn limited_schedule_hard_floor_vs_fractional_average() {
+    let mut r = rng();
+    let channels = setups::diverse_with_risk(&[0.5; 5]);
+    let (kappa, mu) = (2.5, 4.0);
+    // A perfectly valid unrestricted schedule with these means mixes
+    // k = 1 and k = 4 symbols half and half (the kind of mixture the
+    // fractional model permits and §IV-E worries about).
+    let mut b = ScheduleBuilder::new(5);
+    b.push(1, Subset::from_indices(&[0, 1, 2, 3]), 0.5).unwrap();
+    b.push(4, Subset::from_indices(&[0, 1, 2, 3]), 0.5).unwrap();
+    let unrestricted = b.build().unwrap();
+    assert!((unrestricted.kappa() - kappa).abs() < 1e-12);
+    assert!((unrestricted.mu() - mu).abs() < 1e-12);
+    let limited =
+        micss::optimal_limited_schedule(&channels, kappa, mu, Objective::Privacy).unwrap();
+
+    // Adversary taps exactly one fixed channel (channel 0), always.
+    let compromised = |schedule: &ShareSchedule, r: &mut rand::rngs::StdRng| -> u32 {
+        let mut hits = 0;
+        for _ in 0..100_000 {
+            let e = schedule.sample(r);
+            // Observes the single share on channel 0, if any.
+            let observed = usize::from(e.subset().contains(0));
+            if observed >= e.k() as usize {
+                hits += 1;
+            }
+        }
+        hits
+    };
+    // The limited schedule guarantees k >= 2 for every symbol: a single
+    // tap never reaches the threshold.
+    assert_eq!(compromised(&limited, &mut r), 0);
+    // The unrestricted schedule may use k = 1 symbols; with these
+    // parameters it does, so a single fixed tap compromises some.
+    let unrestricted_hits = compromised(&unrestricted, &mut r);
+    assert!(
+        unrestricted_hits > 0,
+        "expected fractional-kappa schedule to have k=1 mass"
+    );
+}

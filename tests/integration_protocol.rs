@@ -1,0 +1,205 @@
+//! End-to-end protocol behaviour across schedulers, workloads, and
+//! degraded network conditions.
+
+use mcss::netsim::{SimTime, Simulator};
+use mcss::prelude::*;
+
+fn run_session(
+    channels: &ChannelSet,
+    config: ProtocolConfig,
+    workload: Workload,
+    seed: u64,
+) -> SessionReport {
+    let window = match workload {
+        Workload::Cbr { duration, .. } | Workload::Echo { duration, .. } => duration,
+    };
+    let net = testbed::network_for(channels, &config);
+    let session = Session::new(config, channels.len(), workload).unwrap();
+    let mut sim = Simulator::new(net, session, seed);
+    sim.run_until(window + SimTime::from_secs(2));
+    sim.app().report(window)
+}
+
+/// Every scheduler delivers verified (uncorrupted) traffic on every
+/// paper setup.
+#[test]
+fn all_schedulers_on_all_setups() {
+    let setups: Vec<(&str, ChannelSet)> = vec![
+        ("identical", setups::identical(100.0)),
+        ("diverse", setups::diverse()),
+        ("lossy", setups::lossy()),
+        ("delayed", setups::delayed()),
+    ];
+    for (name, channels) in &setups {
+        for kind in [SchedulerKind::Dynamic, SchedulerKind::RoundRobin] {
+            let config = ProtocolConfig::new(1.5, 2.5).unwrap().with_scheduler(kind.clone());
+            let offered = 0.4 * testbed::optimal_symbol_rate(channels, &config).unwrap();
+            let r = run_session(
+                channels,
+                config,
+                Workload::cbr(offered, SimTime::from_millis(400)),
+                99,
+            );
+            assert!(r.delivered_symbols > 50, "{name}/{kind:?}: nothing delivered");
+            assert_eq!(r.corrupted_symbols, 0, "{name}/{kind:?}: corruption");
+            assert_eq!(r.wire_errors, 0, "{name}/{kind:?}: wire errors");
+        }
+    }
+}
+
+/// The dynamic scheduler's achieved (κ, μ) means converge to the config.
+#[test]
+fn dynamic_scheduler_hits_fractional_means() {
+    let channels = setups::identical(100.0);
+    for (kappa, mu) in [(1.2, 1.9), (2.5, 3.5), (3.3, 4.8), (1.0, 5.0)] {
+        let config = ProtocolConfig::new(kappa, mu).unwrap();
+        let offered = 0.3 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+        let r = run_session(
+            &channels,
+            config,
+            Workload::cbr(offered, SimTime::from_secs(1)),
+            7,
+        );
+        assert!((r.mean_k - kappa).abs() < 0.05, "kappa {kappa}: {}", r.mean_k);
+        assert!((r.mean_m - mu).abs() < 0.05, "mu {mu}: {}", r.mean_m);
+    }
+}
+
+/// Loss tolerance: with κ = 1, μ = n the protocol survives one channel
+/// becoming catastrophically lossy.
+#[test]
+fn survives_catastrophic_channel() {
+    // Channel 2 loses 90% of its shares.
+    let channels = ChannelSet::new(vec![
+        Channel::new(0.1, 0.0, 0.0, 50.0).unwrap(),
+        Channel::new(0.1, 0.0, 0.0, 50.0).unwrap(),
+        Channel::new(0.1, 0.9, 0.0, 50.0).unwrap(),
+        Channel::new(0.1, 0.0, 0.0, 50.0).unwrap(),
+        Channel::new(0.1, 0.0, 0.0, 50.0).unwrap(),
+    ])
+    .unwrap();
+    let config = ProtocolConfig::new(1.0, 5.0).unwrap();
+    let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let r = run_session(
+        &channels,
+        config,
+        Workload::cbr(offered, SimTime::from_secs(1)),
+        11,
+    );
+    assert!(
+        r.loss_fraction < 1e-3,
+        "redundancy should absorb a 90%-lossy channel, lost {}",
+        r.loss_fraction
+    );
+}
+
+/// With κ = μ (no redundancy) a single lossy channel hurts in
+/// proportion to the subset loss — sanity check of the opposite corner.
+#[test]
+fn no_redundancy_exposes_loss() {
+    let channels = setups::lossy();
+    let config = ProtocolConfig::new(3.0, 3.0).unwrap();
+    let offered = 0.6 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let r = run_session(
+        &channels,
+        config,
+        Workload::cbr(offered, SimTime::from_secs(1)),
+        13,
+    );
+    // Any share loss kills the symbol; per-channel loss is 0.5-3%.
+    assert!(
+        r.loss_fraction > 0.01,
+        "k = m must expose loss, got {}",
+        r.loss_fraction
+    );
+}
+
+/// Reassembly eviction: a tiny timeout on a delayed network causes
+/// partial symbols to be evicted rather than accumulate forever.
+#[test]
+fn short_timeout_evicts_partials() {
+    let channels = setups::delayed();
+    // κ = μ = 5 means every symbol needs all channels including the
+    // 12.5 ms one; a 5 ms timeout evicts everything still waiting.
+    let config = ProtocolConfig::new(5.0, 5.0)
+        .unwrap()
+        .with_reassembly_timeout(SimTime::from_millis(5));
+    let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let r = run_session(
+        &channels,
+        config,
+        Workload::cbr(offered, SimTime::from_millis(500)),
+        17,
+    );
+    assert!(
+        r.reassembly.timeout_evictions > 0,
+        "expected timeout evictions"
+    );
+    assert!(
+        r.loss_fraction > 0.5,
+        "symbols needing the slow channel should mostly expire, lost {}",
+        r.loss_fraction
+    );
+}
+
+/// A generous timeout on the same network loses (almost) nothing.
+#[test]
+fn generous_timeout_loses_nothing() {
+    let channels = setups::delayed();
+    let config = ProtocolConfig::new(5.0, 5.0)
+        .unwrap()
+        .with_reassembly_timeout(SimTime::from_millis(500));
+    let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let r = run_session(
+        &channels,
+        config,
+        Workload::cbr(offered, SimTime::from_millis(500)),
+        17,
+    );
+    assert!(
+        r.loss_fraction < 1e-3,
+        "generous timeout still lost {}",
+        r.loss_fraction
+    );
+}
+
+/// Echo RTT on the Delayed setup reflects the slowest-needed channel:
+/// with κ = μ = 5 both directions wait for the 12.5 ms channel, so RTT
+/// is at least 2 × 12.5 ms.
+#[test]
+fn echo_rtt_bounded_by_slowest_channel() {
+    let channels = setups::delayed();
+    let config = ProtocolConfig::new(5.0, 5.0).unwrap();
+    let offered = 0.2 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let r = run_session(
+        &channels,
+        config,
+        Workload::echo(offered, SimTime::from_millis(500)),
+        19,
+    );
+    let rtt = r.mean_rtt.expect("echo rtt");
+    assert!(rtt >= SimTime::from_millis(25), "rtt {rtt} < 2 x 12.5ms");
+    assert!(rtt <= SimTime::from_millis(40), "rtt {rtt} implausibly high");
+}
+
+/// Overload: offering far more than the optimum saturates but does not
+/// wedge the protocol; achieved rate stays near the optimum.
+#[test]
+fn graceful_saturation_under_overload() {
+    let channels = setups::diverse();
+    let config = ProtocolConfig::new(1.0, 2.0).unwrap();
+    let optimal_rate = testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let r = run_session(
+        &channels,
+        config,
+        Workload::cbr(optimal_rate * 3.0, SimTime::from_secs(1)),
+        23,
+    );
+    // Dynamic scheduling sheds the excess at the local queues.
+    assert!(r.send_queue_drops > 0 || r.loss_fraction > 0.0);
+    assert!(
+        r.achieved_symbol_rate > 0.85 * optimal_rate,
+        "saturated rate {} far below optimal {optimal_rate}",
+        r.achieved_symbol_rate
+    );
+}

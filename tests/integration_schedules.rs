@@ -1,0 +1,151 @@
+//! Schedule-level integration: linear-programmed schedules, the
+//! Theorem 5 construction, and closed-form optima must all agree with
+//! each other across crates.
+
+use mcss::prelude::*;
+
+/// The §IV-B LP at the parameter corners reproduces every closed form of
+/// §IV-B simultaneously — privacy, loss, and delay.
+#[test]
+fn lp_corners_equal_closed_forms() {
+    let channels = {
+        // A deliberately messy channel set: diverse in every property.
+        ChannelSet::new(vec![
+            Channel::new(0.7, 0.05, 3e-3, 10.0).unwrap(),
+            Channel::new(0.2, 0.20, 1e-3, 45.0).unwrap(),
+            Channel::new(0.5, 0.01, 9e-3, 80.0).unwrap(),
+            Channel::new(0.9, 0.10, 2e-3, 25.0).unwrap(),
+        ])
+        .unwrap()
+    };
+    let n = channels.len();
+    let env = optimal::envelope(&channels);
+
+    let p = lp_schedule::optimal_schedule(&channels, n as f64, n as f64, Objective::Privacy)
+        .unwrap();
+    assert!((p.risk(&channels) - env.risk).abs() < 1e-9);
+
+    let p = lp_schedule::optimal_schedule(&channels, 1.0, n as f64, Objective::Loss).unwrap();
+    assert!((p.loss(&channels) - env.loss).abs() < 1e-9);
+
+    let p = lp_schedule::optimal_schedule(&channels, 1.0, n as f64, Objective::Delay).unwrap();
+    assert!((p.delay(&channels) - env.delay).abs() < 1e-9);
+
+    let p = ShareSchedule::max_rate(&channels);
+    assert!((p.max_symbol_rate(&channels) - env.rate).abs() < 1e-9);
+}
+
+/// The §IV-D schedule's sustainable symbol rate equals the Theorem 4
+/// rate across a dense μ sweep on the Diverse setup, for every
+/// objective.
+#[test]
+fn ivd_schedules_sustain_theorem4_rate_everywhere() {
+    let channels = setups::diverse();
+    let objectives = [Objective::Privacy, Objective::Loss, Objective::Delay];
+    let mut mu = 1.0;
+    while mu <= 5.0 + 1e-9 {
+        let kappa = 1.0 + (mu - 1.0) * 0.5;
+        let rc = optimal::optimal_rate(&channels, mu).unwrap();
+        for obj in objectives {
+            let p = lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, obj)
+                .unwrap();
+            let sustained = p.max_symbol_rate(&channels);
+            assert!(
+                (sustained - rc).abs() < 1e-6 * rc,
+                "{obj} at mu={mu}: sustains {sustained}, Theorem 4 says {rc}"
+            );
+        }
+        mu += 0.25;
+    }
+}
+
+/// Theorem 5 schedules and LP-limited schedules agree on moments, and
+/// the LP-limited optimum is never worse than the Theorem 5 construction
+/// (it optimizes over a superset of choices within 𝓜').
+#[test]
+fn theorem5_is_feasible_point_of_limited_lp() {
+    let channels = setups::lossy();
+    for (kappa, mu) in [(1.5, 2.5), (2.25, 3.75), (3.0, 4.0), (4.2, 4.9)] {
+        let constructed = micss::theorem5_schedule(channels.len(), kappa, mu).unwrap();
+        let optimized =
+            micss::optimal_limited_schedule(&channels, kappa, mu, Objective::Loss).unwrap();
+        assert!((constructed.kappa() - optimized.kappa()).abs() < 1e-6);
+        assert!((constructed.mu() - optimized.mu()).abs() < 1e-6);
+        assert!(
+            optimized.loss(&channels) <= constructed.loss(&channels) + 1e-9,
+            "LP-limited loss must not exceed the constructive schedule's"
+        );
+    }
+}
+
+/// Sampling a schedule and evaluating empirically reproduces κ, μ, and
+/// the analytic Z/L values (ties the sampler to the expectations).
+#[test]
+fn sampled_moments_match_analytic() {
+    use rand::SeedableRng;
+    let channels = setups::lossy();
+    let schedule =
+        lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.4, Objective::Loss)
+            .unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5150);
+    let trials = 100_000;
+    let (mut sk, mut sm) = (0u64, 0u64);
+    let mut usage = vec![0u64; channels.len()];
+    for _ in 0..trials {
+        let e = schedule.sample(&mut rng);
+        sk += u64::from(e.k());
+        sm += e.multiplicity() as u64;
+        for i in e.subset().iter() {
+            usage[i] += 1;
+        }
+    }
+    assert!((sk as f64 / trials as f64 - 2.0).abs() < 0.02);
+    assert!((sm as f64 / trials as f64 - 3.4).abs() < 0.02);
+    for (i, &u) in usage.iter().enumerate() {
+        let measured = u as f64 / trials as f64;
+        let analytic = schedule.channel_usage(i);
+        assert!(
+            (measured - analytic).abs() < 0.02,
+            "channel {i}: sampled usage {measured} vs analytic {analytic}"
+        );
+    }
+}
+
+/// The rate/privacy frontier is coherent: as μ rises (at κ = μ), rate
+/// falls and risk falls — the fundamental tradeoff the paper models.
+#[test]
+fn rate_privacy_frontier() {
+    let channels = setups::diverse_with_risk(&[0.4; 5]);
+    let mut prev_rate = f64::INFINITY;
+    let mut prev_risk = f64::INFINITY;
+    for m in 1..=5 {
+        let mu = f64::from(m);
+        let rate = optimal::optimal_rate(&channels, mu).unwrap();
+        let schedule =
+            lp_schedule::optimal_schedule_at_max_rate(&channels, mu, mu, Objective::Privacy)
+                .unwrap();
+        let risk = schedule.risk(&channels);
+        assert!(rate <= prev_rate + 1e-9, "rate must fall with mu");
+        assert!(risk <= prev_risk + 1e-9, "risk must fall with kappa = mu");
+        prev_rate = rate;
+        prev_risk = risk;
+    }
+}
+
+/// Everything composes for larger channel sets than the paper's five
+/// (8 channels, the subset enumeration and LP still exact).
+#[test]
+fn eight_channel_set_works() {
+    let channels = ChannelSet::new(
+        (1..=8)
+            .map(|i| Channel::new(0.1 * f64::from(i) / 8.0, 0.01, 1e-3, f64::from(i) * 10.0).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let rc = optimal::optimal_rate(&channels, 3.5).unwrap();
+    assert!(rc > 0.0);
+    let p = lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.5, Objective::Privacy)
+        .unwrap();
+    assert!((p.mu() - 3.5).abs() < 1e-6);
+    assert!((p.max_symbol_rate(&channels) - rc).abs() < 1e-6 * rc);
+}
