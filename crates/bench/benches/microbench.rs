@@ -87,9 +87,7 @@ fn bench_lp(c: &mut Criterion) {
     g.sample_size(20);
     let channels = setups::lossy();
     g.bench_function("iv_b_schedule_n5", |bch| {
-        bch.iter(|| {
-            lp_schedule::optimal_schedule(black_box(&channels), 2.0, 3.4, Objective::Loss)
-        })
+        bch.iter(|| lp_schedule::optimal_schedule(black_box(&channels), 2.0, 3.4, Objective::Loss))
     });
     g.bench_function("iv_d_schedule_n5", |bch| {
         bch.iter(|| {
@@ -161,7 +159,9 @@ fn bench_slices(c: &mut Criterion) {
         bch.iter(|| slice::scale_add_assign(black_box(&mut dst), black_box(&src), Gf256::new(0x53)))
     });
     g.bench_function("add_scaled_assign_4k", |bch| {
-        bch.iter(|| slice::add_scaled_assign(black_box(&mut dst), black_box(&src), Gf256::new(0x53)))
+        bch.iter(|| {
+            slice::add_scaled_assign(black_box(&mut dst), black_box(&src), Gf256::new(0x53))
+        })
     });
     g.finish();
 }

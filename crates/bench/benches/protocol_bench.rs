@@ -52,7 +52,9 @@ fn bench_wire(c: &mut Criterion) {
     let frame = ShareFrame::new(42, 3, 5, 2, 123, vec![0u8; 1250]).unwrap();
     let encoded = frame.encode();
     g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_1250B", |bch| bch.iter(|| black_box(&frame).encode()));
+    g.bench_function("encode_1250B", |bch| {
+        bch.iter(|| black_box(&frame).encode())
+    });
     g.bench_function("decode_1250B", |bch| {
         bch.iter(|| ShareFrame::decode(black_box(&encoded)))
     });
@@ -70,8 +72,7 @@ fn bench_protocol(c: &mut Criterion) {
                 bch.iter(|| {
                     let channels = setups::diverse();
                     let config = ProtocolConfig::new(kappa, mu).unwrap();
-                    let offered =
-                        testbed::optimal_symbol_rate(&channels, &config).unwrap();
+                    let offered = testbed::optimal_symbol_rate(&channels, &config).unwrap();
                     let net = testbed::network_for(&channels, &config);
                     let session = Session::new(
                         config,

@@ -2,9 +2,19 @@
 //! scheduler simplification (§V), the MICSS-compatible schedule
 //! limitation (§IV-E), and the reassembly eviction policy (§V).
 
+use std::time::Instant;
+
 use mcss::prelude::*;
 
+use crate::report::BenchReport;
+use crate::sweep::Timed;
 use crate::{mbps, run_session, Mode, Row};
+
+/// Emits a machine-readable report for a serial ablation sweep.
+fn emit(id: &str, mode: &str, start: Instant, timed: &[Timed<Row>]) {
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    BenchReport::new(id, mode, 1, wall, timed).emit();
+}
 
 /// Ablation 1 — scheduler comparison: dynamic (paper) vs static §IV-D LP
 /// vs round-robin, on every setup at `κ = 2, μ = 3`, driven at the
@@ -22,26 +32,23 @@ pub fn schedulers(mode: Mode) -> Vec<Row> {
         ("lossy", setups::lossy()),
         ("delayed", setups::delayed()),
     ];
-    let mut rows = Vec::new();
+    let sweep_start = Instant::now();
+    let mut timed: Vec<Timed<Row>> = Vec::new();
     for (name, channels) in &setups {
         let base = ProtocolConfig::new(2.0, 3.0).expect("valid");
         let share_channels = testbed::share_rate_channels(channels, &base).expect("convert");
-        let lp = lp_schedule::optimal_schedule_at_max_rate(
-            &share_channels,
-            2.0,
-            3.0,
-            Objective::Loss,
-        )
-        .expect("feasible");
+        let lp =
+            lp_schedule::optimal_schedule_at_max_rate(&share_channels, 2.0, 3.0, Objective::Loss)
+                .expect("feasible");
         let kinds: Vec<(&str, SchedulerKind)> = vec![
             ("dynamic", SchedulerKind::Dynamic),
             ("static-lp", SchedulerKind::Static(lp)),
             ("round-robin", SchedulerKind::RoundRobin),
         ];
         for (kname, kind) in kinds {
+            let point_start = Instant::now();
             let config = base.clone().with_scheduler(kind);
-            let opt_symbols =
-                testbed::optimal_symbol_rate(channels, &config).expect("valid mu");
+            let opt_symbols = testbed::optimal_symbol_rate(channels, &config).expect("valid mu");
             let report = run_session(
                 channels,
                 config.clone(),
@@ -58,18 +65,22 @@ pub fn schedulers(mode: Mode) -> Vec<Row> {
                     .mean_one_way_delay
                     .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3),
             );
-            rows.push(Row {
-                label: format!("{name}/{kname}"),
-                x: 0.0,
-                optimal,
-                actual: report.achieved_payload_bps,
+            timed.push(Timed {
+                value: Row {
+                    label: format!("{name}/{kname}"),
+                    x: 0.0,
+                    optimal,
+                    actual: report.achieved_payload_bps,
+                },
+                millis: point_start.elapsed().as_secs_f64() * 1e3,
             });
         }
     }
     println!("\nreading: the static LP schedule matches rate and beats dynamic on the");
     println!("optimized property; round-robin wastes rate on diverse channels because");
     println!("it ignores per-channel capacity.");
-    rows
+    emit("ablation_schedulers", mode.label(), sweep_start, &timed);
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 /// Ablation 2 — MICSS-compatible limited schedules (§IV-E): the
@@ -92,14 +103,15 @@ pub fn micss_limitation() -> Vec<Row> {
             Objective::Privacy,
         ),
     ];
-    let mut rows = Vec::new();
+    let sweep_start = Instant::now();
+    let mut timed: Vec<Timed<Row>> = Vec::new();
     for (name, channels, objective) in &cases {
         for &(kappa, mu) in &[(1.5, 3.0), (2.0, 3.0), (2.5, 4.0), (3.5, 4.5)] {
-            let free = lp_schedule::optimal_schedule(channels, kappa, mu, *objective)
-                .expect("feasible");
-            let limited =
-                micss::optimal_limited_schedule(channels, kappa, mu, *objective)
-                    .expect("feasible by Theorem 5");
+            let point_start = Instant::now();
+            let free =
+                lp_schedule::optimal_schedule(channels, kappa, mu, *objective).expect("feasible");
+            let limited = micss::optimal_limited_schedule(channels, kappa, mu, *objective)
+                .expect("feasible by Theorem 5");
             let value = |s: &ShareSchedule| match objective {
                 Objective::Privacy => s.risk(channels),
                 Objective::Loss => s.loss(channels),
@@ -110,18 +122,22 @@ pub fn micss_limitation() -> Vec<Row> {
             println!(
                 "{name:<9} {objective:<8} {kappa:>5.1} {mu:>5.1} {vf:>13.6} {vl:>13.6} {penalty:>7.2}x"
             );
-            rows.push(Row {
-                label: format!("{name}/{objective}/{kappa}/{mu}"),
-                x: mu,
-                optimal: vf,
-                actual: vl,
+            timed.push(Timed {
+                value: Row {
+                    label: format!("{name}/{objective}/{kappa}/{mu}"),
+                    x: mu,
+                    optimal: vf,
+                    actual: vl,
+                },
+                millis: point_start.elapsed().as_secs_f64() * 1e3,
             });
         }
     }
     println!("\nreading: the hard floor guarantee of the MICSS threat model costs");
     println!("nothing in rate (Theorem 4) but can cost in the optimized property —");
     println!("the paper's section IV-E counterexample generalizes.");
-    rows
+    emit("ablation_micss", "model", sweep_start, &timed);
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 /// Ablation 3 — reassembly eviction: sweep the timeout on the Delayed
@@ -130,10 +146,15 @@ pub fn micss_limitation() -> Vec<Row> {
 /// and delivered fraction in `actual`.
 pub fn eviction(mode: Mode) -> Vec<Row> {
     println!("=== Ablation: reassembly eviction timeout (Delayed, kappa = mu = 5) ===");
-    println!("{:>12} {:>12} {:>14}", "timeout ms", "delivered", "evictions");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "timeout ms", "delivered", "evictions"
+    );
     let channels = setups::delayed();
-    let mut rows = Vec::new();
+    let sweep_start = Instant::now();
+    let mut timed: Vec<Timed<Row>> = Vec::new();
     for &timeout_ms in &[1u64, 2, 5, 10, 13, 20, 50, 200] {
+        let point_start = Instant::now();
         let config = ProtocolConfig::new(5.0, 5.0)
             .expect("valid")
             .with_reassembly_timeout(mcss::netsim::SimTime::from_millis(timeout_ms));
@@ -149,16 +170,20 @@ pub fn eviction(mode: Mode) -> Vec<Row> {
             "{timeout_ms:>12} {delivered:>12.4} {:>14}",
             report.reassembly.timeout_evictions
         );
-        rows.push(Row {
-            label: "eviction".into(),
-            x: timeout_ms as f64,
-            optimal: 1.0,
-            actual: delivered,
+        timed.push(Timed {
+            value: Row {
+                label: "eviction".into(),
+                x: timeout_ms as f64,
+                optimal: 1.0,
+                actual: delivered,
+            },
+            millis: point_start.elapsed().as_secs_f64() * 1e3,
         });
     }
     println!("\nreading: timeouts below the slowest needed channel (12.5 ms) evict");
     println!("nearly everything; above it, they only bound memory, costing nothing.");
-    rows
+    emit("ablation_eviction", mode.label(), sweep_start, &timed);
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
 //! Ablation: reassembly eviction timeout sweep.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::ablations::eviction(mcss_bench::Mode::from_args());
 }

@@ -1,4 +1,5 @@
 //! Ablation: MICSS-compatible limited schedules vs unrestricted.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::ablations::micss_limitation();
 }

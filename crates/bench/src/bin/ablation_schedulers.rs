@@ -1,4 +1,5 @@
 //! Ablation: dynamic vs static-LP vs round-robin schedulers.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::ablations::schedulers(mcss_bench::Mode::from_args());
 }

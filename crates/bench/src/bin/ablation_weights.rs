@@ -1,10 +1,16 @@
 //! Ablation: sweeping the composite-objective weights traces the
 //! privacy/loss frontier among max-rate schedules — the scalarization
 //! view of the paper's tradeoff thesis.
-use mcss::prelude::*;
+use std::time::Instant;
+
 use mcss::model::lp_schedule::{optimal_schedule_weighted_at_max_rate, Weights};
+use mcss::prelude::*;
+use mcss_bench::report::BenchReport;
+use mcss_bench::sweep::Timed;
+use mcss_bench::Row;
 
 fn main() {
+    mcss_bench::report::enable_emission();
     let channels = setups::lossy();
     let channels = {
         // Give the Lossy setup meaningful risk diversity.
@@ -18,14 +24,23 @@ fn main() {
     };
     let (kappa, mu) = (2.0, 3.5);
     println!("=== Ablation: composite objective weights (kappa = {kappa}, mu = {mu}) ===");
-    println!("{:>10} {:>12} {:>12}", "w_loss/w_z", "risk Z(p)", "loss L(p)");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "w_loss/w_z", "risk Z(p)", "loss L(p)"
+    );
+    let sweep_start = Instant::now();
+    let mut timed: Vec<Timed<Row>> = Vec::new();
     let mut prev_risk = f64::NEG_INFINITY;
     let mut prev_loss = f64::INFINITY;
     for exp in -4..=4 {
+        let point_start = Instant::now();
         let ratio = 10f64.powi(exp);
-        let w = Weights { risk: 1.0, loss: ratio, delay: 0.0 };
-        let p = optimal_schedule_weighted_at_max_rate(&channels, kappa, mu, w)
-            .expect("feasible");
+        let w = Weights {
+            risk: 1.0,
+            loss: ratio,
+            delay: 0.0,
+        };
+        let p = optimal_schedule_weighted_at_max_rate(&channels, kappa, mu, w).expect("feasible");
         let (z, l) = (p.risk(&channels), p.loss(&channels));
         println!("{ratio:>10.4} {z:>12.5} {l:>12.3e}");
         // Moving weight toward loss should never worsen loss or improve
@@ -34,7 +49,18 @@ fn main() {
         assert!(z >= prev_risk - 1e-9, "risk must rise as loss dominates");
         prev_risk = z;
         prev_loss = l;
+        timed.push(Timed {
+            value: Row {
+                label: "weights".into(),
+                x: ratio,
+                optimal: z,
+                actual: l,
+            },
+            millis: point_start.elapsed().as_secs_f64() * 1e3,
+        });
     }
     println!("\nreading: the weight ratio walks the Pareto frontier between the");
     println!("privacy-optimal and loss-optimal max-rate schedules.");
+    let wall = sweep_start.elapsed().as_secs_f64() * 1e3;
+    BenchReport::new("ablation_weights", "model", 1, wall, &timed).emit();
 }

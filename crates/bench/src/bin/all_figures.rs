@@ -1,6 +1,7 @@
 //! Runs every figure and ablation in sequence (the full reproduction).
 //! Pass --quick for reduced sweeps.
 fn main() {
+    mcss_bench::report::enable_emission();
     let mode = mcss_bench::Mode::from_args();
     let _ = mcss_bench::fig2::run();
     let _ = mcss_bench::fig3::run(mode);

@@ -1,4 +1,5 @@
 //! Regenerates Figure 2: share packing with r = (3, 4, 8).
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::fig2::run();
 }

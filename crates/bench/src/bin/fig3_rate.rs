@@ -1,5 +1,6 @@
 //! Regenerates Figure 3: optimal and actual rate over (kappa, mu) on the
 //! Identical and Diverse setups. Pass --quick for a reduced sweep.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::fig3::run(mcss_bench::Mode::from_args());
 }

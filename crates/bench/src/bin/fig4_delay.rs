@@ -1,5 +1,6 @@
 //! Regenerates Figure 4: optimal and actual delay at maximum rate on the
 //! Delayed setup. Pass --quick for a reduced sweep.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::fig4::run(mcss_bench::Mode::from_args());
 }

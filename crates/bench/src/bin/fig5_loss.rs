@@ -1,5 +1,6 @@
 //! Regenerates Figure 5: loss at maximum rate on the Lossy setup.
 //! Pass --quick for a reduced sweep.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::fig5::run(mcss_bench::Mode::from_args());
 }

@@ -1,5 +1,6 @@
 //! Regenerates Figure 6: rate scaling with mu = 1 on the Identical setup
 //! as channel rates grow 100 -> 800 Mbit/s. Pass --quick for fewer points.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::fig6::run(mcss_bench::Mode::from_args());
 }

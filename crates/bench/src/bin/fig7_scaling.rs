@@ -1,5 +1,6 @@
 //! Regenerates Figure 7: rate scaling with mu = 5, kappa in 1..5.
 //! Pass --quick for fewer points.
 fn main() {
+    mcss_bench::report::enable_emission();
     let _ = mcss_bench::fig7::run(mcss_bench::Mode::from_args());
 }

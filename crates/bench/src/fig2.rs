@@ -7,8 +7,12 @@
 //! the optimal rate, per-channel share budgets `r'ᵢ = min(rᵢ, R_C)`, and
 //! utilization for a μ sweep over the figure's three channels.
 
+use std::time::Instant;
+
 use mcss::prelude::*;
 
+use crate::report::BenchReport;
+use crate::sweep::Timed;
 use crate::Row;
 
 /// Runs the Figure 2 analysis; returns one row per μ with the optimal
@@ -28,9 +32,11 @@ pub fn run() -> Vec<Row> {
         "{:>5} {:>9} {:>7} {:>7} {:>7} {:>12} {:>9}",
         "mu", "R_C", "r'_1", "r'_2", "r'_3", "utilization", "bound(T1)"
     );
-    let mut rows = Vec::new();
+    let sweep_start = Instant::now();
+    let mut timed: Vec<Timed<Row>> = Vec::new();
     let mut mu = 1.0;
     while mu <= 3.0 + 1e-9 {
+        let start = Instant::now();
         let rc = optimal::optimal_rate(&channels, mu).expect("valid mu");
         let util = optimal::channel_utilization(&channels, mu).expect("valid mu");
         let used: f64 = util.iter().sum();
@@ -42,17 +48,24 @@ pub fn run() -> Vec<Row> {
             util[2],
             100.0 * used / total,
         );
-        rows.push(Row {
-            label: "fig2".into(),
-            x: mu,
-            optimal: rc,
-            actual: used / total,
+        timed.push(Timed {
+            value: Row {
+                label: "fig2".into(),
+                x: mu,
+                optimal: rc,
+                actual: used / total,
+            },
+            millis: start.elapsed().as_secs_f64() * 1e3,
         });
         mu += 0.25;
     }
+    let wall = sweep_start.elapsed().as_secs_f64() * 1e3;
     println!("\nas in the paper: mu <= {mu_full:.3} keeps every channel busy; beyond it");
     println!("the fastest channel can no longer be filled (r'_3 < 8) and R_C falls faster.");
-    rows
+    // The model sweep is trivially fast; it runs serially but reports
+    // the same machine-readable series as the simulated figures.
+    BenchReport::new("fig2", "model", 1, wall, &timed).emit();
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 #[cfg(test)]

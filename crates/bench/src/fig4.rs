@@ -8,9 +8,49 @@
 //! become well-behaved exactly when at least κ channels are
 //! underutilized; both plots are reproduced here as one table.
 
+use std::time::Instant;
+
 use mcss::prelude::*;
 
+use crate::fig3::{grid, GridPoint};
+use crate::report::BenchReport;
+use crate::sweep;
 use crate::{run_session, Mode, Row};
+
+/// The per-point RNG seed, a pure function of the grid coordinates.
+#[must_use]
+pub fn seed(kappa_i: usize, mu: f64) -> u64 {
+    0xF164 ^ (kappa_i as u64) << 7 ^ ((mu * 10.0) as u64)
+}
+
+/// Evaluates one grid point: LP-predicted delay vs measured RTT/2.
+fn eval(channels: &ChannelSet, mode: Mode, point: GridPoint) -> Row {
+    let GridPoint { kappa_i, mu } = point;
+    let kappa = kappa_i as f64;
+    let config = ProtocolConfig::new(kappa, mu).expect("valid parameters");
+    let share_channels = testbed::share_rate_channels(channels, &config).expect("conversion");
+    let predicted =
+        lp_schedule::optimal_schedule_at_max_rate(&share_channels, kappa, mu, Objective::Delay)
+            .expect("feasible program")
+            .delay(&share_channels);
+    let opt_symbols = testbed::optimal_symbol_rate(channels, &config).expect("valid mu");
+    let report = run_session(
+        channels,
+        config,
+        Workload::echo(opt_symbols, mode.duration()),
+        seed(kappa_i, mu),
+    );
+    // One-way delay = RTT / 2, as the paper computes.
+    let actual = report
+        .mean_rtt
+        .map_or(f64::NAN, |rtt| rtt.as_secs_f64() / 2.0);
+    Row {
+        label: format!("k{kappa_i}"),
+        x: mu,
+        optimal: predicted * 1e3,
+        actual: actual * 1e3,
+    }
+}
 
 /// Runs the Figure 4 sweep; `optimal`/`actual` are one-way delays in
 /// milliseconds.
@@ -21,52 +61,22 @@ pub fn run(mode: Mode) -> Vec<Row> {
         "{:>5} {:>5} {:>13} {:>13}",
         "kappa", "mu", "optimal ms", "actual ms"
     );
-    let mut rows = Vec::new();
-    for kappa_i in 1..=channels.len() {
-        let kappa = kappa_i as f64;
-        let mut mu = kappa;
-        while mu <= channels.len() as f64 + 1e-9 {
-            let config = ProtocolConfig::new(kappa, mu).expect("valid parameters");
-            let share_channels =
-                testbed::share_rate_channels(&channels, &config).expect("conversion");
-            let predicted = lp_schedule::optimal_schedule_at_max_rate(
-                &share_channels,
-                kappa,
-                mu,
-                Objective::Delay,
-            )
-            .expect("feasible program")
-            .delay(&share_channels);
-            let opt_symbols =
-                testbed::optimal_symbol_rate(&channels, &config).expect("valid mu");
-            let report = run_session(
-                &channels,
-                config,
-                Workload::echo(opt_symbols, mode.duration()),
-                0xF164 ^ (kappa_i as u64) << 7 ^ ((mu * 10.0) as u64),
-            );
-            // One-way delay = RTT / 2, as the paper computes.
-            let actual = report
-                .mean_rtt
-                .map_or(f64::NAN, |rtt| rtt.as_secs_f64() / 2.0);
-            println!(
-                "{kappa:>5.1} {mu:>5.1} {:>13.4} {:>13.4}",
-                predicted * 1e3,
-                actual * 1e3
-            );
-            rows.push(Row {
-                label: format!("k{kappa_i}"),
-                x: mu,
-                optimal: predicted * 1e3,
-                actual: actual * 1e3,
-            });
-            mu += mode.mu_step();
-        }
+    let threads = sweep::default_threads();
+    let start = Instant::now();
+    let points = grid(channels.len(), mode);
+    let timed = sweep::map_ordered(&points, threads, |&p| eval(&channels, mode, p));
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    for (point, row) in points.iter().zip(&timed) {
+        println!(
+            "{:>5.1} {:>5.1} {:>13.4} {:>13.4}",
+            point.kappa_i as f64, point.mu, row.value.optimal, row.value.actual
+        );
     }
     println!("\nshape check: actual delay is well above optimal (dynamic scheduling");
     println!("cannot favor fast channels) and becomes well-behaved for each kappa");
     println!("once more than kappa channels are underutilized (large mu).");
-    rows
+    BenchReport::new("fig4", mode.label(), threads, wall, &timed).emit();
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 #[cfg(test)]
@@ -77,7 +87,12 @@ mod tests {
     fn delay_shape_matches_paper() {
         let rows = run(Mode::Quick);
         for r in &rows {
-            assert!(r.actual.is_finite(), "no RTT samples at {} {}", r.label, r.x);
+            assert!(
+                r.actual.is_finite(),
+                "no RTT samples at {} {}",
+                r.label,
+                r.x
+            );
             // Implementation delay should never beat the optimum
             // (tolerance for measurement granularity).
             assert!(

@@ -6,10 +6,45 @@
 //! around 750 Mbit/s aggregate (per-channel capacity ≈ 150 Mbit/s).
 //! We reproduce this with the calibrated endpoint CPU model.
 
+use std::time::Instant;
+
 use mcss::prelude::*;
 use mcss::remicss::cpu::CpuModel;
 
+use crate::report::BenchReport;
+use crate::sweep;
 use crate::{mbps, run_session, Mode, Row};
+
+/// The per-channel rates (Mbit/s) the mode sweeps.
+#[must_use]
+pub fn rates(mode: Mode) -> Vec<u64> {
+    let step = match mode {
+        Mode::Quick => 100,
+        Mode::Full => 25,
+    };
+    (100..=800).step_by(step).collect()
+}
+
+/// Evaluates one rate point at `κ = μ = 1` under the paper CPU model.
+fn eval(mode: Mode, rate: u64) -> Row {
+    let channels = setups::identical(rate as f64);
+    let config = ProtocolConfig::new(1.0, 1.0)
+        .expect("valid parameters")
+        .with_cpu_model(CpuModel::paper_testbed());
+    let opt_symbols = testbed::optimal_symbol_rate(&channels, &config).expect("valid mu");
+    let report = run_session(
+        &channels,
+        config.clone(),
+        Workload::cbr(opt_symbols * 1.05, mode.duration()),
+        0xF166 ^ rate,
+    );
+    Row {
+        label: "mu1".into(),
+        x: rate as f64,
+        optimal: testbed::payload_bps(opt_symbols, &config),
+        actual: report.achieved_payload_bps,
+    }
+}
 
 /// Runs the Figure 6 sweep; `optimal`/`actual` are aggregate payload
 /// rates in Mbit/s, `x` is the per-channel rate in Mbit/s.
@@ -19,45 +54,24 @@ pub fn run(mode: Mode) -> Vec<Row> {
         "{:>10} {:>13} {:>13} {:>7}",
         "chan Mbps", "optimal Mbps", "actual Mbps", "ratio"
     );
-    let step = match mode {
-        Mode::Quick => 100,
-        Mode::Full => 25,
-    };
-    let mut rows = Vec::new();
-    let mut rate = 100u64;
-    while rate <= 800 {
-        let channels = setups::identical(rate as f64);
-        let config = ProtocolConfig::new(1.0, 1.0)
-            .expect("valid parameters")
-            .with_cpu_model(CpuModel::paper_testbed());
-        let opt_symbols =
-            testbed::optimal_symbol_rate(&channels, &config).expect("valid mu");
-        let report = run_session(
-            &channels,
-            config.clone(),
-            Workload::cbr(opt_symbols * 1.05, mode.duration()),
-            0xF166 ^ rate,
-        );
-        let optimal = testbed::payload_bps(opt_symbols, &config);
-        let actual = report.achieved_payload_bps;
+    let threads = sweep::default_threads();
+    let start = Instant::now();
+    let points = rates(mode);
+    let timed = sweep::map_ordered(&points, threads, |&rate| eval(mode, rate));
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    for (rate, row) in points.iter().zip(&timed) {
         println!(
             "{rate:>10} {:>13.1} {:>13.1} {:>7.3}",
-            mbps(optimal),
-            mbps(actual),
-            actual / optimal
+            mbps(row.value.optimal),
+            mbps(row.value.actual),
+            row.value.ratio()
         );
-        rows.push(Row {
-            label: "mu1".into(),
-            x: rate as f64,
-            optimal,
-            actual,
-        });
-        rate += step;
     }
     println!("\nshape check: achieved tracks optimal until the endpoint processing");
     println!("bottleneck binds, then levels off near 750 Mbit/s aggregate (paper:");
     println!("\"performance leveling off around 750 Mbps total\").");
-    rows
+    BenchReport::new("fig6", mode.label(), threads, wall, &timed).emit();
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 #[cfg(test)]
@@ -93,5 +107,14 @@ mod tests {
         let prev = &rows[rows.len() - 2];
         let rel = (high.actual - prev.actual).abs() / prev.actual;
         assert!(rel < 0.1, "plateau not flat: {rel:.3}");
+    }
+
+    #[test]
+    fn rate_grid_matches_serial_loop() {
+        assert_eq!(
+            rates(Mode::Quick),
+            vec![100, 200, 300, 400, 500, 600, 700, 800]
+        );
+        assert_eq!(rates(Mode::Full).len(), 29);
     }
 }

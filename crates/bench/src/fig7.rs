@@ -7,10 +7,51 @@
 //! receiver well before small `κ` — "large κ values causing the protocol
 //! to fall short of optimal much sooner".
 
+use std::time::Instant;
+
 use mcss::prelude::*;
 use mcss::remicss::cpu::CpuModel;
 
+use crate::report::BenchReport;
+use crate::sweep;
 use crate::{mbps, run_session, Mode, Row};
+
+/// The `(κ, per-channel rate)` grid the mode sweeps.
+#[must_use]
+pub fn grid(mode: Mode) -> Vec<(u64, u64)> {
+    let step = match mode {
+        Mode::Quick => 175,
+        Mode::Full => 25,
+    };
+    let mut points = Vec::new();
+    for kappa_i in 1..=5u64 {
+        for rate in (100..=800).step_by(step) {
+            points.push((kappa_i, rate));
+        }
+    }
+    points
+}
+
+/// Evaluates one `(κ, rate)` point at `μ = 5` under the paper CPU model.
+fn eval(mode: Mode, kappa_i: u64, rate: u64) -> Row {
+    let channels = setups::identical(rate as f64);
+    let config = ProtocolConfig::new(kappa_i as f64, 5.0)
+        .expect("valid parameters")
+        .with_cpu_model(CpuModel::paper_testbed());
+    let opt_symbols = testbed::optimal_symbol_rate(&channels, &config).expect("valid mu");
+    let report = run_session(
+        &channels,
+        config.clone(),
+        Workload::cbr(opt_symbols * 1.05, mode.duration()),
+        0xF177 ^ (kappa_i << 16) ^ rate,
+    );
+    Row {
+        label: format!("k{kappa_i}"),
+        x: rate as f64,
+        optimal: testbed::payload_bps(opt_symbols, &config),
+        actual: report.achieved_payload_bps,
+    }
+}
 
 /// Runs the Figure 7 sweep; `x` is the per-channel rate in Mbit/s and
 /// rows are labelled by κ.
@@ -20,48 +61,27 @@ pub fn run(mode: Mode) -> Vec<Row> {
         "{:>6} {:>10} {:>13} {:>13} {:>7}",
         "kappa", "chan Mbps", "optimal Mbps", "actual Mbps", "ratio"
     );
-    let step = match mode {
-        Mode::Quick => 175,
-        Mode::Full => 25,
-    };
-    let mut rows = Vec::new();
-    for kappa_i in 1..=5u64 {
-        let kappa = kappa_i as f64;
-        let mut rate = 100u64;
-        while rate <= 800 {
-            let channels = setups::identical(rate as f64);
-            let config = ProtocolConfig::new(kappa, 5.0)
-                .expect("valid parameters")
-                .with_cpu_model(CpuModel::paper_testbed());
-            let opt_symbols =
-                testbed::optimal_symbol_rate(&channels, &config).expect("valid mu");
-            let report = run_session(
-                &channels,
-                config.clone(),
-                Workload::cbr(opt_symbols * 1.05, mode.duration()),
-                0xF177 ^ (kappa_i << 16) ^ rate,
-            );
-            let optimal = testbed::payload_bps(opt_symbols, &config);
-            let actual = report.achieved_payload_bps;
-            println!(
-                "{kappa:>6.1} {rate:>10} {:>13.1} {:>13.1} {:>7.3}",
-                mbps(optimal),
-                mbps(actual),
-                actual / optimal
-            );
-            rows.push(Row {
-                label: format!("k{kappa_i}"),
-                x: rate as f64,
-                optimal,
-                actual,
-            });
-            rate += step;
-        }
+    let threads = sweep::default_threads();
+    let start = Instant::now();
+    let points = grid(mode);
+    let timed = sweep::map_ordered(&points, threads, |&(kappa_i, rate)| {
+        eval(mode, kappa_i, rate)
+    });
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    for (&(kappa_i, rate), row) in points.iter().zip(&timed) {
+        println!(
+            "{:>6.1} {rate:>10} {:>13.1} {:>13.1} {:>7.3}",
+            kappa_i as f64,
+            mbps(row.value.optimal),
+            mbps(row.value.actual),
+            row.value.ratio()
+        );
     }
     println!("\nshape check: all kappa track optimal at low channel rates; as rates");
     println!("grow, kappa = 5 falls short first (quadratic reconstruction cost),");
     println!("kappa = 1 last — the threshold barely affects rate until saturation.");
-    rows
+    BenchReport::new("fig7", mode.label(), threads, wall, &timed).emit();
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 #[cfg(test)]
@@ -95,5 +115,14 @@ mod tests {
                 first.ratio()
             );
         }
+    }
+
+    #[test]
+    fn grid_matches_serial_loop() {
+        let points = grid(Mode::Quick);
+        assert_eq!(points.len(), 25);
+        assert_eq!(points[0], (1, 100));
+        assert_eq!(points[4], (1, 800));
+        assert_eq!(*points.last().unwrap(), (5, 800));
     }
 }

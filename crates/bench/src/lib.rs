@@ -25,6 +25,8 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod report;
+pub mod sweep;
 
 use mcss::netsim::{SimTime, Simulator};
 use mcss::prelude::*;
@@ -70,6 +72,15 @@ impl Mode {
             Mode::Full => SimTime::from_millis(1000),
         }
     }
+
+    /// Lowercase name used in machine-readable reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        }
+    }
 }
 
 /// Runs one protocol session and returns its report over the workload
@@ -85,8 +96,7 @@ pub fn run_session(
         Workload::Cbr { duration, .. } | Workload::Echo { duration, .. } => duration,
     };
     let net = testbed::network_for(channels, &config);
-    let session =
-        Session::new(config, channels.len(), workload).expect("valid session parameters");
+    let session = Session::new(config, channels.len(), workload).expect("valid session parameters");
     let mut sim = Simulator::new(net, session, seed);
     sim.run_until(window + SimTime::from_secs(1));
     sim.app().report(window)

@@ -1,0 +1,155 @@
+//! A `std::thread`-based parallel sweep runner.
+//!
+//! Every figure sweep is an embarrassingly parallel grid of `(κ, μ)` (or
+//! channel-rate) points, and every point carries its *own* RNG seed (see
+//! the `seed` functions in the figure modules), so points can run in any
+//! order — and on any thread — without changing a single bit of output.
+//! [`map_ordered`] shards a grid across worker threads with a shared
+//! atomic cursor and reassembles the results in grid order, which makes
+//! parallel output indistinguishable from a serial loop. The regression
+//! test in `tests/parallel_regression.rs` pins this bit-for-bit.
+//!
+//! No thread pool crate, no scoped-thread dependency: plain
+//! [`std::thread::scope`] plus an [`AtomicUsize`] work queue and an
+//! `mpsc` channel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// A sweep result together with how long its point took to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timed<T> {
+    /// The point's result.
+    pub value: T,
+    /// Wall-clock evaluation time of this point, milliseconds.
+    pub millis: f64,
+}
+
+/// The worker count sweeps use by default: the `MCSS_BENCH_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MCSS_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn time_one<P, T>(f: &impl Fn(&P) -> T, point: &P) -> Timed<T> {
+    let start = Instant::now();
+    let value = f(point);
+    Timed {
+        value,
+        millis: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Evaluates `f` on every point, fanning the grid out over `threads`
+/// workers, and returns the results **in grid order** with per-point
+/// timings.
+///
+/// Each worker claims the next unevaluated index from a shared atomic
+/// cursor (work stealing, so an expensive point does not stall a whole
+/// stripe) and sends `(index, result)` back over a channel; the caller
+/// reassembles by index. Because every figure point seeds its own RNG,
+/// the returned values are identical — bitwise — for any thread count.
+/// `threads <= 1` short-circuits to a plain serial loop.
+pub fn map_ordered<P, T, F>(points: &[P], threads: usize, f: F) -> Vec<Timed<T>>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> T + Sync,
+{
+    let threads = threads.max(1).min(points.len().max(1));
+    if threads <= 1 {
+        return points.iter().map(|p| time_one(&f, p)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Timed<T>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                if tx.send((i, time_one(f, point))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Timed<T>>> = (0..points.len()).map(|_| None).collect();
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every grid point evaluated"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_grid_order() {
+        let points: Vec<usize> = (0..40).collect();
+        let out = map_ordered(&points, 4, |&p| p * p);
+        let values: Vec<usize> = out.iter().map(|t| t.value).collect();
+        let expect: Vec<usize> = points.iter().map(|&p| p * p).collect();
+        assert_eq!(values, expect);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let points: Vec<u64> = (0..25).collect();
+        // A deterministic per-point computation seeded by the point
+        // itself, like the figure sweeps.
+        let eval = |&p: &u64| {
+            let mut acc = p ^ 0x9e37_79b9_7f4a_7c15;
+            for _ in 0..100 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(p);
+            }
+            acc
+        };
+        let serial: Vec<u64> = map_ordered(&points, 1, eval)
+            .into_iter()
+            .map(|t| t.value)
+            .collect();
+        let parallel: Vec<u64> = map_ordered(&points, 8, eval)
+            .into_iter()
+            .map(|t| t.value)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_grid_is_empty() {
+        let out = map_ordered(&[] as &[u8], 4, |_| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn records_positive_timings() {
+        let out = map_ordered(&[1u8, 2, 3], 2, |&p| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            p
+        });
+        assert!(out.iter().all(|t| t.millis > 0.0));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Regression pin: the parallel sweep runner is *bit-identical* to a
+//! serial loop on a reduced Figure 3 grid (Identical setup, κ ∈ {1, 2},
+//! μ in steps of 0.5).
+//!
+//! Every grid point seeds its own RNG from its coordinates, so thread
+//! count and evaluation order must not change a single bit of any
+//! result. Comparisons below use `f64::to_bits` — no tolerance.
+
+use mcss::prelude::setups;
+use mcss_bench::fig3::{self, GridPoint};
+use mcss_bench::Mode;
+
+fn reduced_grid() -> Vec<GridPoint> {
+    let points: Vec<GridPoint> = fig3::grid(5, Mode::Quick)
+        .into_iter()
+        .filter(|p| p.kappa_i <= 2)
+        .collect();
+    // κ = 1: μ ∈ {1.0, 1.5, …, 5.0}; κ = 2: μ ∈ {2.0, 2.5, …, 5.0}.
+    assert_eq!(points.len(), 9 + 7);
+    points
+}
+
+#[test]
+fn parallel_sweep_bit_identical_to_serial() {
+    let channels = setups::identical(100.0);
+    let points = reduced_grid();
+    let serial = fig3::eval_points("Identical-100", &channels, Mode::Quick, &points, 1);
+    for threads in [2, 4] {
+        let parallel = fig3::eval_points("Identical-100", &channels, Mode::Quick, &points, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.value.label, p.value.label, "labels diverge");
+            assert_eq!(
+                s.value.x.to_bits(),
+                p.value.x.to_bits(),
+                "{}: x diverges at {} threads",
+                s.value.label,
+                threads
+            );
+            assert_eq!(
+                s.value.optimal.to_bits(),
+                p.value.optimal.to_bits(),
+                "{} mu={}: optimal diverges at {} threads",
+                s.value.label,
+                s.value.x,
+                threads
+            );
+            assert_eq!(
+                s.value.actual.to_bits(),
+                p.value.actual.to_bits(),
+                "{} mu={}: actual diverges at {} threads",
+                s.value.label,
+                s.value.x,
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    let channels = setups::identical(100.0);
+    let points: Vec<GridPoint> = reduced_grid().into_iter().take(5).collect();
+    let a = fig3::eval_points("Identical-100", &channels, Mode::Quick, &points, 4);
+    let b = fig3::eval_points("Identical-100", &channels, Mode::Quick, &points, 4);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.value, y.value, "same grid, same seeds, same bits");
+    }
+}

@@ -130,10 +130,7 @@ impl JointRisk {
     ///
     /// [`ModelError::InvalidEntry`] if groups overlap or reference
     /// channels outside the set.
-    pub fn shared_edges(
-        channels: &ChannelSet,
-        groups: &[Vec<usize>],
-    ) -> Result<Self, ModelError> {
+    pub fn shared_edges(channels: &ChannelSet, groups: &[Vec<usize>]) -> Result<Self, ModelError> {
         let n = channels.len();
         let mut assigned = Subset::EMPTY;
         // Unit = (member subset, observation probability).
@@ -294,8 +291,7 @@ mod tests {
         // adversary holding any fixed 2 channels.
         let channels = setups::diverse_with_risk(&[0.5; 5]);
         let schedule =
-            micss::optimal_limited_schedule(&channels, 3.0, 4.0, Objective::Privacy)
-                .unwrap();
+            micss::optimal_limited_schedule(&channels, 3.0, 4.0, Objective::Privacy).unwrap();
         for a in 0..5 {
             for b in (a + 1)..5 {
                 let joint = JointRisk::fixed_taps(5, Subset::from_indices(&[a, b]));
@@ -313,8 +309,7 @@ mod tests {
         // risk for every threshold k >= 2.
         let channels = setups::diverse_with_risk(&[0.3, 0.3, 0.3, 0.3, 0.3]);
         let disjoint = JointRisk::independent(&channels);
-        let shared =
-            JointRisk::shared_edges(&channels, &[vec![0, 1, 2]]).unwrap();
+        let shared = JointRisk::shared_edges(&channels, &[vec![0, 1, 2]]).unwrap();
         for i in 0..5 {
             assert!((shared.marginal(i) - 0.3).abs() < 1e-12);
         }
@@ -334,16 +329,11 @@ mod tests {
     #[test]
     fn schedule_risk_under_correlation_exceeds_base_z() {
         let channels = setups::diverse_with_risk(&[0.4; 5]);
-        let schedule = lp_schedule::optimal_schedule_at_max_rate(
-            &channels,
-            3.0,
-            4.0,
-            Objective::Privacy,
-        )
-        .unwrap();
+        let schedule =
+            lp_schedule::optimal_schedule_at_max_rate(&channels, 3.0, 4.0, Objective::Privacy)
+                .unwrap();
         let base = schedule.risk(&channels);
-        let shared =
-            JointRisk::shared_edges(&channels, &[vec![0, 1], vec![2, 3]]).unwrap();
+        let shared = JointRisk::shared_edges(&channels, &[vec![0, 1], vec![2, 3]]).unwrap();
         let correlated = shared.schedule_risk(&schedule);
         assert!(
             correlated > base,
@@ -361,7 +351,10 @@ mod tests {
         assert!(JointRisk::mixture(2, &[(Subset::singleton(5), 0.1)]).is_err());
         let j = JointRisk::mixture(
             3,
-            &[(Subset::from_indices(&[0, 1]), 0.25), (Subset::singleton(2), 0.25)],
+            &[
+                (Subset::from_indices(&[0, 1]), 0.25),
+                (Subset::singleton(2), 0.25),
+            ],
         )
         .unwrap();
         // Remaining 0.5 observes nothing.

@@ -151,7 +151,10 @@ mod tests {
                 mu: 1.0,
                 n: 5,
             },
-            ModelError::InvalidEntry { k: 3, subset_len: 2 },
+            ModelError::InvalidEntry {
+                k: 3,
+                subset_len: 2,
+            },
             ModelError::InvalidDistribution { sum: 0.5 },
             ModelError::EmptySchedule,
             ModelError::Lp(mcss_lp::LpError::Infeasible),

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod adversary;
+pub mod cache;
 mod channel;
 mod error;
 pub mod lp_schedule;
@@ -63,6 +64,7 @@ mod schedule;
 pub mod setups;
 pub mod subset;
 
+pub use cache::SubsetMetricCache;
 pub use channel::{Channel, ChannelSet, MAX_CHANNELS};
 pub use error::{ChannelError, ModelError};
 pub use schedule::{ScheduleBuilder, ScheduleEntry, ShareSchedule};

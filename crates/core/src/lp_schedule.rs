@@ -12,11 +12,12 @@
 
 use mcss_lp::{Problem, Relation};
 
+use crate::cache::SubsetMetricCache;
 use crate::channel::ChannelSet;
 use crate::error::ModelError;
+use crate::optimal;
 use crate::schedule::{ScheduleBuilder, ScheduleEntry, ShareSchedule};
 use crate::subset::{self, Subset};
-use crate::optimal;
 
 /// Which schedule property the linear program minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +38,16 @@ impl Objective {
             Objective::Privacy => subset::risk(channels, k, subset),
             Objective::Loss => subset::loss(channels, k, subset),
             Objective::Delay => subset::delay(channels, k, subset),
+        }
+    }
+
+    /// [`Objective::cost`] served from precomputed tables.
+    #[must_use]
+    pub fn cost_cached(self, cache: &SubsetMetricCache, k: usize, subset: Subset) -> f64 {
+        match self {
+            Objective::Privacy => cache.risk(k, subset),
+            Objective::Loss => cache.loss(k, subset),
+            Objective::Delay => cache.delay(k, subset),
         }
     }
 }
@@ -66,11 +77,7 @@ pub fn all_entries(n: usize) -> Vec<ScheduleEntry> {
 
 fn validate_params(n: usize, kappa: f64, mu: f64) -> Result<(), ModelError> {
     let nf = n as f64;
-    if !(kappa.is_finite() && mu.is_finite())
-        || kappa < 1.0
-        || kappa > mu
-        || mu > nf
-    {
+    if !(kappa.is_finite() && mu.is_finite()) || kappa < 1.0 || kappa > mu || mu > nf {
         return Err(ModelError::InvalidParameters { kappa, mu, n });
     }
     Ok(())
@@ -78,6 +85,7 @@ fn validate_params(n: usize, kappa: f64, mu: f64) -> Result<(), ModelError> {
 
 fn solve_over_entries(
     channels: &ChannelSet,
+    cache: &SubsetMetricCache,
     entries: &[ScheduleEntry],
     objective: Objective,
     kappa: f64,
@@ -86,7 +94,7 @@ fn solve_over_entries(
 ) -> Result<ShareSchedule, ModelError> {
     let costs: Vec<f64> = entries
         .iter()
-        .map(|e| objective.cost(channels, e.k() as usize, e.subset()))
+        .map(|e| objective.cost_cached(cache, e.k() as usize, e.subset()))
         .collect();
     solve_lp(channels, entries, &costs, kappa, mu, usage)
 }
@@ -159,10 +167,7 @@ impl Weights {
     /// ```
     #[must_use]
     pub fn normalized_for(mut self, channels: &ChannelSet) -> Self {
-        let dmax = channels
-            .iter()
-            .map(|c| c.delay())
-            .fold(0.0f64, f64::max);
+        let dmax = channels.iter().map(|c| c.delay()).fold(0.0f64, f64::max);
         if dmax > 0.0 {
             self.delay /= dmax;
         }
@@ -171,9 +176,7 @@ impl Weights {
 
     fn validate(&self) -> Result<(), ModelError> {
         let vals = [self.risk, self.loss, self.delay];
-        if vals.iter().any(|w| !w.is_finite() || *w < 0.0)
-            || vals.iter().all(|w| *w == 0.0)
-        {
+        if vals.iter().any(|w| !w.is_finite() || *w < 0.0) || vals.iter().all(|w| *w == 0.0) {
             return Err(ModelError::InvalidDistribution {
                 sum: self.risk + self.loss + self.delay,
             });
@@ -181,16 +184,16 @@ impl Weights {
         Ok(())
     }
 
-    fn cost(&self, channels: &ChannelSet, k: usize, m: Subset) -> f64 {
+    fn cost_cached(&self, cache: &SubsetMetricCache, k: usize, m: Subset) -> f64 {
         let mut c = 0.0;
         if self.risk > 0.0 {
-            c += self.risk * subset::risk(channels, k, m);
+            c += self.risk * cache.risk(k, m);
         }
         if self.loss > 0.0 {
-            c += self.loss * subset::loss(channels, k, m);
+            c += self.loss * cache.loss(k, m);
         }
         if self.delay > 0.0 {
-            c += self.delay * subset::delay(channels, k, m);
+            c += self.delay * cache.delay(k, m);
         }
         c
     }
@@ -220,10 +223,37 @@ pub fn optimal_schedule_weighted(
     mu: f64,
     weights: Weights,
 ) -> Result<ShareSchedule, ModelError> {
+    optimal_schedule_weighted_with_cache(
+        channels,
+        &SubsetMetricCache::new(channels),
+        kappa,
+        mu,
+        weights,
+    )
+}
+
+/// [`optimal_schedule_weighted`] with a caller-supplied metric cache, for
+/// sweeps that solve many programs over one channel set.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_schedule_weighted`].
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different channel count.
+pub fn optimal_schedule_weighted_with_cache(
+    channels: &ChannelSet,
+    cache: &SubsetMetricCache,
+    kappa: f64,
+    mu: f64,
+    weights: Weights,
+) -> Result<ShareSchedule, ModelError> {
+    assert_eq!(cache.n(), channels.len(), "cache built for a different set");
     validate_params(channels.len(), kappa, mu)?;
     weights.validate()?;
     let entries = all_entries(channels.len());
-    solve_weighted(channels, &entries, weights, kappa, Some(mu), None)
+    solve_weighted(channels, cache, &entries, weights, kappa, Some(mu), None)
 }
 
 /// The §IV-D program with a composite objective: minimize
@@ -238,6 +268,33 @@ pub fn optimal_schedule_weighted_at_max_rate(
     mu: f64,
     weights: Weights,
 ) -> Result<ShareSchedule, ModelError> {
+    optimal_schedule_weighted_at_max_rate_with_cache(
+        channels,
+        &SubsetMetricCache::new(channels),
+        kappa,
+        mu,
+        weights,
+    )
+}
+
+/// [`optimal_schedule_weighted_at_max_rate`] with a caller-supplied
+/// metric cache.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_schedule_weighted`].
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different channel count.
+pub fn optimal_schedule_weighted_at_max_rate_with_cache(
+    channels: &ChannelSet,
+    cache: &SubsetMetricCache,
+    kappa: f64,
+    mu: f64,
+    weights: Weights,
+) -> Result<ShareSchedule, ModelError> {
+    assert_eq!(cache.n(), channels.len(), "cache built for a different set");
     validate_params(channels.len(), kappa, mu)?;
     weights.validate()?;
     let rc = optimal::optimal_rate(channels, mu)?;
@@ -246,11 +303,20 @@ pub fn optimal_schedule_weighted_at_max_rate(
         .map(|ch| (ch.rate() / rc).min(1.0))
         .collect();
     let entries = all_entries(channels.len());
-    solve_weighted(channels, &entries, weights, kappa, None, Some(&usage))
+    solve_weighted(
+        channels,
+        cache,
+        &entries,
+        weights,
+        kappa,
+        None,
+        Some(&usage),
+    )
 }
 
 fn solve_weighted(
     channels: &ChannelSet,
+    cache: &SubsetMetricCache,
     entries: &[ScheduleEntry],
     weights: Weights,
     kappa: f64,
@@ -259,7 +325,7 @@ fn solve_weighted(
 ) -> Result<ShareSchedule, ModelError> {
     let costs: Vec<f64> = entries
         .iter()
-        .map(|e| weights.cost(channels, e.k() as usize, e.subset()))
+        .map(|e| weights.cost_cached(cache, e.k() as usize, e.subset()))
         .collect();
     solve_lp(channels, entries, &costs, kappa, mu, usage)
 }
@@ -295,9 +361,36 @@ pub fn optimal_schedule(
     mu: f64,
     objective: Objective,
 ) -> Result<ShareSchedule, ModelError> {
+    optimal_schedule_with_cache(
+        channels,
+        &SubsetMetricCache::new(channels),
+        kappa,
+        mu,
+        objective,
+    )
+}
+
+/// [`optimal_schedule`] with a caller-supplied metric cache, for sweeps
+/// that solve many programs over one channel set.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_schedule`].
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different channel count.
+pub fn optimal_schedule_with_cache(
+    channels: &ChannelSet,
+    cache: &SubsetMetricCache,
+    kappa: f64,
+    mu: f64,
+    objective: Objective,
+) -> Result<ShareSchedule, ModelError> {
+    assert_eq!(cache.n(), channels.len(), "cache built for a different set");
     validate_params(channels.len(), kappa, mu)?;
     let entries = all_entries(channels.len());
-    solve_over_entries(channels, &entries, objective, kappa, Some(mu), None)
+    solve_over_entries(channels, cache, &entries, objective, kappa, Some(mu), None)
 }
 
 /// The §IV-D program: the schedule minimizing `objective` at mean
@@ -332,6 +425,32 @@ pub fn optimal_schedule_at_max_rate(
     mu: f64,
     objective: Objective,
 ) -> Result<ShareSchedule, ModelError> {
+    optimal_schedule_at_max_rate_with_cache(
+        channels,
+        &SubsetMetricCache::new(channels),
+        kappa,
+        mu,
+        objective,
+    )
+}
+
+/// [`optimal_schedule_at_max_rate`] with a caller-supplied metric cache.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_schedule_at_max_rate`].
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different channel count.
+pub fn optimal_schedule_at_max_rate_with_cache(
+    channels: &ChannelSet,
+    cache: &SubsetMetricCache,
+    kappa: f64,
+    mu: f64,
+    objective: Objective,
+) -> Result<ShareSchedule, ModelError> {
+    assert_eq!(cache.n(), channels.len(), "cache built for a different set");
     validate_params(channels.len(), kappa, mu)?;
     let rc = optimal::optimal_rate(channels, mu)?;
     let usage: Vec<f64> = channels
@@ -339,7 +458,15 @@ pub fn optimal_schedule_at_max_rate(
         .map(|ch| (ch.rate() / rc).min(1.0))
         .collect();
     let entries = all_entries(channels.len());
-    solve_over_entries(channels, &entries, objective, kappa, None, Some(&usage))
+    solve_over_entries(
+        channels,
+        cache,
+        &entries,
+        objective,
+        kappa,
+        None,
+        Some(&usage),
+    )
 }
 
 #[cfg(test)]
@@ -386,7 +513,10 @@ mod tests {
         for (kappa, mu) in [(1.0, 1.0), (1.3, 2.7), (2.0, 2.0), (4.9, 5.0), (3.0, 4.5)] {
             for obj in [Objective::Privacy, Objective::Loss, Objective::Delay] {
                 let p = optimal_schedule(&c, kappa, mu, obj).unwrap();
-                assert!((p.kappa() - kappa).abs() < 1e-6, "kappa at {kappa},{mu} {obj}");
+                assert!(
+                    (p.kappa() - kappa).abs() < 1e-6,
+                    "kappa at {kappa},{mu} {obj}"
+                );
                 assert!((p.mu() - mu).abs() < 1e-6, "mu at {kappa},{mu} {obj}");
             }
         }
@@ -409,8 +539,7 @@ mod tests {
     fn iv_d_sustains_optimal_rate() {
         let c = setups::diverse();
         for (kappa, mu) in [(1.0, 1.0), (1.0, 2.5), (2.0, 3.4), (3.0, 4.2), (5.0, 5.0)] {
-            let p =
-                optimal_schedule_at_max_rate(&c, kappa, mu, Objective::Privacy).unwrap();
+            let p = optimal_schedule_at_max_rate(&c, kappa, mu, Objective::Privacy).unwrap();
             let rc = optimal::optimal_rate(&c, mu).unwrap();
             assert!(
                 (p.max_symbol_rate(&c) - rc).abs() < 1e-6 * rc,
@@ -457,9 +586,7 @@ mod tests {
         let c = setups::diverse();
         for (kappa, mu) in [(0.5, 2.0), (2.0, 1.0), (1.0, 6.0), (f64::NAN, 2.0)] {
             assert!(optimal_schedule(&c, kappa, mu, Objective::Privacy).is_err());
-            assert!(
-                optimal_schedule_at_max_rate(&c, kappa, mu, Objective::Privacy).is_err()
-            );
+            assert!(optimal_schedule_at_max_rate(&c, kappa, mu, Objective::Privacy).is_err());
         }
     }
 
@@ -475,12 +602,20 @@ mod tests {
         let c = setups::lossy();
         let (kappa, mu) = (2.0, 3.0);
         // All weight on loss == the loss objective.
-        let w = Weights { risk: 0.0, loss: 1.0, delay: 0.0 };
+        let w = Weights {
+            risk: 0.0,
+            loss: 1.0,
+            delay: 0.0,
+        };
         let weighted = optimal_schedule_weighted(&c, kappa, mu, w).unwrap();
         let single = optimal_schedule(&c, kappa, mu, Objective::Loss).unwrap();
         assert!((weighted.loss(&c) - single.loss(&c)).abs() < 1e-9);
         // All weight on risk == the privacy objective.
-        let w = Weights { risk: 1.0, loss: 0.0, delay: 0.0 };
+        let w = Weights {
+            risk: 1.0,
+            loss: 0.0,
+            delay: 0.0,
+        };
         let weighted = optimal_schedule_weighted(&c, kappa, mu, w).unwrap();
         let single = optimal_schedule(&c, kappa, mu, Objective::Privacy).unwrap();
         assert!((weighted.risk(&c) - single.risk(&c)).abs() < 1e-9);
@@ -491,7 +626,11 @@ mod tests {
         // The composite optimum's weighted cost is at most the cost of
         // either single-objective optimum under the same weights.
         let c = setups::lossy();
-        let w = Weights { risk: 1.0, loss: 4.0, delay: 0.0 };
+        let w = Weights {
+            risk: 1.0,
+            loss: 4.0,
+            delay: 0.0,
+        };
         let combo = optimal_schedule_weighted(&c, 2.0, 3.5, w).unwrap();
         let cost = |s: &crate::ShareSchedule| w.risk * s.risk(&c) + w.loss * s.loss(&c);
         let z_opt = optimal_schedule(&c, 2.0, 3.5, Objective::Privacy).unwrap();
@@ -504,7 +643,12 @@ mod tests {
     fn weighted_at_max_rate_sustains_rate() {
         let c = setups::diverse();
         let mu = 3.2;
-        let w = Weights { risk: 1.0, loss: 1.0, delay: 1.0 }.normalized_for(&c);
+        let w = Weights {
+            risk: 1.0,
+            loss: 1.0,
+            delay: 1.0,
+        }
+        .normalized_for(&c);
         let p = optimal_schedule_weighted_at_max_rate(&c, 2.0, mu, w).unwrap();
         let rc = optimal::optimal_rate(&c, mu).unwrap();
         assert!((p.max_symbol_rate(&c) - rc).abs() < 1e-6 * rc);
@@ -515,9 +659,21 @@ mod tests {
     fn weights_validation() {
         let c = setups::lossy();
         let bad = [
-            Weights { risk: 0.0, loss: 0.0, delay: 0.0 },
-            Weights { risk: -1.0, loss: 1.0, delay: 0.0 },
-            Weights { risk: f64::NAN, loss: 1.0, delay: 0.0 },
+            Weights {
+                risk: 0.0,
+                loss: 0.0,
+                delay: 0.0,
+            },
+            Weights {
+                risk: -1.0,
+                loss: 1.0,
+                delay: 0.0,
+            },
+            Weights {
+                risk: f64::NAN,
+                loss: 1.0,
+                delay: 0.0,
+            },
         ];
         for w in bad {
             assert!(optimal_schedule_weighted(&c, 2.0, 3.0, w).is_err());
@@ -528,12 +684,22 @@ mod tests {
     #[test]
     fn normalized_weights_scale_delay() {
         let c = setups::delayed(); // max delay 12.5 ms
-        let w = Weights { risk: 1.0, loss: 1.0, delay: 1.0 }.normalized_for(&c);
+        let w = Weights {
+            risk: 1.0,
+            loss: 1.0,
+            delay: 1.0,
+        }
+        .normalized_for(&c);
         assert!((w.delay - 80.0).abs() < 1e-9);
         assert_eq!(w.risk, 1.0);
         // No positive delay: weights unchanged.
         let c0 = setups::diverse();
-        let w0 = Weights { risk: 1.0, loss: 1.0, delay: 1.0 }.normalized_for(&c0);
+        let w0 = Weights {
+            risk: 1.0,
+            loss: 1.0,
+            delay: 1.0,
+        }
+        .normalized_for(&c0);
         assert_eq!(w0.delay, 1.0);
     }
 
@@ -569,13 +735,40 @@ mod tests {
     }
 
     #[test]
+    fn cached_costs_match_direct() {
+        let c = setups::delayed();
+        let cache = SubsetMetricCache::new(&c);
+        for e in all_entries(5) {
+            let (k, m) = (e.k() as usize, e.subset());
+            for obj in [Objective::Privacy, Objective::Loss, Objective::Delay] {
+                let direct = obj.cost(&c, k, m);
+                let cached = obj.cost_cached(&cache, k, m);
+                assert!(
+                    (cached - direct).abs() <= 1e-12 * direct.abs().max(1.0),
+                    "{obj} k={k} m={m}: cached {cached} direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_cache_matches_fresh_solution() {
+        let c = setups::lossy();
+        let cache = SubsetMetricCache::new(&c);
+        let fresh = optimal_schedule(&c, 2.0, 3.0, Objective::Privacy).unwrap();
+        let cached = optimal_schedule_with_cache(&c, &cache, 2.0, 3.0, Objective::Privacy).unwrap();
+        assert_eq!(fresh.entries(), cached.entries());
+        let fresh = optimal_schedule_at_max_rate(&c, 2.0, 3.0, Objective::Loss).unwrap();
+        let cached =
+            optimal_schedule_at_max_rate_with_cache(&c, &cache, 2.0, 3.0, Objective::Loss).unwrap();
+        assert_eq!(fresh.entries(), cached.entries());
+    }
+
+    #[test]
     fn objective_cost_dispatch() {
         let c = setups::lossy();
         let m = Subset::from_indices(&[0, 1]);
-        assert_eq!(
-            Objective::Privacy.cost(&c, 1, m),
-            subset::risk(&c, 1, m)
-        );
+        assert_eq!(Objective::Privacy.cost(&c, 1, m), subset::risk(&c, 1, m));
         assert_eq!(Objective::Loss.cost(&c, 1, m), subset::loss(&c, 1, m));
         assert_eq!(Objective::Delay.cost(&c, 1, m), subset::delay(&c, 1, m));
     }

@@ -36,11 +36,7 @@ use crate::subset::Subset;
 /// assert!(entries.iter().all(|e| e.k() >= 2 && e.multiplicity() >= 3));
 /// # Ok::<(), mcss_core::ModelError>(())
 /// ```
-pub fn limited_entries(
-    n: usize,
-    kappa: f64,
-    mu: f64,
-) -> Result<Vec<ScheduleEntry>, ModelError> {
+pub fn limited_entries(n: usize, kappa: f64, mu: f64) -> Result<Vec<ScheduleEntry>, ModelError> {
     validate(n, kappa, mu)?;
     let kf = kappa.floor() as u8;
     let mf = mu.floor() as usize;
@@ -51,11 +47,7 @@ pub fn limited_entries(
 }
 
 fn validate(n: usize, kappa: f64, mu: f64) -> Result<(), ModelError> {
-    if !(kappa.is_finite() && mu.is_finite())
-        || kappa < 1.0
-        || kappa > mu
-        || mu > n as f64
-    {
+    if !(kappa.is_finite() && mu.is_finite()) || kappa < 1.0 || kappa > mu || mu > n as f64 {
         return Err(ModelError::InvalidParameters { kappa, mu, n });
     }
     Ok(())
@@ -240,7 +232,11 @@ mod tests {
         // optimum mixes (1, C) and (3, C) for delay 6.
         let c = setups::micss_counterexample();
         let limited = optimal_limited_schedule(&c, 2.0, 3.0, Objective::Delay).unwrap();
-        assert!((limited.delay(&c) - 9.0).abs() < 1e-9, "{}", limited.delay(&c));
+        assert!(
+            (limited.delay(&c) - 9.0).abs() < 1e-9,
+            "{}",
+            limited.delay(&c)
+        );
         let free = optimal_schedule(&c, 2.0, 3.0, Objective::Delay).unwrap();
         assert!((free.delay(&c) - 6.0).abs() < 1e-9, "{}", free.delay(&c));
     }
@@ -268,8 +264,7 @@ mod tests {
     #[test]
     fn hard_guarantee_floor_threshold() {
         // Every limited-schedule symbol tolerates ⌊κ⌋ − 1 interceptions.
-        let p = optimal_limited_schedule(&setups::lossy(), 2.7, 4.0, Objective::Loss)
-            .unwrap();
+        let p = optimal_limited_schedule(&setups::lossy(), 2.7, 4.0, Objective::Loss).unwrap();
         for (e, _) in p.entries() {
             assert!(e.k() >= 2);
         }

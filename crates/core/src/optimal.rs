@@ -83,11 +83,7 @@ pub fn best_rate(channels: &ChannelSet) -> f64 {
 fn validate_mu(channels: &ChannelSet, mu: f64) -> Result<(), ModelError> {
     let n = channels.len();
     if !mu.is_finite() || mu < 1.0 || mu > n as f64 {
-        return Err(ModelError::InvalidParameters {
-            kappa: 1.0,
-            mu,
-            n,
-        });
+        return Err(ModelError::InvalidParameters { kappa: 1.0, mu, n });
     }
     Ok(())
 }
@@ -294,8 +290,13 @@ mod tests {
     use proptest::prelude::*;
 
     fn chans(rates: &[f64]) -> ChannelSet {
-        ChannelSet::new(rates.iter().map(|&r| Channel::with_rate(r).unwrap()).collect())
-            .unwrap()
+        ChannelSet::new(
+            rates
+                .iter()
+                .map(|&r| Channel::with_rate(r).unwrap())
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -357,7 +358,7 @@ mod tests {
     fn theorem2_threshold_exact() {
         let c = setups::diverse();
         let mu_star = full_utilization_mu(&c); // 2.5
-        // At μ ≤ μ*, R_C = total/μ (all channels full).
+                                               // At μ ≤ μ*, R_C = total/μ (all channels full).
         let r = optimal_rate(&c, mu_star).unwrap();
         assert!((r - 250.0 / 2.5).abs() < 1e-9);
         // Just above μ*, the rate drops below total/μ.
@@ -394,7 +395,11 @@ mod tests {
 
     #[test]
     fn waterfill_agrees_with_theorem4_on_paper_setups() {
-        for c in [setups::diverse(), setups::identical(100.0), setups::figure2()] {
+        for c in [
+            setups::diverse(),
+            setups::identical(100.0),
+            setups::figure2(),
+        ] {
             let n = c.len() as f64;
             let mut mu = 1.0;
             while mu <= n {

@@ -23,6 +23,7 @@
 //! # Ok::<(), mcss_core::ModelError>(())
 //! ```
 
+use crate::cache::SubsetMetricCache;
 use crate::channel::ChannelSet;
 use crate::error::ModelError;
 use crate::lp_schedule::{self, Objective};
@@ -77,8 +78,7 @@ pub fn surface(
     kappa_step: f64,
     mu_step: f64,
 ) -> Result<Vec<TradeoffPoint>, ModelError> {
-    if !(kappa_step.is_finite() && mu_step.is_finite()) || kappa_step <= 0.0 || mu_step <= 0.0
-    {
+    if !(kappa_step.is_finite() && mu_step.is_finite()) || kappa_step <= 0.0 || mu_step <= 0.0 {
         return Err(ModelError::InvalidParameters {
             kappa: kappa_step,
             mu: mu_step,
@@ -86,12 +86,15 @@ pub fn surface(
         });
     }
     let n = channels.len() as f64;
+    // One table build amortized over the whole grid: every LP cost vector
+    // and every schedule-property evaluation below is a lookup.
+    let cache = SubsetMetricCache::new(channels);
     let mut points = Vec::new();
     let mut kappa = 1.0;
     while kappa <= n + 1e-9 {
         let mut mu = kappa;
         while mu <= n + 1e-9 {
-            points.push(point(channels, kappa.min(n), mu.min(n))?);
+            points.push(point_with_cache(channels, &cache, kappa.min(n), mu.min(n))?);
             mu += mu_step;
         }
         kappa += kappa_step;
@@ -105,13 +108,50 @@ pub fn surface(
 ///
 /// [`ModelError::InvalidParameters`] unless `1 ≤ κ ≤ μ ≤ n`.
 pub fn point(channels: &ChannelSet, kappa: f64, mu: f64) -> Result<TradeoffPoint, ModelError> {
+    point_with_cache(channels, &SubsetMetricCache::new(channels), kappa, mu)
+}
+
+/// [`point`] with a caller-supplied metric cache, for sweeps evaluating
+/// many operating points of one channel set.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidParameters`] unless `1 ≤ κ ≤ μ ≤ n`.
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different channel count.
+pub fn point_with_cache(
+    channels: &ChannelSet,
+    cache: &SubsetMetricCache,
+    kappa: f64,
+    mu: f64,
+) -> Result<TradeoffPoint, ModelError> {
     let rate = optimal::optimal_rate(channels, mu)?;
-    let risk = lp_schedule::optimal_schedule_at_max_rate(channels, kappa, mu, Objective::Privacy)?
-        .risk(channels);
-    let loss = lp_schedule::optimal_schedule_at_max_rate(channels, kappa, mu, Objective::Loss)?
-        .loss(channels);
-    let delay = lp_schedule::optimal_schedule_at_max_rate(channels, kappa, mu, Objective::Delay)?
-        .delay(channels);
+    let risk = lp_schedule::optimal_schedule_at_max_rate_with_cache(
+        channels,
+        cache,
+        kappa,
+        mu,
+        Objective::Privacy,
+    )?
+    .risk_cached(cache);
+    let loss = lp_schedule::optimal_schedule_at_max_rate_with_cache(
+        channels,
+        cache,
+        kappa,
+        mu,
+        Objective::Loss,
+    )?
+    .loss_cached(cache);
+    let delay = lp_schedule::optimal_schedule_at_max_rate_with_cache(
+        channels,
+        cache,
+        kappa,
+        mu,
+        Objective::Delay,
+    )?
+    .delay_cached(cache);
     Ok(TradeoffPoint {
         kappa,
         mu,
@@ -192,10 +232,7 @@ mod tests {
             assert!(p.delay >= 0.0);
         }
         // The max-rate corner (κ = μ = 1) has the highest rate.
-        let corner = s
-            .iter()
-            .find(|p| p.kappa == 1.0 && p.mu == 1.0)
-            .unwrap();
+        let corner = s.iter().find(|p| p.kappa == 1.0 && p.mu == 1.0).unwrap();
         assert!(s.iter().all(|p| p.rate <= corner.rate + 1e-9));
     }
 
@@ -224,6 +261,24 @@ mod tests {
                 assert!(front.iter().any(|f| f.dominates(p)) || s.iter().any(|q| q.dominates(p)));
             }
         }
+    }
+
+    #[test]
+    fn cached_point_matches_direct_evaluation() {
+        // Surface points read metrics from the table; re-evaluating the
+        // same schedules with the per-call §IV-A formulas must agree.
+        let channels = setups::delayed();
+        let p = point(&channels, 2.0, 3.0).unwrap();
+        let risk =
+            lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.0, Objective::Privacy)
+                .unwrap()
+                .risk(&channels);
+        let delay =
+            lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.0, Objective::Delay)
+                .unwrap()
+                .delay(&channels);
+        assert!((p.risk - risk).abs() <= 1e-12);
+        assert!((p.delay - delay).abs() <= 1e-12 * delay.abs().max(1.0));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use rand::Rng;
 use rand::RngExt as _;
 
+use crate::cache::SubsetMetricCache;
 use crate::channel::ChannelSet;
 use crate::error::ModelError;
 use crate::subset::{self, Subset};
@@ -315,10 +316,7 @@ impl ShareSchedule {
     /// The mean threshold `κ = Σ p(k,M)·k`.
     #[must_use]
     pub fn kappa(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(e, p)| p * f64::from(e.k()))
-            .sum()
+        self.entries.iter().map(|(e, p)| p * f64::from(e.k())).sum()
     }
 
     /// The mean multiplicity `μ = Σ p(k,M)·|M|`.
@@ -368,6 +366,52 @@ impl ShareSchedule {
         self.entries
             .iter()
             .map(|(e, p)| p * f(channels, e.k() as usize, e.subset()))
+            .sum()
+    }
+
+    /// [`ShareSchedule::risk`] served from precomputed tables; identical
+    /// value, no per-entry dynamic program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references channels outside the cached set.
+    #[must_use]
+    pub fn risk_cached(&self, cache: &SubsetMetricCache) -> f64 {
+        self.expect_cached(cache, SubsetMetricCache::risk)
+    }
+
+    /// [`ShareSchedule::loss`] served from precomputed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references channels outside the cached set.
+    #[must_use]
+    pub fn loss_cached(&self, cache: &SubsetMetricCache) -> f64 {
+        self.expect_cached(cache, SubsetMetricCache::loss)
+    }
+
+    /// [`ShareSchedule::delay`] served from precomputed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references channels outside the cached set.
+    #[must_use]
+    pub fn delay_cached(&self, cache: &SubsetMetricCache) -> f64 {
+        self.expect_cached(cache, SubsetMetricCache::delay)
+    }
+
+    fn expect_cached(
+        &self,
+        cache: &SubsetMetricCache,
+        f: fn(&SubsetMetricCache, usize, Subset) -> f64,
+    ) -> f64 {
+        assert!(
+            self.n <= cache.n(),
+            "schedule spans more channels than the cache covers"
+        );
+        self.entries
+            .iter()
+            .map(|(e, p)| p * f(cache, e.k() as usize, e.subset()))
             .sum()
     }
 
@@ -430,7 +474,12 @@ impl ShareSchedule {
 
 impl core::fmt::Display for ShareSchedule {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "share schedule (kappa={:.3}, mu={:.3}):", self.kappa(), self.mu())?;
+        writeln!(
+            f,
+            "share schedule (kappa={:.3}, mu={:.3}):",
+            self.kappa(),
+            self.mu()
+        )?;
         for (e, p) in &self.entries {
             writeln!(f, "  p{e} = {p:.6}")?;
         }

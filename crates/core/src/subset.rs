@@ -308,6 +308,17 @@ pub fn poisson_binomial_tail(probs: &[f64], k: usize) -> f64 {
     if k > probs.len() {
         return 0.0;
     }
+    let dp = poisson_binomial_pmf(probs);
+    dp[k..].iter().sum::<f64>().clamp(0.0, 1.0)
+}
+
+/// The full Poisson-binomial probability mass function: entry `j` is
+/// `P[X = j]` successes among independent trials with the given success
+/// probabilities. Shared by [`poisson_binomial_tail`] and the
+/// [`crate::SubsetMetricCache`] table builder, so cached and per-call
+/// values come from the identical float-operation sequence.
+#[must_use]
+pub fn poisson_binomial_pmf(probs: &[f64]) -> Vec<f64> {
     // dp[j] = P[j successes so far]
     let mut dp = vec![0.0f64; probs.len() + 1];
     dp[0] = 1.0;
@@ -318,7 +329,7 @@ pub fn poisson_binomial_tail(probs: &[f64], k: usize) -> f64 {
             dp[j] = stay;
         }
     }
-    dp[k..].iter().sum::<f64>().clamp(0.0, 1.0)
+    dp
 }
 
 /// Reference implementation of `z(k, M)` by exact enumeration of all

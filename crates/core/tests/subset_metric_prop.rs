@@ -1,0 +1,83 @@
+//! Property tests pinning the three subset-metric evaluation paths to
+//! each other: exact exponential enumeration over loss/observation
+//! patterns, the Poisson-binomial dynamic program, and the
+//! [`SubsetMetricCache`] table lookup must agree on every admissible
+//! `(k, M)` of a random channel set.
+
+use mcss_core::{subset, Channel, ChannelSet, Subset, SubsetMetricCache};
+use proptest::prelude::*;
+
+/// Random per-channel `(z, l, d, r)` quadruples for 1–8 channels, kept
+/// inside the model's validated domain (`l < 1`, `r > 0`).
+fn arbitrary_channels() -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+    proptest::collection::vec(
+        (0.0f64..=1.0, 0.0f64..0.99, 0.0f64..2.0, 1.0f64..100.0),
+        1..9,
+    )
+}
+
+fn build(raw: &[(f64, f64, f64, f64)]) -> ChannelSet {
+    ChannelSet::new(
+        raw.iter()
+            .map(|&(z, l, d, r)| Channel::new(z, l, d, r).expect("in-domain"))
+            .collect::<Vec<_>>(),
+    )
+    .expect("non-empty, within MAX_CHANNELS")
+}
+
+proptest! {
+    /// z and l: enumeration == DP == cache to 1e-12 (the DP and the
+    /// cache are bit-identical by construction; enumeration only to
+    /// rounding).
+    #[test]
+    fn risk_and_loss_agree_across_all_paths(raw in arbitrary_channels()) {
+        let channels = build(&raw);
+        let cache = SubsetMetricCache::new(&channels);
+        for m in Subset::all_nonempty(channels.len()) {
+            for k in 1..=m.len() {
+                let z_dp = subset::risk(&channels, k, m);
+                let z_enum = subset::risk_by_enumeration(&channels, k, m);
+                let z_cache = cache.risk(k, m);
+                prop_assert!(
+                    (z_dp - z_enum).abs() <= 1e-12,
+                    "risk dp {} vs enum {} at k={} m={}", z_dp, z_enum, k, m
+                );
+                prop_assert!(
+                    z_cache == z_dp,
+                    "risk cache {} vs dp {} at k={} m={}", z_cache, z_dp, k, m
+                );
+
+                let l_dp = subset::loss(&channels, k, m);
+                let l_enum = subset::loss_by_enumeration(&channels, k, m);
+                let l_cache = cache.loss(k, m);
+                prop_assert!(
+                    (l_dp - l_enum).abs() <= 1e-12,
+                    "loss dp {} vs enum {} at k={} m={}", l_dp, l_enum, k, m
+                );
+                prop_assert!(
+                    l_cache == l_dp,
+                    "loss cache {} vs dp {} at k={} m={}", l_cache, l_dp, k, m
+                );
+            }
+        }
+    }
+
+    /// d: the cache's sorted-prefix reformulation == the submask
+    /// enumeration of `subset::delay` to 1e-12 (relative for large
+    /// values).
+    #[test]
+    fn delay_agrees_with_enumeration(raw in arbitrary_channels()) {
+        let channels = build(&raw);
+        let cache = SubsetMetricCache::new(&channels);
+        for m in Subset::all_nonempty(channels.len()) {
+            for k in 1..=m.len() {
+                let d_enum = subset::delay(&channels, k, m);
+                let d_cache = cache.delay(k, m);
+                prop_assert!(
+                    (d_cache - d_enum).abs() <= 1e-12 * d_enum.abs().max(1.0),
+                    "delay cache {} vs enum {} at k={} m={}", d_cache, d_enum, k, m
+                );
+            }
+        }
+    }
+}

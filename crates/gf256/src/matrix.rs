@@ -101,8 +101,7 @@ impl Matrix {
             if pivot_row == self.rows {
                 break;
             }
-            let Some(src) = (pivot_row..self.rows).find(|&r| !self[(r, col)].is_zero())
-            else {
+            let Some(src) = (pivot_row..self.rows).find(|&r| !self[(r, col)].is_zero()) else {
                 continue;
             };
             self.swap_rows(pivot_row, src);
@@ -144,11 +143,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Gf256]) -> Vec<Gf256> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self[(r, c)] * v[c])
-                    .sum()
-            })
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
             .collect()
     }
 }
@@ -249,10 +244,7 @@ mod tests {
 
     #[test]
     fn solve_known_system() {
-        let a = Matrix::from_rows(&[
-            vec![g(2), g(1)],
-            vec![g(1), g(1)],
-        ]);
+        let a = Matrix::from_rows(&[vec![g(2), g(1)], vec![g(1), g(1)]]);
         let x = vec![g(7), g(9)];
         let b = a.mul_vec(&x);
         assert_eq!(solve(&a, &b).unwrap(), x);
@@ -260,10 +252,7 @@ mod tests {
 
     #[test]
     fn singular_system_detected() {
-        let a = Matrix::from_rows(&[
-            vec![g(1), g(2)],
-            vec![g(1), g(2)],
-        ]);
+        let a = Matrix::from_rows(&[vec![g(1), g(2)], vec![g(1), g(2)]]);
         assert_eq!(solve(&a, &[g(1), g(2)]), None);
     }
 

@@ -230,9 +230,7 @@ impl core::ops::Mul for Poly {
 /// ];
 /// assert_eq!(poly::interpolate_at_zero(&pts).unwrap(), Gf256::new(7));
 /// ```
-pub fn interpolate_at_zero(
-    points: &[(Gf256, Gf256)],
-) -> Result<Gf256, InterpolationError> {
+pub fn interpolate_at_zero(points: &[(Gf256, Gf256)]) -> Result<Gf256, InterpolationError> {
     if points.is_empty() {
         return Err(InterpolationError::Empty);
     }
@@ -420,10 +418,7 @@ mod tests {
 
     #[test]
     fn interpolate_rejects_duplicates_but_allows_zero_x() {
-        let pts = [
-            (Gf256::ZERO, Gf256::new(9)),
-            (Gf256::new(1), Gf256::new(9)),
-        ];
+        let pts = [(Gf256::ZERO, Gf256::new(9)), (Gf256::new(1), Gf256::new(9))];
         let p = interpolate(&pts).unwrap();
         assert_eq!(p, Poly::constant(Gf256::new(9)));
     }

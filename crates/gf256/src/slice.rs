@@ -11,6 +11,24 @@
 
 use crate::{Gf256, EXP, GROUP_ORDER, LOG};
 
+/// Slice length from which the kernels amortize a 256-entry
+/// multiplication table instead of doing two table hops per byte. The
+/// table build costs 255 lookups, so it pays for itself within a few
+/// hundred bytes; batched (concatenated-plane) callers sit well above
+/// this.
+const MUL_TABLE_THRESHOLD: usize = 512;
+
+/// The row `b ↦ b · x` of the multiplication table, for a nonzero `x`
+/// given by its log.
+#[inline]
+fn mul_row(log_x: usize) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    for b in 1..256 {
+        row[b] = EXP[LOG[b] as usize + log_x];
+    }
+    row
+}
+
 /// `dst[i] ← dst[i] · x  ⊕  src[i]` for every `i` — one Horner step over
 /// a coefficient plane.
 ///
@@ -42,6 +60,13 @@ pub fn scale_add_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         return;
     }
     let log_x = LOG[x.value() as usize] as usize;
+    if dst.len() >= MUL_TABLE_THRESHOLD {
+        let row = mul_row(log_x);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = row[*d as usize] ^ s;
+        }
+        return;
+    }
     for (d, &s) in dst.iter_mut().zip(src) {
         let scaled = if *d == 0 {
             0
@@ -80,6 +105,13 @@ pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         return;
     }
     let log_x = LOG[x.value() as usize] as usize;
+    if dst.len() >= MUL_TABLE_THRESHOLD {
+        let row = mul_row(log_x);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= row[s as usize];
+        }
+        return;
+    }
     for (d, &s) in dst.iter_mut().zip(src) {
         if s != 0 {
             *d ^= EXP[LOG[s as usize] as usize + log_x];
@@ -163,6 +195,27 @@ mod tests {
             scale_assign(&mut v, x);
             for i in 0..v0.len() {
                 assert_eq!(v[i], (Gf256::new(v0[i]) * x).value(), "x={x} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_path_matches_scalar_path() {
+        // Long slices take the mul_row fast path; it must agree with the
+        // short-slice double-lookup path byte for byte.
+        let dst0: Vec<u8> = (0..MUL_TABLE_THRESHOLD + 37)
+            .map(|i| (i * 7) as u8)
+            .collect();
+        let src: Vec<u8> = (0..dst0.len()).map(|i| (i * 13 + 5) as u8).collect();
+        for x in [2u8, 0x53, 0xff] {
+            let x = Gf256::new(x);
+            let mut long = dst0.clone();
+            scale_add_assign(&mut long, &src, x);
+            let mut long2 = dst0.clone();
+            add_scaled_assign(&mut long2, &src, x);
+            for (i, (&d, &s)) in dst0.iter().zip(&src).enumerate() {
+                assert_eq!(long[i], (Gf256::new(d) * x + Gf256::new(s)).value());
+                assert_eq!(long2[i], (Gf256::new(d) + Gf256::new(s) * x).value());
             }
         }
     }

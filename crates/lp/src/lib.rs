@@ -213,12 +213,7 @@ impl Problem {
             Sense::Maximize => self.objective.iter().map(|c| -c).collect(),
         };
         let values = simplex::solve(&obj, &self.rows)?;
-        let objective = self
-            .objective
-            .iter()
-            .zip(&values)
-            .map(|(c, x)| c * x)
-            .sum();
+        let objective = self.objective.iter().zip(&values).map(|(c, x)| c * x).sum();
         Ok(Solution { values, objective })
     }
 }
@@ -352,7 +347,8 @@ mod tests {
             .unwrap();
         p.constraint(&[0.5, -90.0, -1.0 / 50.0, 3.0], Relation::Le, 0.0)
             .unwrap();
-        p.constraint(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0).unwrap();
+        p.constraint(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0)
+            .unwrap();
         let s = p.solve().unwrap();
         assert!(approx(s.objective(), -0.05), "obj={}", s.objective());
     }
@@ -386,7 +382,8 @@ mod tests {
             LpError::NotFinite
         );
         assert_eq!(
-            p.constraint(&[1.0], Relation::Le, f64::INFINITY).unwrap_err(),
+            p.constraint(&[1.0], Relation::Le, f64::INFINITY)
+                .unwrap_err(),
             LpError::NotFinite
         );
         let bad = Problem::minimize(&[f64::INFINITY]);

@@ -135,10 +135,7 @@ pub(crate) fn solve(obj: &[f64], rows: &[ConstraintRow]) -> Result<Vec<f64>, LpE
     let nvars = obj.len();
     let m = rows.len();
     // Count slack/surplus columns.
-    let nslack = rows
-        .iter()
-        .filter(|r| r.relation != Relation::Eq)
-        .count();
+    let nslack = rows.iter().filter(|r| r.relation != Relation::Eq).count();
     let nstruct = nvars + nslack;
     let n = nstruct + m; // artificials appended per row
     let width = n + 1;
@@ -298,9 +295,8 @@ mod tests {
             })
             .collect();
         for col in 0..n {
-            let piv = (col..n).max_by(|&i, &j| {
-                m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap()
-            })?;
+            let piv =
+                (col..n).max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())?;
             if m[piv][col].abs() < 1e-9 {
                 return None;
             }
@@ -346,8 +342,7 @@ mod tests {
             let obj: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
             let mut rows = Vec::new();
             for _ in 0..nrows {
-                let coeffs: Vec<f64> =
-                    (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
+                let coeffs: Vec<f64> = (0..n).map(|_| rng.random_range(-3.0..3.0)).collect();
                 let rel = match rng.random_range(0..3) {
                     0 => Relation::Le,
                     1 => Relation::Ge,
@@ -400,11 +395,7 @@ mod tests {
         let s = p.solve().unwrap();
         let total: f64 = s.values().iter().sum();
         assert!((total - 1.0).abs() < 1e-7);
-        let mean: f64 = weights
-            .iter()
-            .zip(s.values())
-            .map(|(w, v)| w * v)
-            .sum();
+        let mean: f64 = weights.iter().zip(s.values()).map(|(w, v)| w * v).sum();
         assert!((mean - 3.0).abs() < 1e-7);
     }
 }

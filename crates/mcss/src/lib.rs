@@ -45,7 +45,7 @@ pub mod prelude {
     pub use mcss_core::{
         lp_schedule::{self, Objective},
         micss, optimal, setups, subset, Channel, ChannelSet, ModelError, ScheduleBuilder,
-        ScheduleEntry, ShareSchedule, Subset,
+        ScheduleEntry, ShareSchedule, Subset, SubsetMetricCache,
     };
     pub use mcss_netsim::{SimTime, Simulator};
     pub use mcss_remicss::{

@@ -274,7 +274,12 @@ impl Link {
 
     /// Records a completed delivery (called by the simulator when the
     /// deliver event fires).
-    pub(crate) fn record_delivery(&mut self, sent_at: SimTime, delivered_at: SimTime, frame: &Frame) {
+    pub(crate) fn record_delivery(
+        &mut self,
+        sent_at: SimTime,
+        delivered_at: SimTime,
+        frame: &Frame,
+    ) {
         self.stats.delivered_frames += 1;
         self.stats.delivered_bits += frame.bits();
         self.stats.total_latency += delivered_at - sent_at;
@@ -322,23 +327,41 @@ mod tests {
         let f = Frame::new(vec![0u8; 125]);
         let mut r = rng();
         let a1 = link.admit(SimTime::ZERO, &f, &mut r);
-        assert_eq!(a1, Admit::Deliver { at: SimTime::from_millis(1) });
+        assert_eq!(
+            a1,
+            Admit::Deliver {
+                at: SimTime::from_millis(1)
+            }
+        );
         let a2 = link.admit(SimTime::ZERO, &f, &mut r);
-        assert_eq!(a2, Admit::Deliver { at: SimTime::from_millis(2) });
+        assert_eq!(
+            a2,
+            Admit::Deliver {
+                at: SimTime::from_millis(2)
+            }
+        );
         assert_eq!(link.backlog(SimTime::ZERO), SimTime::from_millis(2));
         // After the backlog drains the serializer idles.
         let a3 = link.admit(SimTime::from_millis(10), &f, &mut r);
-        assert_eq!(a3, Admit::Deliver { at: SimTime::from_millis(11) });
+        assert_eq!(
+            a3,
+            Admit::Deliver {
+                at: SimTime::from_millis(11)
+            }
+        );
     }
 
     #[test]
     fn delay_adds_to_delivery() {
-        let mut link = Link::new(
-            LinkConfig::new(1e6).with_delay(SimTime::from_millis(5)),
-        );
+        let mut link = Link::new(LinkConfig::new(1e6).with_delay(SimTime::from_millis(5)));
         let f = Frame::new(vec![0u8; 125]);
         let a = link.admit(SimTime::ZERO, &f, &mut rng());
-        assert_eq!(a, Admit::Deliver { at: SimTime::from_millis(6) });
+        assert_eq!(
+            a,
+            Admit::Deliver {
+                at: SimTime::from_millis(6)
+            }
+        );
     }
 
     #[test]
@@ -347,14 +370,17 @@ mod tests {
         let mut link = Link::new(LinkConfig::new(1e6).with_overhead_bytes(125));
         let f = Frame::new(vec![0u8; 125]);
         let a = link.admit(SimTime::ZERO, &f, &mut rng());
-        assert_eq!(a, Admit::Deliver { at: SimTime::from_millis(2) });
+        assert_eq!(
+            a,
+            Admit::Deliver {
+                at: SimTime::from_millis(2)
+            }
+        );
     }
 
     #[test]
     fn queue_overflow_drops() {
-        let mut link = Link::new(
-            LinkConfig::new(1e6).with_queue_limit(SimTime::from_millis(2)),
-        );
+        let mut link = Link::new(LinkConfig::new(1e6).with_queue_limit(SimTime::from_millis(2)));
         let f = Frame::new(vec![0u8; 125]); // 1 ms each
         let mut r = rng();
         // Backlog after three frames = 3 ms > 2 ms limit.
@@ -369,9 +395,7 @@ mod tests {
 
     #[test]
     fn loss_ratio_converges() {
-        let mut link = Link::new(
-            LinkConfig::new(1e12).with_loss(0.25),
-        );
+        let mut link = Link::new(LinkConfig::new(1e12).with_loss(0.25));
         let f = Frame::new(vec![0u8; 10]);
         let mut r = rng();
         let mut t = SimTime::ZERO;

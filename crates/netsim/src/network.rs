@@ -50,13 +50,17 @@ impl Channel {
     /// The A→B direction.
     #[must_use]
     pub fn forward(&self) -> LinkView<'_> {
-        LinkView { link: &self.forward }
+        LinkView {
+            link: &self.forward,
+        }
     }
 
     /// The B→A direction.
     #[must_use]
     pub fn backward(&self) -> LinkView<'_> {
-        LinkView { link: &self.backward }
+        LinkView {
+            link: &self.backward,
+        }
     }
 
     pub(crate) fn link_from(&mut self, from: Endpoint) -> &mut Link {

@@ -509,8 +509,14 @@ mod tests {
         }
         let mut sim = Simulator::new(one_channel(1e6), Both, 0);
         sim.run_to_completion();
-        assert_eq!(sim.network().channel(0).forward().stats().delivered_bits, 1000);
-        assert_eq!(sim.network().channel(0).backward().stats().delivered_bits, 2000);
+        assert_eq!(
+            sim.network().channel(0).forward().stats().delivered_bits,
+            1000
+        );
+        assert_eq!(
+            sim.network().channel(0).backward().stats().delivered_bits,
+            2000
+        );
     }
 
     #[test]

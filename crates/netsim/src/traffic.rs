@@ -43,7 +43,10 @@ impl Pacer {
     /// Panics unless both arguments are positive and finite.
     #[must_use]
     pub fn new(rate_bps: f64, frame_bits: u64) -> Self {
-        assert!(rate_bps.is_finite() && rate_bps > 0.0, "rate must be positive");
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "rate must be positive"
+        );
         assert!(frame_bits > 0, "frame size must be positive");
         Pacer {
             period_ns: frame_bits as f64 * 1e9 / rate_bps,
@@ -251,8 +254,7 @@ impl Application for EchoBenchmark {
             Endpoint::A => {
                 let sent =
                     u64::from_be_bytes(frame.payload()[..8].try_into().expect("8-byte stamp"));
-                self.rtts
-                    .record(ctx.now() - SimTime::from_nanos(sent));
+                self.rtts.record(ctx.now() - SimTime::from_nanos(sent));
             }
         }
     }
@@ -281,8 +283,7 @@ mod tests {
         }
         let expect = SimTime::from_secs_f64(2_999_999.0 / 3_000_000.0);
         assert!(
-            last.saturating_sub(expect).max(expect.saturating_sub(last))
-                < SimTime::from_nanos(10),
+            last.saturating_sub(expect).max(expect.saturating_sub(last)) < SimTime::from_nanos(10),
             "pacer drifted: {last} vs {expect}"
         );
     }

@@ -42,13 +42,7 @@ impl Application for Probe {
         let next = ctx.now() + self.period;
         ctx.set_timer(next, 0);
     }
-    fn on_deliver(
-        &mut self,
-        ctx: &mut Context<'_>,
-        _c: ChannelId,
-        to: Endpoint,
-        frame: Frame,
-    ) {
+    fn on_deliver(&mut self, ctx: &mut Context<'_>, _c: ChannelId, to: Endpoint, frame: Frame) {
         if to == Endpoint::B {
             let sent = u64::from_be_bytes(frame.payload()[..8].try_into().unwrap());
             self.latency.record(ctx.now() - SimTime::from_nanos(sent));
@@ -80,7 +74,10 @@ fn jitter_spreads_delay_around_mean() {
     );
     assert!(min < SimTime::from_micros(8300), "min {min}");
     assert!(max > SimTime::from_micros(11_700), "max {max}");
-    assert!(min >= SimTime::from_millis(8), "min below jitter floor: {min}");
+    assert!(
+        min >= SimTime::from_millis(8),
+        "min below jitter floor: {min}"
+    );
 }
 
 #[test]
@@ -208,9 +205,16 @@ fn reconfigure_injects_loss_mid_run() {
 fn reconfigure_only_touches_one_direction() {
     let mut b = NetworkBuilder::new();
     b.channel(LinkConfig::new(10e6));
-    let mut sim = Simulator::new(b.build(), Probe::new(SimTime::from_millis(1), SimTime::ZERO), 1);
+    let mut sim = Simulator::new(
+        b.build(),
+        Probe::new(SimTime::from_millis(1), SimTime::ZERO),
+        1,
+    );
     sim.network_mut()
         .reconfigure(0, Endpoint::A, LinkConfig::new(1e6));
     assert_eq!(sim.network().channel(0).forward().config().rate_bps(), 1e6);
-    assert_eq!(sim.network().channel(0).backward().config().rate_bps(), 10e6);
+    assert_eq!(
+        sim.network().channel(0).backward().config().rate_bps(),
+        10e6
+    );
 }

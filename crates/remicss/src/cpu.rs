@@ -152,7 +152,7 @@ mod tests {
         assert!(clock.try_charge(now, cost, &model)); // busy to 4 µs
         assert!(clock.try_charge(now, cost, &model)); // 8
         assert!(clock.try_charge(now, cost, &model)); // 12 (8 ≤ 10 at admit)
-        // Backlog now 12 µs > 10 µs window: shed.
+                                                      // Backlog now 12 µs > 10 µs window: shed.
         assert!(!clock.try_charge(now, cost, &model));
         assert_eq!(clock.shed(), 1);
         // Time passes; the backlog drains and work is accepted again.

@@ -111,11 +111,7 @@ impl ParamSampler {
     ///
     /// [`mcss_core::ModelError::InvalidParameters`] on violation.
     pub fn new(kappa: f64, mu: f64, n: usize) -> Result<Self, mcss_core::ModelError> {
-        if !(kappa.is_finite() && mu.is_finite())
-            || kappa < 1.0
-            || kappa > mu
-            || mu > n as f64
-        {
+        if !(kappa.is_finite() && mu.is_finite()) || kappa < 1.0 || kappa > mu || mu > n as f64 {
             return Err(mcss_core::ModelError::InvalidParameters { kappa, mu, n });
         }
         Ok(ParamSampler { kappa, mu })
@@ -176,13 +172,7 @@ impl Scheduler for DynamicScheduler {
         // Ready channels first (in index order, like epoll's ready list),
         // then the least-backlogged busy channels.
         let mut order: Vec<usize> = (0..channels.len()).collect();
-        order.sort_by_key(|&i| {
-            (
-                !channels.is_ready(i),
-                channels.backlog(i).as_nanos(),
-                i,
-            )
-        });
+        order.sort_by_key(|&i| (!channels.is_ready(i), channels.backlog(i).as_nanos(), i));
         order.truncate(m);
         Choice { k, channels: order }
     }
@@ -249,7 +239,10 @@ impl Scheduler for RoundRobinScheduler {
         let n = channels.len();
         let picked: Vec<usize> = (0..m).map(|j| (self.offset + j) % n).collect();
         self.offset = (self.offset + m) % n;
-        Choice { k, channels: picked }
+        Choice {
+            k,
+            channels: picked,
+        }
     }
 }
 
@@ -263,7 +256,10 @@ mod tests {
     }
 
     fn state(backlogs_us: &[u64]) -> Vec<SimTime> {
-        backlogs_us.iter().map(|&b| SimTime::from_micros(b)).collect()
+        backlogs_us
+            .iter()
+            .map(|&b| SimTime::from_micros(b))
+            .collect()
     }
 
     #[test]

@@ -10,17 +10,15 @@
 //!   back *through the protocol* and host A records round-trip times;
 //!   one-way delay is RTT/2 (Figure 4).
 
-use mcss_netsim::traffic::Pacer;
 use mcss_netsim::stats::{DelaySummary, ThroughputMeter};
-use mcss_netsim::{
-    Application, ChannelId, Context, Endpoint, Frame, SendOutcome, SimTime,
-};
+use mcss_netsim::traffic::Pacer;
+use mcss_netsim::{Application, ChannelId, Context, Endpoint, Frame, SendOutcome, SimTime};
 use mcss_shamir::{split, Params};
 
 use crate::adaptive::AdaptiveController;
 use crate::config::{ProtocolConfig, SchedulerKind};
 use crate::cpu::CpuClock;
-use crate::reassembly::{Accept, ReassemblyTable, ReassemblyStats};
+use crate::reassembly::{Accept, ReassemblyStats, ReassemblyTable};
 use crate::scheduler::{
     ChannelState, DynamicScheduler, RoundRobinScheduler, Scheduler, StaticScheduler,
 };
@@ -385,9 +383,7 @@ impl Session {
     }
 
     fn sweep_period(&self) -> SimTime {
-        SimTime::from_nanos(
-            (self.config.reassembly_timeout().as_nanos() / 4).max(1_000_000),
-        )
+        SimTime::from_nanos((self.config.reassembly_timeout().as_nanos() / 4).max(1_000_000))
     }
 
     fn on_deliver_at_b(&mut self, ctx: &mut Context<'_>, frame: ShareFrame) {
@@ -410,8 +406,7 @@ impl Session {
             if ctx.now() <= window {
                 self.delivered_window += 1;
                 self.meter.record(ctx.now(), (payload.len() * 8) as u64);
-                self.delay
-                    .record(ctx.now() - SimTime::from_nanos(stamp));
+                self.delay.record(ctx.now() - SimTime::from_nanos(stamp));
             }
             if matches!(self.workload, Workload::Echo { .. }) {
                 // Bounce the symbol back through the protocol, keeping
@@ -450,7 +445,9 @@ impl Session {
             return; // duplicate copy from another channel
         }
         self.last_epoch_seen = Some(frame.epoch());
-        let delivered = frame.delivered().saturating_sub(self.last_feedback_delivered);
+        let delivered = frame
+            .delivered()
+            .saturating_sub(self.last_feedback_delivered);
         let sent = self.sent.saturating_sub(self.last_feedback_sent);
         self.last_feedback_delivered = frame.delivered();
         self.last_feedback_sent = self.sent;
@@ -499,9 +496,7 @@ impl Application for Session {
                 self.table_b.sweep(ctx.now());
                 // Keep sweeping a while after sending stops so stragglers
                 // are evicted, then let the simulation drain.
-                if ctx.now()
-                    < self.workload.duration() + self.config.reassembly_timeout() * 4
-                {
+                if ctx.now() < self.workload.duration() + self.config.reassembly_timeout() * 4 {
                     let next = ctx.now() + self.sweep_period();
                     ctx.set_timer(next, TIMER_SWEEP);
                 }
@@ -614,8 +609,7 @@ mod tests {
             3,
         );
         // l(5, C) = 1 − Π(1−lᵢ) ≈ 7.3%; ~1570 symbols give σ ≈ 0.7%.
-        let expect: f64 =
-            1.0 - setups::LOSSY_LOSS.iter().map(|l| 1.0 - l).product::<f64>();
+        let expect: f64 = 1.0 - setups::LOSSY_LOSS.iter().map(|l| 1.0 - l).product::<f64>();
         assert!(
             (r.loss_fraction - expect).abs() < 0.025,
             "loss {} expected ~{expect}",
@@ -663,8 +657,7 @@ mod tests {
     fn static_scheduler_respects_lp_schedule() {
         let channels = setups::diverse();
         let config = ProtocolConfig::new(2.0, 3.0).unwrap();
-        let share_channels =
-            testbed::share_rate_channels(&channels, &config).unwrap();
+        let share_channels = testbed::share_rate_channels(&channels, &config).unwrap();
         let schedule = mcss_core::lp_schedule::optimal_schedule_at_max_rate(
             &share_channels,
             2.0,
@@ -688,8 +681,9 @@ mod tests {
     #[test]
     fn round_robin_scheduler_works() {
         let channels = setups::identical(50.0);
-        let config =
-            ProtocolConfig::new(2.0, 2.0).unwrap().with_scheduler(SchedulerKind::RoundRobin);
+        let config = ProtocolConfig::new(2.0, 2.0)
+            .unwrap()
+            .with_scheduler(SchedulerKind::RoundRobin);
         let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,

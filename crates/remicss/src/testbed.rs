@@ -23,8 +23,8 @@ use crate::config::ProtocolConfig;
 pub fn network_for(channels: &ChannelSet, config: &ProtocolConfig) -> Network {
     let mut b = NetworkBuilder::new();
     for ch in channels {
-        let mut cfg = LinkConfig::new(ch.rate() * 1e6)
-            .with_delay(SimTime::from_secs_f64(ch.delay()));
+        let mut cfg =
+            LinkConfig::new(ch.rate() * 1e6).with_delay(SimTime::from_secs_f64(ch.delay()));
         if ch.loss() > 0.0 {
             cfg = cfg.with_loss(ch.loss());
         }
@@ -139,6 +139,11 @@ pub fn calibrate(
         sim.run_until(duration + SimTime::from_secs(1));
         let loss = sim.app().loss_fraction().clamp(0.0, 0.999_999);
 
+        // The saturation probe observed goodput, which a channel's own
+        // random loss shrinks by (1 − loss); undo that to report the
+        // line rate rather than the deliverable rate.
+        let rate_bps = rate_bps / (1.0 - loss);
+
         // 3. Delay: low-rate echo; one-way = RTT/2 minus the probe's own
         //    serialization at the measured line rate.
         let echo_rate = (rate_bps * 0.2).min(1e6);
@@ -195,7 +200,9 @@ mod tests {
     #[test]
     fn share_rate_conversion() {
         let channels = setups::diverse();
-        let config = ProtocolConfig::new(1.0, 1.0).unwrap().with_symbol_bytes(1226);
+        let config = ProtocolConfig::new(1.0, 1.0)
+            .unwrap()
+            .with_symbol_bytes(1226);
         // Wire share = 1226 + 24 = 1250 bytes = 10_000 bits.
         let sc = share_rate_channels(&channels, &config).unwrap();
         assert!((sc.channel(0).rate() - 500.0).abs() < 1e-9); // 5 Mbit/s
@@ -205,7 +212,9 @@ mod tests {
     #[test]
     fn optimal_symbol_rate_at_mu_one_is_total() {
         let channels = setups::diverse();
-        let config = ProtocolConfig::new(1.0, 1.0).unwrap().with_symbol_bytes(1226);
+        let config = ProtocolConfig::new(1.0, 1.0)
+            .unwrap()
+            .with_symbol_bytes(1226);
         let r = optimal_symbol_rate(&channels, &config).unwrap();
         // 250 Mbit/s over 10 kbit shares.
         assert!((r - 25_000.0).abs() < 1e-6);

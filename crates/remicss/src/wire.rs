@@ -68,9 +68,7 @@ impl ShareFrame {
         }
         let payload = payload.into();
         if payload.len() > u16::MAX as usize {
-            return Err(WireError::PayloadTooLarge {
-                len: payload.len(),
-            });
+            return Err(WireError::PayloadTooLarge { len: payload.len() });
         }
         Ok(ShareFrame {
             seq,

@@ -82,7 +82,10 @@ fn adaptation_reacts_to_midrun_degradation() {
 
     sim.run_until(SimTime::from_secs(2));
     let mu_before = sim.app().adaptive().unwrap().mu();
-    assert!(mu_before < 1.5, "clean start should keep mu low: {mu_before}");
+    assert!(
+        mu_before < 1.5,
+        "clean start should keep mu low: {mu_before}"
+    );
 
     for ch in 0..5 {
         for ep in [Endpoint::A, Endpoint::B] {

@@ -9,11 +9,13 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 
 /// A scripted delivery: (symbol index, share index, repeat?).
-fn arbitrary_script() -> impl Strategy<Value = (Vec<(u8, u8, u8)>, Vec<(u8, u8)>)> {
+type Script = (Vec<(u8, u8, u8)>, Vec<(u8, u8)>);
+
+fn arbitrary_script() -> impl Strategy<Value = Script> {
     // Symbols use k = 2, m = 4, so any two distinct shares complete.
     let deliveries = proptest::collection::vec((0u8..6, 0u8..4, 1u8..3), 1..60);
     let params = proptest::collection::vec((2u8..=4, 0u8..=2), 6);
-    (deliveries, params.prop_map(|v| v.into_iter().map(|(k, extra)| (k, extra)).collect()))
+    (deliveries, params)
 }
 
 proptest! {

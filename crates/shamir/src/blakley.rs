@@ -287,8 +287,7 @@ mod tests {
         for a in 0..5 {
             for b in (a + 1)..5 {
                 for c in (b + 1)..5 {
-                    let subset =
-                        [shares[a].clone(), shares[b].clone(), shares[c].clone()];
+                    let subset = [shares[a].clone(), shares[b].clone(), shares[c].clone()];
                     assert_eq!(reconstruct(&subset).unwrap(), secret);
                 }
             }

@@ -30,12 +30,14 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod blakley;
 mod error;
 mod params;
 mod share;
 pub mod stream;
 
+pub use batch::{reconstruct_batch, split_batch, BatchScratch};
 pub use error::ShareError;
 pub use params::Params;
 pub use share::Share;
@@ -129,6 +131,20 @@ pub fn split<R: rand::Rng + ?Sized>(
 /// # }
 /// ```
 pub fn reconstruct(shares: &[Share]) -> Result<Vec<u8>, ShareError> {
+    let k = validate_shares(shares)?;
+    let used = &shares[..k];
+    // Lagrange weights at zero are shared by every byte position, so
+    // compute them once and accumulate whole shares with bulk slice ops.
+    let mut secret = vec![0u8; shares[0].data().len()];
+    for (i, si) in used.iter().enumerate() {
+        gf_slice::add_scaled_assign(&mut secret, si.data(), lagrange_weight(used, i));
+    }
+    Ok(secret)
+}
+
+/// Checks a share set's internal consistency (agreeing threshold and
+/// length, distinct abscissae, at least `k` shares) and returns `k`.
+pub(crate) fn validate_shares(shares: &[Share]) -> Result<usize, ShareError> {
     let first = shares.first().ok_or(ShareError::NoShares)?;
     let k = first.threshold() as usize;
     let len = first.data().len();
@@ -157,25 +173,24 @@ pub fn reconstruct(shares: &[Share]) -> Result<Vec<u8>, ShareError> {
             got: shares.len(),
         });
     }
-    let used = &shares[..k];
-    // Lagrange weights at zero are shared by every byte position, so
-    // compute them once and accumulate whole shares with bulk slice ops.
-    let mut secret = vec![0u8; len];
-    for (i, si) in used.iter().enumerate() {
-        let xi = Gf256::new(si.x());
-        let mut num = Gf256::ONE;
-        let mut den = Gf256::ONE;
-        for (j, sj) in used.iter().enumerate() {
-            if i != j {
-                let xj = Gf256::new(sj.x());
-                num *= xj;
-                den *= xj + xi;
-            }
+    Ok(k)
+}
+
+/// The Lagrange basis weight at zero for `used[i]`: `Π_{j≠i} x_j / (x_j
+/// + x_i)`. The denominator is nonzero whenever the abscissae are
+/// distinct (enforced by [`validate_shares`]).
+pub(crate) fn lagrange_weight(used: &[Share], i: usize) -> Gf256 {
+    let xi = Gf256::new(used[i].x());
+    let mut num = Gf256::ONE;
+    let mut den = Gf256::ONE;
+    for (j, sj) in used.iter().enumerate() {
+        if i != j {
+            let xj = Gf256::new(sj.x());
+            num *= xj;
+            den *= xj + xi;
         }
-        // den is nonzero: duplicate abscissae were rejected above.
-        gf_slice::add_scaled_assign(&mut secret, si.data(), num / den);
     }
-    Ok(secret)
+    num / den
 }
 
 #[cfg(test)]
@@ -331,11 +346,9 @@ mod tests {
         let observed_y = Gf256::new(0x7c);
         for secret in 0..=255u8 {
             // Interpolate the unique line through (0, secret), (x, y).
-            let p = poly::interpolate(&[
-                (Gf256::ZERO, Gf256::new(secret)),
-                (observed_x, observed_y),
-            ])
-            .unwrap();
+            let p =
+                poly::interpolate(&[(Gf256::ZERO, Gf256::new(secret)), (observed_x, observed_y)])
+                    .unwrap();
             assert_eq!(p.eval(Gf256::ZERO), Gf256::new(secret));
             assert_eq!(p.eval(observed_x), observed_y);
         }

@@ -126,6 +126,19 @@ impl StreamSplitter {
         Some(Symbol { seq, data })
     }
 
+    /// Withdraws up to `limit` full symbols at once, for batched
+    /// splitting via [`crate::split_batch`].
+    pub fn next_symbols(&mut self, limit: usize) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match self.next_symbol() {
+                Some(sym) => out.push(sym),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Withdraws whatever remains as a final (possibly short) symbol.
     ///
     /// Returns `None` if the buffer is empty.
@@ -168,6 +181,26 @@ impl StreamAssembler {
     pub fn accept(&mut self, seq: u64, shares: &[Share]) -> Result<(), ShareError> {
         let data = reconstruct(shares)?;
         self.symbols.insert(seq, data);
+        Ok(())
+    }
+
+    /// Reconstructs and stores a whole batch of symbols through
+    /// [`crate::reconstruct_batch`], reusing `scratch` across calls.
+    ///
+    /// # Errors
+    ///
+    /// The first per-symbol [`ShareError`]; on error nothing from this
+    /// batch is stored.
+    pub fn accept_batch(
+        &mut self,
+        items: &[(u64, &[Share])],
+        scratch: &mut crate::BatchScratch,
+    ) -> Result<(), ShareError> {
+        let batches: Vec<&[Share]> = items.iter().map(|(_, shares)| *shares).collect();
+        let secrets = crate::reconstruct_batch(&batches, scratch)?;
+        for ((seq, _), data) in items.iter().zip(secrets) {
+            self.symbols.insert(*seq, data);
+        }
         Ok(())
     }
 
@@ -223,6 +256,50 @@ mod tests {
     }
 
     #[test]
+    fn batched_stream_round_trip() {
+        let mut rng = rng();
+        let mut scratch = crate::BatchScratch::new();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(500).collect();
+        let mut splitter = StreamSplitter::new(32);
+        splitter.push(&payload);
+        let mut asm = StreamAssembler::new();
+        let params = Params::new(2, 4).unwrap();
+        loop {
+            let mut symbols = splitter.next_symbols(4);
+            if symbols.is_empty() {
+                if let Some(tail) = splitter.flush() {
+                    symbols.push(tail);
+                } else {
+                    break;
+                }
+            }
+            let secrets: Vec<&[u8]> = symbols.iter().map(Symbol::data).collect();
+            let shared = crate::split_batch(&secrets, params, &mut rng, &mut scratch).unwrap();
+            let items: Vec<(u64, &[Share])> = symbols
+                .iter()
+                .zip(&shared)
+                .map(|(sym, shares)| (sym.seq(), &shares[1..3]))
+                .collect();
+            asm.accept_batch(&items, &mut scratch).unwrap();
+        }
+        assert_eq!(asm.into_bytes(), payload);
+    }
+
+    #[test]
+    fn next_symbols_respects_limit_and_order() {
+        let mut s = StreamSplitter::new(2);
+        s.push(b"aabbccdd");
+        let batch = s.next_symbols(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(
+            batch.iter().map(Symbol::seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(s.next_symbols(10).len(), 1);
+        assert!(s.next_symbols(10).is_empty());
+    }
+
+    #[test]
     fn incremental_pushes_accumulate() {
         let mut s = StreamSplitter::new(4);
         s.push(b"ab");
@@ -256,8 +333,12 @@ mod tests {
         let mut rng = rng();
         let params = Params::new(1, 1).unwrap();
         let mut asm = StreamAssembler::new();
-        let s0 = Symbol::new(0, b"X".to_vec()).split(params, &mut rng).unwrap();
-        let s2 = Symbol::new(2, b"Z".to_vec()).split(params, &mut rng).unwrap();
+        let s0 = Symbol::new(0, b"X".to_vec())
+            .split(params, &mut rng)
+            .unwrap();
+        let s2 = Symbol::new(2, b"Z".to_vec())
+            .split(params, &mut rng)
+            .unwrap();
         asm.accept(0, &s0).unwrap();
         asm.accept(2, &s2).unwrap();
         assert_eq!(asm.len(), 2);

@@ -1,0 +1,74 @@
+//! Property tests for batched Shamir: round-trips across the whole
+//! `1 ≤ k ≤ m ≤ 16` parameter range, and byte-identity between the
+//! batched and per-symbol paths under the same RNG seed.
+
+use mcss_shamir::{reconstruct, split, split_batch, BatchScratch, Params, Share};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// A batch of 1–5 payloads of 0–40 bytes each.
+fn arbitrary_batch() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..41), 1..6)
+}
+
+proptest! {
+    /// split_batch → reconstruct_batch round-trips arbitrary payloads for
+    /// every admissible (k, m) up to 16, reconstructing from the *last*
+    /// k shares (any k suffice).
+    #[test]
+    fn batch_round_trips_all_params(payloads in arbitrary_batch(), seed in any::<u64>()) {
+        let mut scratch = BatchScratch::new();
+        let secrets: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        for m in 1..=16u8 {
+            for k in 1..=m {
+                let params = Params::new(k, m).unwrap();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let shared = split_batch(&secrets, params, &mut rng, &mut scratch).unwrap();
+                let received: Vec<&[Share]> = shared
+                    .iter()
+                    .map(|shares| &shares[(m - k) as usize..])
+                    .collect();
+                let got = mcss_shamir::reconstruct_batch(&received, &mut scratch).unwrap();
+                prop_assert_eq!(&got, &payloads, "k={} m={}", k, m);
+            }
+        }
+    }
+
+    /// Batched split consumes the same RNG stream as a loop of
+    /// per-symbol splits, so shares are byte-identical; batched
+    /// reconstruction is byte-identical to per-symbol reconstruction.
+    #[test]
+    fn batched_paths_byte_identical_to_per_symbol(
+        payloads in arbitrary_batch(),
+        seed in any::<u64>(),
+        k in 1u8..=16,
+        extra in 0u8..=4,
+    ) {
+        let m = k.saturating_add(extra).min(16).max(k);
+        let params = Params::new(k, m).unwrap();
+        let secrets: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+
+        let mut scratch = BatchScratch::new();
+        let mut batch_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let batched = split_batch(&secrets, params, &mut batch_rng, &mut scratch).unwrap();
+
+        let mut serial_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let serial: Vec<Vec<Share>> = secrets
+            .iter()
+            .map(|s| split(s, params, &mut serial_rng).unwrap())
+            .collect();
+        prop_assert_eq!(&batched, &serial);
+        // The two RNGs must have advanced identically.
+        prop_assert_eq!(rand::Rng::next_u64(&mut batch_rng),
+                        rand::Rng::next_u64(&mut serial_rng));
+
+        let received: Vec<&[Share]> =
+            batched.iter().map(|shares| &shares[..k as usize]).collect();
+        let batch_secrets = mcss_shamir::reconstruct_batch(&received, &mut scratch).unwrap();
+        let serial_secrets: Vec<Vec<u8>> = received
+            .iter()
+            .map(|shares| reconstruct(shares).unwrap())
+            .collect();
+        prop_assert_eq!(batch_secrets, serial_secrets);
+    }
+}

@@ -60,16 +60,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "max rate (MPTCP-like striping)".into(),
             ShareSchedule::max_rate(&channels),
         ),
-        ("max privacy p(n, C) = 1".into(), ShareSchedule::max_privacy(5)),
+        (
+            "max privacy p(n, C) = 1".into(),
+            ShareSchedule::max_privacy(5),
+        ),
         ("min loss p(1, C) = 1".into(), ShareSchedule::min_loss(5)),
     ];
     for (kappa, mu) in [(1.5, 2.5), (2.0, 3.0), (3.0, 4.0), (4.0, 5.0)] {
-        let s = lp_schedule::optimal_schedule_at_max_rate(
-            &channels,
-            kappa,
-            mu,
-            Objective::Privacy,
-        )?;
+        let s =
+            lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, Objective::Privacy)?;
         scenarios.push((format!("IV-D privacy-opt ({kappa}, {mu})"), s));
     }
 

@@ -13,9 +13,7 @@
 //! cargo run -p mcss --release --example file_transfer
 //! ```
 
-use mcss::netsim::{
-    Application, ChannelId, Context, Endpoint, Frame, SimTime, Simulator,
-};
+use mcss::netsim::{Application, ChannelId, Context, Endpoint, Frame, SimTime, Simulator};
 use mcss::prelude::*;
 use mcss::remicss::reassembly::{Accept, ReassemblyTable};
 use mcss::remicss::scheduler::{ChannelState, DynamicScheduler, Scheduler};
@@ -45,13 +43,17 @@ struct FileReceiver {
 impl FileSender {
     fn send_next(&mut self, ctx: &mut Context<'_>) {
         // Pace the source off channel readiness: one symbol per tick.
-        let Some(symbol) = self.splitter.next_symbol().or_else(|| self.splitter.flush())
+        let Some(symbol) = self
+            .splitter
+            .next_symbol()
+            .or_else(|| self.splitter.flush())
         else {
             self.done_sending = true;
             return;
         };
-        let backlogs: Vec<SimTime> =
-            (0..ctx.num_channels()).map(|i| ctx.backlog(i, Endpoint::A)).collect();
+        let backlogs: Vec<SimTime> = (0..ctx.num_channels())
+            .map(|i| ctx.backlog(i, Endpoint::A))
+            .collect();
         let state = ChannelState::new(&backlogs, self.readiness);
         let choice = self.scheduler.choose(&state, ctx.rng());
         let m = choice.channels.len() as u8;
@@ -112,8 +114,13 @@ impl Application for FileSender {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Deterministic pseudo-file.
-    let file: Vec<u8> = (0..1_048_576u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
-    println!("transferring {} KiB over the Lossy setup (kappa={KAPPA}, mu={MU})", file.len() / 1024);
+    let file: Vec<u8> = (0..1_048_576u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    println!(
+        "transferring {} KiB over the Lossy setup (kappa={KAPPA}, mu={MU})",
+        file.len() / 1024
+    );
 
     let channels = setups::lossy();
     let config = ProtocolConfig::new(KAPPA, MU)?.with_symbol_bytes(SYMBOL_BYTES);

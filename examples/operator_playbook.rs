@@ -90,12 +90,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = sim.app().report(window);
 
     // --- 5. Verify -------------------------------------------------------
-    println!("\nran {} symbols through the real network:", report.sent_symbols);
+    println!(
+        "\nran {} symbols through the real network:",
+        report.sent_symbols
+    );
     println!(
         "  achieved {:.0} sym/s (offered {offered:.0}), loss {:.2e}",
         report.achieved_symbol_rate, report.loss_fraction
     );
-    assert!(report.achieved_symbol_rate > 0.9 * offered, "rate shortfall");
+    assert!(
+        report.achieved_symbol_rate > 0.9 * offered,
+        "rate shortfall"
+    );
     assert!(
         report.loss_fraction < 10.0 * LOSS_POLICY.max(1e-4),
         "loss policy violated: {}",

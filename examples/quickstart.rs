@@ -43,10 +43,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fully optimized corner values (closed forms of sections IV-B/C):
     let env = optimal::envelope(&channels);
     println!("\noptimality envelope:");
-    println!("  best overall risk  Z_C = {:.3e} (kappa = mu = n)", env.risk);
-    println!("  best overall loss  L_C = {:.3e} (kappa = 1, mu = n)", env.loss);
-    println!("  best overall delay D_C = {:.3e} (kappa = 1, mu = n)", env.delay);
-    println!("  best overall rate  R_C = {:.1} shares/unit (kappa = mu = 1)", env.rate);
+    println!(
+        "  best overall risk  Z_C = {:.3e} (kappa = mu = n)",
+        env.risk
+    );
+    println!(
+        "  best overall loss  L_C = {:.3e} (kappa = 1, mu = n)",
+        env.loss
+    );
+    println!(
+        "  best overall delay D_C = {:.3e} (kappa = 1, mu = n)",
+        env.delay
+    );
+    println!(
+        "  best overall rate  R_C = {:.1} shares/unit (kappa = mu = 1)",
+        env.rate
+    );
 
     // --- 3. Tradeoffs: optimal rate at a chosen multiplicity -----------
     let mu = 2.5;

@@ -30,11 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("adaptive stream: 5 x 50 Mbit/s channels, target loss {TARGET_LOSS}");
     println!("offering {offered:.0} symbols/s; degradation strikes at t = {DEGRADE_AT}s\n");
 
-    let session = Session::new(config.clone(), channels.len(), Workload::cbr(offered, window))?;
+    let session = Session::new(
+        config.clone(),
+        channels.len(),
+        Workload::cbr(offered, window),
+    )?;
     let net = testbed::network_for(&channels, &config);
     let mut sim = Simulator::new(net, session, 2026);
 
-    println!("{:>6} {:>8} {:>12} {:>14}", "t (s)", "mu", "est. loss", "adjustments");
+    println!(
+        "{:>6} {:>8} {:>12} {:>14}",
+        "t (s)", "mu", "est. loss", "adjustments"
+    );
     for sec in 1..=END_AT {
         if sec == DEGRADE_AT {
             for ch in 0..5 {
@@ -58,10 +65,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = sim.app().report(window);
     println!("\nfinal report:");
-    println!("  sent {} symbols, delivered (eventually) {:.2}%", report.sent_symbols,
-        100.0 * (1.0 - report.loss_fraction));
-    println!("  final mu = {:.2} (started at 1.0)", report.adaptive_final_mu.unwrap());
-    println!("  mean one-way delay: {:?}", report.mean_one_way_delay.map(|d| d.to_string()));
+    println!(
+        "  sent {} symbols, delivered (eventually) {:.2}%",
+        report.sent_symbols,
+        100.0 * (1.0 - report.loss_fraction)
+    );
+    println!(
+        "  final mu = {:.2} (started at 1.0)",
+        report.adaptive_final_mu.unwrap()
+    );
+    println!(
+        "  mean one-way delay: {:?}",
+        report.mean_one_way_delay.map(|d| d.to_string())
+    );
 
     // What the model says the controller should have found: with 25%
     // loss per channel and kappa = 1, the loss target needs mu where

@@ -53,23 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Objective::Privacy,
             )?
             .risk(&channels);
-            let loss = lp_schedule::optimal_schedule_at_max_rate(
-                &channels,
-                kappa,
-                mu,
-                Objective::Loss,
-            )?
-            .loss(&channels);
-            let delay = lp_schedule::optimal_schedule_at_max_rate(
-                &channels,
-                kappa,
-                mu,
-                Objective::Delay,
-            )?
-            .delay(&channels);
-            println!(
-                "{kappa:>5.2} {mu:>5.2} {rc:>10.2} {risk:>12.5} {loss:>12.3e} {delay:>12.3e}"
-            );
+            let loss =
+                lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, Objective::Loss)?
+                    .loss(&channels);
+            let delay =
+                lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, Objective::Delay)?
+                    .delay(&channels);
+            println!("{kappa:>5.2} {mu:>5.2} {rc:>10.2} {risk:>12.5} {loss:>12.3e} {delay:>12.3e}");
             mu += 1.0;
         }
         kappa += 1.0;

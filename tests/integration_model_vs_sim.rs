@@ -1,8 +1,8 @@
 //! Cross-crate integration: the analytic model's predictions must match
 //! what the simulator measures, channel by channel and end to end.
 
-use mcss::netsim::{SimTime, Simulator};
 use mcss::netsim::traffic::{ChannelProbe, EchoBenchmark};
+use mcss::netsim::{SimTime, Simulator};
 use mcss::prelude::*;
 
 /// Calibration step of §VI-A: probing each channel with iperf-style CBR

@@ -26,13 +26,9 @@ fn calibrate_optimize_run_closed_loop() {
 
     // 2. Optimize: loss-optimal max-rate schedule from measured channels.
     let measured_shares = testbed::share_rate_channels(&measured, &config).unwrap();
-    let schedule = lp_schedule::optimal_schedule_at_max_rate(
-        &measured_shares,
-        2.0,
-        3.0,
-        Objective::Loss,
-    )
-    .unwrap();
+    let schedule =
+        lp_schedule::optimal_schedule_at_max_rate(&measured_shares, 2.0, 3.0, Objective::Loss)
+            .unwrap();
     let predicted_loss = schedule.loss(&measured_shares);
     let predicted_rate = schedule.max_symbol_rate(&measured_shares);
 
@@ -137,8 +133,7 @@ fn correlated_adversary_end_to_end() {
     use rand::SeedableRng;
     let channels = setups::diverse_with_risk(&[0.25; 5]);
     let schedule =
-        lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.0, Objective::Privacy)
-            .unwrap();
+        lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.0, Objective::Privacy).unwrap();
     let independent_z = schedule.risk(&channels);
     let joint = JointRisk::shared_edges(&channels, &[vec![0, 1, 2]]).unwrap();
     let correlated_z = joint.schedule_risk(&schedule);

@@ -75,13 +75,9 @@ fn end_to_end_privacy_measure_matches_monte_carlo() {
     let channels = setups::diverse_with_risk(&[0.5, 0.2, 0.1, 0.3, 0.4]);
     let trials = 200_000u32;
     for (kappa, mu) in [(1.0, 1.0), (2.0, 3.0), (3.0, 3.0), (4.5, 5.0)] {
-        let schedule = lp_schedule::optimal_schedule_at_max_rate(
-            &channels,
-            kappa,
-            mu,
-            Objective::Privacy,
-        )
-        .unwrap();
+        let schedule =
+            lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, Objective::Privacy)
+                .unwrap();
         let predicted = schedule.risk(&channels);
         let mut compromised = 0u32;
         for _ in 0..trials {
@@ -113,13 +109,8 @@ fn privacy_improves_monotonically_with_kappa() {
     let mut prev = f64::INFINITY;
     for kappa10 in [10u32, 15, 20, 25, 30, 35, 40] {
         let kappa = f64::from(kappa10) / 10.0;
-        let s = lp_schedule::optimal_schedule_at_max_rate(
-            &channels,
-            kappa,
-            mu,
-            Objective::Privacy,
-        )
-        .unwrap();
+        let s = lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, Objective::Privacy)
+            .unwrap();
         let z = s.risk(&channels);
         assert!(
             z <= prev + 1e-12,

@@ -32,7 +32,9 @@ fn all_schedulers_on_all_setups() {
     ];
     for (name, channels) in &setups {
         for kind in [SchedulerKind::Dynamic, SchedulerKind::RoundRobin] {
-            let config = ProtocolConfig::new(1.5, 2.5).unwrap().with_scheduler(kind.clone());
+            let config = ProtocolConfig::new(1.5, 2.5)
+                .unwrap()
+                .with_scheduler(kind.clone());
             let offered = 0.4 * testbed::optimal_symbol_rate(channels, &config).unwrap();
             let r = run_session(
                 channels,
@@ -40,7 +42,10 @@ fn all_schedulers_on_all_setups() {
                 Workload::cbr(offered, SimTime::from_millis(400)),
                 99,
             );
-            assert!(r.delivered_symbols > 50, "{name}/{kind:?}: nothing delivered");
+            assert!(
+                r.delivered_symbols > 50,
+                "{name}/{kind:?}: nothing delivered"
+            );
             assert_eq!(r.corrupted_symbols, 0, "{name}/{kind:?}: corruption");
             assert_eq!(r.wire_errors, 0, "{name}/{kind:?}: wire errors");
         }
@@ -60,7 +65,11 @@ fn dynamic_scheduler_hits_fractional_means() {
             Workload::cbr(offered, SimTime::from_secs(1)),
             7,
         );
-        assert!((r.mean_k - kappa).abs() < 0.05, "kappa {kappa}: {}", r.mean_k);
+        assert!(
+            (r.mean_k - kappa).abs() < 0.05,
+            "kappa {kappa}: {}",
+            r.mean_k
+        );
         assert!((r.mean_m - mu).abs() < 0.05, "mu {mu}: {}", r.mean_m);
     }
 }
@@ -179,7 +188,10 @@ fn echo_rtt_bounded_by_slowest_channel() {
     );
     let rtt = r.mean_rtt.expect("echo rtt");
     assert!(rtt >= SimTime::from_millis(25), "rtt {rtt} < 2 x 12.5ms");
-    assert!(rtt <= SimTime::from_millis(40), "rtt {rtt} implausibly high");
+    assert!(
+        rtt <= SimTime::from_millis(40),
+        "rtt {rtt} implausibly high"
+    );
 }
 
 /// Overload: offering far more than the optimum saturates but does not

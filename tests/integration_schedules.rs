@@ -21,8 +21,8 @@ fn lp_corners_equal_closed_forms() {
     let n = channels.len();
     let env = optimal::envelope(&channels);
 
-    let p = lp_schedule::optimal_schedule(&channels, n as f64, n as f64, Objective::Privacy)
-        .unwrap();
+    let p =
+        lp_schedule::optimal_schedule(&channels, n as f64, n as f64, Objective::Privacy).unwrap();
     assert!((p.risk(&channels) - env.risk).abs() < 1e-9);
 
     let p = lp_schedule::optimal_schedule(&channels, 1.0, n as f64, Objective::Loss).unwrap();
@@ -47,8 +47,7 @@ fn ivd_schedules_sustain_theorem4_rate_everywhere() {
         let kappa = 1.0 + (mu - 1.0) * 0.5;
         let rc = optimal::optimal_rate(&channels, mu).unwrap();
         for obj in objectives {
-            let p = lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, obj)
-                .unwrap();
+            let p = lp_schedule::optimal_schedule_at_max_rate(&channels, kappa, mu, obj).unwrap();
             let sustained = p.max_symbol_rate(&channels);
             assert!(
                 (sustained - rc).abs() < 1e-6 * rc,
@@ -85,8 +84,7 @@ fn sampled_moments_match_analytic() {
     use rand::SeedableRng;
     let channels = setups::lossy();
     let schedule =
-        lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.4, Objective::Loss)
-            .unwrap();
+        lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.4, Objective::Loss).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(5150);
     let trials = 100_000;
     let (mut sk, mut sm) = (0u64, 0u64);
@@ -138,14 +136,16 @@ fn rate_privacy_frontier() {
 fn eight_channel_set_works() {
     let channels = ChannelSet::new(
         (1..=8)
-            .map(|i| Channel::new(0.1 * f64::from(i) / 8.0, 0.01, 1e-3, f64::from(i) * 10.0).unwrap())
+            .map(|i| {
+                Channel::new(0.1 * f64::from(i) / 8.0, 0.01, 1e-3, f64::from(i) * 10.0).unwrap()
+            })
             .collect(),
     )
     .unwrap();
     let rc = optimal::optimal_rate(&channels, 3.5).unwrap();
     assert!(rc > 0.0);
-    let p = lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.5, Objective::Privacy)
-        .unwrap();
+    let p =
+        lp_schedule::optimal_schedule_at_max_rate(&channels, 2.0, 3.5, Objective::Privacy).unwrap();
     assert!((p.mu() - 3.5).abs() < 1e-6);
     assert!((p.max_symbol_rate(&channels) - rc).abs() < 1e-6 * rc);
 }

@@ -1,0 +1,195 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! Provides the measurement API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Throughput`], [`BenchmarkId`],
+//! and [`Bencher::iter`] — with a simple mean-of-samples timer instead of
+//! the real crate's statistical machinery. Results print one line per
+//! benchmark: id, mean ns/iter, and throughput when configured.
+
+use std::time::Instant;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for per-second rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new<P: core::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, id, self.throughput);
+        self
+    }
+
+    /// Times `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.text, self.throughput);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            mean_ns: f64::NAN,
+        }
+    }
+
+    /// Calls `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also sizing the batch so that one sample spans at
+        // least ~100µs (keeps timer resolution out of the noise).
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = warm.elapsed().as_nanos().max(1);
+        let batch = (100_000 / once_ns).clamp(1, 1_000_000) as usize;
+
+        let samples = self.sample_size.min(50);
+        let mut total_ns = 0u128;
+        let mut iters = 0u128;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_ns += start.elapsed().as_nanos();
+            iters += batch as u128;
+        }
+        self.mean_ns = total_ns as f64 / iters as f64;
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let rate = throughput.map_or(String::new(), |t| {
+            let (count, unit) = match t {
+                Throughput::Bytes(n) => (n, "MiB/s"),
+                Throughput::Elements(n) => (n, "Kelem/s"),
+            };
+            let per_sec = count as f64 / (self.mean_ns * 1e-9);
+            let scaled = match t {
+                Throughput::Bytes(_) => per_sec / (1024.0 * 1024.0),
+                Throughput::Elements(_) => per_sec / 1000.0,
+            };
+            format!("  {scaled:.1} {unit}")
+        });
+        println!("bench {group}/{id}: {:.1} ns/iter{rate}", self.mean_ns);
+    }
+}
+
+/// Declares a benchmark group function, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

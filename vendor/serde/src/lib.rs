@@ -1,0 +1,296 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a value-tree serialization model covering what the workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on structs (including the
+//! container attributes `transparent`, `try_from = "T"`, `into = "T"`)
+//! plus impls for the primitive, `Vec`, and tuple field types that appear
+//! in the model crates. `serde_json` (also vendored) renders [`Value`]
+//! trees to and from JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k.as_str() == name)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message — also used by the
+    /// derive macro to surface `try_from` validation failures.
+    pub fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`], validating as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape or range does not
+    /// match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => *n,
+                    _ => return Err(Error::custom("expected integer")),
+                };
+                if n.fract() != 0.0 || !n.is_finite() {
+                    return Err(Error::custom("expected integer, found fraction"));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::custom(concat!(
+                        "integer out of range for ",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(Error::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::from_value(&42u8.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(u8::from_value(&Value::Number(1.5)).is_err());
+        assert!(bool::from_value(&Value::Number(1.0)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u8, 0.5f64), (2, 0.25)];
+        let round: Vec<(u8, f64)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let obj = Value::Object(vec![("k".into(), Value::Number(2.0))]);
+        assert_eq!(obj.field("k"), Some(&Value::Number(2.0)));
+        assert_eq!(obj.field("missing"), None);
+    }
+}

@@ -1,0 +1,322 @@
+//! Workspace-local stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! struct shapes this workspace actually uses — named structs, newtype
+//! structs, and the container attributes `#[serde(transparent)]`,
+//! `#[serde(try_from = "T")]`, and `#[serde(into = "T")]` — by walking the
+//! raw `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline). Unsupported shapes panic with a clear message, which rustc
+//! reports as a compile error at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container-level `#[serde(...)]` attributes.
+#[derive(Default)]
+struct Attrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Fields {
+    /// `(name, type tokens)` per field, in declaration order.
+    Named(Vec<(String, String)>),
+    /// Type tokens per field, in declaration order.
+    Tuple(Vec<String>),
+}
+
+struct Container {
+    name: String,
+    attrs: Attrs,
+    fields: Fields,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let body = if let Some(into) = &c.attrs.into {
+        format!(
+            "let __converted: {into} = ::core::convert::Into::into(\
+             ::core::clone::Clone::clone(self));\
+             ::serde::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &c.fields {
+            Fields::Tuple(tys) if tys.len() == 1 => {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            }
+            Fields::Named(fields) if c.attrs.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].0)
+            }
+            Fields::Named(fields) => {
+                let entries: String = fields
+                    .iter()
+                    .map(|(name, _)| {
+                        format!(
+                            "(::std::string::String::from(\"{name}\"), \
+                             ::serde::Serialize::to_value(&self.{name})),"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
+            Fields::Tuple(_) => unsupported(&c.name, "multi-field tuple struct"),
+        }
+    };
+    let name = &c.name;
+    format!(
+        "#[automatically_derived]\
+         impl ::serde::Serialize for {name} {{\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stand-in: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let body = if let Some(try_from) = &c.attrs.try_from {
+        format!(
+            "let __raw: {try_from} = ::serde::Deserialize::from_value(__v)?;\
+             ::core::convert::TryFrom::try_from(__raw).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &c.fields {
+            Fields::Tuple(tys) if tys.len() == 1 => format!(
+                "::core::result::Result::Ok({}(::serde::Deserialize::from_value(__v)?))",
+                c.name
+            ),
+            Fields::Named(fields) if c.attrs.transparent && fields.len() == 1 => format!(
+                "::core::result::Result::Ok({} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                c.name, fields[0].0
+            ),
+            Fields::Named(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|(name, _)| {
+                        format!(
+                            "{name}: {{\
+                                 let __fv = __v.field(\"{name}\").ok_or_else(|| \
+                                     ::serde::Error::custom(\"missing field `{name}`\"))?;\
+                                 ::serde::Deserialize::from_value(__fv)?\
+                             }},"
+                        )
+                    })
+                    .collect();
+                format!("::core::result::Result::Ok({} {{ {inits} }})", c.name)
+            }
+            Fields::Tuple(_) => unsupported(&c.name, "multi-field tuple struct"),
+        }
+    };
+    let name = &c.name;
+    format!(
+        "#[automatically_derived]\
+         impl ::serde::Deserialize for {name} {{\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stand-in: generated Deserialize impl must parse")
+}
+
+fn unsupported(name: &str, what: &str) -> ! {
+    panic!("serde_derive stand-in: `{name}` is a {what}, which this stand-in does not support")
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = Attrs::default();
+    let mut i = 0;
+
+    // Outer attributes: `#` followed by a bracketed group. `cfg_attr` is
+    // resolved before derive expansion, so `#[serde(...)]` arrives plain.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(&g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    panic!("serde_derive stand-in: `#` not followed by an attribute group");
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility, then the `struct` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            other => panic!("serde_derive stand-in: only structs are supported, found `{other}`"),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected struct name, found {other:?}"),
+    };
+    i += 1;
+
+    let fields = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(&g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(parse_tuple_fields(&g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => unsupported(&name, "generic struct"),
+        other => panic!("serde_derive stand-in: expected struct body, found {other:?}"),
+    };
+
+    Container {
+        name,
+        attrs,
+        fields,
+    }
+}
+
+/// Extracts `transparent` / `try_from = "T"` / `into = "T"` from one
+/// outer attribute's bracket contents, ignoring non-`serde` attributes.
+fn parse_serde_attr(bracket: &TokenStream, attrs: &mut Attrs) {
+    let tokens: Vec<TokenTree> = bracket.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let items: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < items.len() {
+                let key = match &items[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        j += 1;
+                        continue;
+                    }
+                    other => {
+                        panic!("serde_derive stand-in: unexpected token in #[serde(...)]: {other}")
+                    }
+                };
+                j += 1;
+                let value = match items.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        let lit = match items.get(j + 1) {
+                            Some(TokenTree::Literal(lit)) => lit.to_string(),
+                            other => panic!(
+                                "serde_derive stand-in: expected string after `{key} =`, \
+                                 found {other:?}"
+                            ),
+                        };
+                        j += 2;
+                        Some(lit.trim_matches('"').to_string())
+                    }
+                    _ => None,
+                };
+                match (key.as_str(), value) {
+                    ("transparent", None) => attrs.transparent = true,
+                    ("try_from", Some(ty)) => attrs.try_from = Some(ty),
+                    ("into", Some(ty)) => attrs.into = Some(ty),
+                    (other, _) => {
+                        panic!("serde_derive stand-in: unsupported serde attribute `{other}`")
+                    }
+                }
+            }
+        }
+        _ => {} // doc comments, derives, lint attributes, ...
+    }
+}
+
+/// Parses `name: Type` pairs, tracking angle-bracket depth so commas
+/// inside generics (e.g. `Vec<(ScheduleEntry, f64)>`) don't split fields.
+fn parse_named_fields(body: &TokenStream) -> Vec<(String, String)> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stand-in: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stand-in: expected `:` after field, found `{other}`"),
+        }
+        let (ty, next) = collect_type(&tokens, i);
+        fields.push((name, ty));
+        i = next;
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let (ty, next) = collect_type(&tokens, i);
+        fields.push(ty);
+        i = next;
+    }
+    fields
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Collects one type's tokens up to a top-level `,`; returns the type's
+/// string form and the index after the separator.
+fn collect_type(tokens: &[TokenTree], mut i: usize) -> (String, usize) {
+    let mut depth = 0usize;
+    let mut ty = TokenStream::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                i += 1;
+                break;
+            }
+            _ => {}
+        }
+        ty.extend([tokens[i].clone()]);
+        i += 1;
+    }
+    (ty.to_string(), i)
+}
