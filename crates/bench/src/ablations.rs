@@ -42,7 +42,7 @@ pub fn schedulers(mode: Mode) -> Vec<Row> {
                 .expect("feasible");
         let kinds: Vec<(&str, SchedulerKind)> = vec![
             ("dynamic", SchedulerKind::Dynamic),
-            ("static-lp", SchedulerKind::Static(lp)),
+            ("static-lp", SchedulerKind::Static(std::sync::Arc::new(lp))),
             ("round-robin", SchedulerKind::RoundRobin),
         ];
         for (kname, kind) in kinds {

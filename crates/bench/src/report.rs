@@ -142,6 +142,24 @@ impl BenchReport {
     }
 }
 
+/// Writes `BENCH_<id>.json` for an arbitrary serializable value — the
+/// escape hatch for binaries whose results are not sweep-shaped (the
+/// throughput benchmark reports engine comparisons, not grid points).
+/// Honors the same `MCSS_BENCH_EMIT` gate and `MCSS_BENCH_DIR`
+/// destination as [`BenchReport::emit`]; filesystem failures only warn.
+pub fn emit_value(id: &str, value: &impl Serialize) {
+    if !emission_enabled() {
+        return;
+    }
+    let dir = std::env::var("MCSS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join(format!("BENCH_{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("bench value serializes");
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => println!("[bench] wrote {}", path.display()),
+        Err(err) => eprintln!("[bench] could not write BENCH_{id}.json: {err}"),
+    }
+}
+
 /// Turns on `BENCH_<id>.json` emission for this process. Every figure
 /// and ablation binary calls this first thing in `main`.
 pub fn enable_emission() {

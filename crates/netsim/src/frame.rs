@@ -1,9 +1,18 @@
 //! Frames: the unit of transmission on a simulated link.
 
+use std::hash::{Hash, Hasher};
+
 use bytes::Bytes;
 
-/// A datagram in flight. Cheaply cloneable (the payload is an [`Bytes`]
-/// handle).
+/// A datagram in flight.
+///
+/// The payload is either a shared [`Bytes`] handle (cheap clones, used
+/// by tests and generic traffic sources) or an *owned* `Vec<u8>` from a
+/// [`BufferPool`](crate::BufferPool): owned frames move through the
+/// event queue by value and hand their buffer back for reuse at the
+/// receiver via [`into_vec`](Frame::into_vec), which is what keeps the
+/// protocol data path allocation-free. The two representations compare
+/// and hash by payload contents, indistinguishably.
 ///
 /// # Examples
 ///
@@ -14,61 +23,115 @@ use bytes::Bytes;
 /// assert_eq!(f.len(), 3);
 /// assert_eq!(f.payload(), &[1, 2, 3][..]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Frame {
-    payload: Bytes,
+    payload: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Shared(Bytes),
+    Owned(Vec<u8>),
 }
 
 impl Frame {
-    /// Wraps a payload into a frame.
+    /// Wraps a payload into a shared-representation frame.
     #[must_use]
     pub fn new(payload: impl Into<Bytes>) -> Self {
         Frame {
-            payload: payload.into(),
+            payload: Repr::Shared(payload.into()),
+        }
+    }
+
+    /// Wraps an owned buffer — typically from a
+    /// [`BufferPool`](crate::BufferPool) — without copying it.
+    ///
+    /// Unlike [`new`](Frame::new) with a `Vec` (which copies into a
+    /// shared allocation), the vector itself is the payload and can be
+    /// recovered intact with [`into_vec`](Frame::into_vec).
+    #[must_use]
+    pub fn from_vec(payload: Vec<u8>) -> Self {
+        Frame {
+            payload: Repr::Owned(payload),
         }
     }
 
     /// The payload bytes.
     #[must_use]
     pub fn payload(&self) -> &[u8] {
-        &self.payload
+        match &self.payload {
+            Repr::Shared(b) => b,
+            Repr::Owned(v) => v,
+        }
     }
 
-    /// Consumes the frame, returning the payload handle.
+    /// Consumes the frame, returning the payload as a shared handle
+    /// (copies once if the frame owned its buffer).
     #[must_use]
     pub fn into_payload(self) -> Bytes {
-        self.payload
+        match self.payload {
+            Repr::Shared(b) => b,
+            Repr::Owned(v) => Bytes::from(v),
+        }
+    }
+
+    /// Consumes the frame, returning the payload as an owned vector —
+    /// without copying when the frame was built by
+    /// [`from_vec`](Frame::from_vec), so the buffer can go back to its
+    /// pool.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.payload {
+            Repr::Shared(b) => b.to_vec(),
+            Repr::Owned(v) => v,
+        }
     }
 
     /// Payload length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.payload.len()
+        self.payload().len()
     }
 
     /// Whether the payload is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.payload.is_empty()
+        self.payload().is_empty()
     }
 
     /// Payload size in bits (excluding per-link framing overhead, which
     /// the link adds per its [`LinkConfig`](crate::LinkConfig)).
     #[must_use]
     pub fn bits(&self) -> u64 {
-        self.payload.len() as u64 * 8
+        self.payload().len() as u64 * 8
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.payload() == other.payload()
+    }
+}
+
+impl Eq for Frame {}
+
+impl Hash for Frame {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.payload().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Frame {
     fn from(v: Vec<u8>) -> Self {
-        Frame::new(v)
+        Frame::from_vec(v)
     }
 }
 
 impl From<Bytes> for Frame {
     fn from(b: Bytes) -> Self {
-        Frame { payload: b }
+        Frame {
+            payload: Repr::Shared(b),
+        }
     }
 }
 
@@ -105,5 +168,31 @@ mod tests {
         let g = f.clone();
         // Bytes clones share the same backing allocation.
         assert_eq!(f.payload().as_ptr(), g.payload().as_ptr());
+    }
+
+    #[test]
+    fn owned_round_trip_preserves_buffer() {
+        let mut v = Vec::with_capacity(2048);
+        v.extend_from_slice(&[7u8; 10]);
+        let ptr = v.as_ptr();
+        let f = Frame::from_vec(v);
+        assert_eq!(f.payload(), &[7u8; 10]);
+        let back = f.into_vec();
+        assert_eq!(back.as_ptr(), ptr);
+        assert_eq!(back.capacity(), 2048);
+    }
+
+    #[test]
+    fn owned_and_shared_compare_by_contents() {
+        let owned = Frame::from_vec(vec![1, 2, 3]);
+        let shared = Frame::new(vec![1, 2, 3]);
+        assert_eq!(owned, shared);
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |f: &Frame| {
+            let mut h = DefaultHasher::new();
+            f.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&owned), hash(&shared));
     }
 }

@@ -11,9 +11,10 @@
 //!   bounded FIFO (token-bucket semantics, like a single `htb` class);
 //! * each frame independently survives with probability `1 − loss` and,
 //!   if it survives, arrives one `delay` later (like `netem`);
-//! * everything is driven by a single event heap with deterministic
-//!   tie-breaking, and all randomness comes from one seeded RNG — the
-//!   same seed always yields the same trace.
+//! * everything is driven by a single event queue (a hierarchical timer
+//!   wheel, bit-identical to the reference binary heap — see [`queue`])
+//!   with deterministic tie-breaking, and all randomness comes from one
+//!   seeded RNG — the same seed always yields the same trace.
 //!
 //! Application logic (traffic generators, the ReMICSS protocol) plugs in
 //! via the [`Application`] trait and interacts with the network through a
@@ -56,6 +57,8 @@
 mod frame;
 mod link;
 pub mod network;
+pub mod pool;
+pub mod queue;
 mod sim;
 pub mod stats;
 mod time;
@@ -65,5 +68,7 @@ pub mod traffic;
 pub use frame::Frame;
 pub use link::{LinkConfig, LinkStats, SendOutcome};
 pub use network::{Channel, ChannelId, Endpoint, Network, NetworkBuilder};
+pub use pool::{BufHandle, BufferPool};
+pub use queue::QueueKind;
 pub use sim::{Application, Context, Simulator};
 pub use time::SimTime;

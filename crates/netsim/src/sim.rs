@@ -1,15 +1,13 @@
 //! The event loop: a deterministic discrete-event simulator over a
 //! two-host [`Network`].
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::frame::Frame;
 use crate::link::{Admit, SendOutcome};
 use crate::network::{ChannelId, Endpoint, Network};
+use crate::queue::{EventQueue, QueueKind};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceKind};
 
@@ -54,35 +52,6 @@ enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first, with the
-        // insertion sequence breaking ties deterministically.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// The application's handle to the simulation during a callback.
 ///
 /// Provides the current time, frame transmission, channel introspection
@@ -92,7 +61,7 @@ impl Ord for Event {
 pub struct Context<'a> {
     now: SimTime,
     network: &'a mut Network,
-    heap: &'a mut BinaryHeap<Event>,
+    queue: &'a mut EventQueue<EventKind>,
     seq: &'a mut u64,
     rng: &'a mut StdRng,
     trace: &'a mut Option<Trace>,
@@ -120,28 +89,61 @@ impl Context<'_> {
     ///
     /// Panics if `channel` is out of range.
     pub fn send(&mut self, channel: ChannelId, from: Endpoint, frame: Frame) -> SendOutcome {
+        match self.try_send(channel, from, frame) {
+            Ok(()) => SendOutcome::Queued,
+            Err(_rejected) => SendOutcome::Dropped,
+        }
+    }
+
+    /// Like [`send`](Context::send), but hands the frame back on a
+    /// local queue drop so a pooled payload buffer can be recycled
+    /// instead of freed.
+    ///
+    /// Only *locally observable* rejection returns the frame: random
+    /// in-flight loss still consumes it, exactly as a real socket write
+    /// succeeds on frames the network later loses. `Err` therefore
+    /// reveals nothing [`send`](Context::send) doesn't.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frame if the local queue is full
+    /// ([`SendOutcome::Dropped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn try_send(
+        &mut self,
+        channel: ChannelId,
+        from: Endpoint,
+        frame: Frame,
+    ) -> Result<(), Frame> {
         let bytes = frame.len();
         let link = self.network.channel_mut(channel).link_from(from);
-        let outcome = match link.admit(self.now, &frame, self.rng) {
-            Admit::Dropped => SendOutcome::Dropped,
-            Admit::Lost => SendOutcome::Queued,
+        let result = match link.admit(self.now, &frame, self.rng) {
+            Admit::Dropped => Err(frame),
+            Admit::Lost => Ok(()),
             Admit::Deliver { at } => {
                 let seq = *self.seq;
                 *self.seq += 1;
-                self.heap.push(Event {
+                self.queue.push(
                     at,
                     seq,
-                    kind: EventKind::Deliver {
+                    EventKind::Deliver {
                         channel,
                         to: from.peer(),
                         sent_at: self.now,
                         frame,
                     },
-                });
-                SendOutcome::Queued
+                );
+                Ok(())
             }
         };
         if let Some(trace) = self.trace.as_mut() {
+            let outcome = match &result {
+                Ok(()) => SendOutcome::Queued,
+                Err(_) => SendOutcome::Dropped,
+            };
             trace.record(
                 self.now,
                 TraceKind::Send {
@@ -152,7 +154,7 @@ impl Context<'_> {
                 },
             );
         }
-        outcome
+        result
     }
 
     /// Serialization backlog of `channel` in the direction out of `from`.
@@ -186,11 +188,8 @@ impl Context<'_> {
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         let seq = *self.seq;
         *self.seq += 1;
-        self.heap.push(Event {
-            at: at.max(self.now),
-            seq,
-            kind: EventKind::Timer { token },
-        });
+        self.queue
+            .push(at.max(self.now), seq, EventKind::Timer { token });
     }
 
     /// The simulation's deterministic RNG.
@@ -208,8 +207,9 @@ pub struct Simulator<A> {
     now: SimTime,
     network: Network,
     app: A,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue<EventKind>,
     seq: u64,
+    events: u64,
     rng: StdRng,
     trace: Option<Trace>,
 }
@@ -218,22 +218,30 @@ impl<A: Application> Simulator<A> {
     /// Creates a simulator and immediately runs the application's
     /// [`on_start`](Application::on_start) hook at time zero.
     ///
-    /// The same `(network, app, seed)` triple always produces the same
-    /// trace.
+    /// Uses the default timer-wheel event queue; the same
+    /// `(network, app, seed)` triple always produces the same trace,
+    /// whichever [`QueueKind`] runs it (see [`crate::queue`]).
     pub fn new(network: Network, app: A, seed: u64) -> Self {
+        Simulator::with_queue_kind(network, app, seed, QueueKind::default())
+    }
+
+    /// Like [`new`](Simulator::new) with an explicit event-queue
+    /// backend, for pinning the wheel against the reference heap.
+    pub fn with_queue_kind(network: Network, app: A, seed: u64, kind: QueueKind) -> Self {
         let mut sim = Simulator {
             now: SimTime::ZERO,
             network,
             app,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             seq: 0,
+            events: 0,
             rng: StdRng::seed_from_u64(seed),
             trace: None,
         };
         let mut ctx = Context {
             now: sim.now,
             network: &mut sim.network,
-            heap: &mut sim.heap,
+            queue: &mut sim.queue,
             seq: &mut sim.seq,
             rng: &mut sim.rng,
             trace: &mut sim.trace,
@@ -288,15 +296,22 @@ impl<A: Application> Simulator<A> {
         &mut self.app
     }
 
+    /// Number of events processed so far (deliveries + timer firings).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Processes the next event, if any. Returns `false` when the event
     /// queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.heap.pop() else {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time must be monotone");
-        self.now = ev.at;
-        match ev.kind {
+        debug_assert!(at >= self.now, "time must be monotone");
+        self.now = at;
+        self.events += 1;
+        match kind {
             EventKind::Deliver {
                 channel,
                 to,
@@ -306,7 +321,7 @@ impl<A: Application> Simulator<A> {
                 self.network
                     .channel_mut(channel)
                     .link_from(to.peer())
-                    .record_delivery(sent_at, ev.at, &frame);
+                    .record_delivery(sent_at, at, &frame);
                 if let Some(trace) = self.trace.as_mut() {
                     trace.record(
                         self.now,
@@ -320,7 +335,7 @@ impl<A: Application> Simulator<A> {
                 let mut ctx = Context {
                     now: self.now,
                     network: &mut self.network,
-                    heap: &mut self.heap,
+                    queue: &mut self.queue,
                     seq: &mut self.seq,
                     rng: &mut self.rng,
                     trace: &mut self.trace,
@@ -334,7 +349,7 @@ impl<A: Application> Simulator<A> {
                 let mut ctx = Context {
                     now: self.now,
                     network: &mut self.network,
-                    heap: &mut self.heap,
+                    queue: &mut self.queue,
                     seq: &mut self.seq,
                     rng: &mut self.rng,
                     trace: &mut self.trace,
@@ -348,8 +363,8 @@ impl<A: Application> Simulator<A> {
     /// Runs every event scheduled at or before `deadline`, then advances
     /// the clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(ev) = self.heap.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.next_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -617,6 +632,71 @@ mod tests {
     fn empty_queue_step_returns_false() {
         let mut sim = Simulator::new(one_channel(1e6), Recorder::default(), 0);
         assert!(!sim.step());
+    }
+
+    /// A jittery, lossy, multi-channel app whose full delivery/timer
+    /// record must be identical under both event-queue backends.
+    #[test]
+    fn wheel_replays_heap_bit_identical() {
+        struct Chatty(Recorder);
+        impl Application for Chatty {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::ZERO, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, t: u64) {
+                for c in 0..ctx.num_channels() {
+                    let _ = ctx.send(c, Endpoint::A, Frame::new(vec![0u8; 200 + 10 * c]));
+                }
+                if ctx.now() < SimTime::from_millis(50) {
+                    // Uneven periods so timers and deliveries interleave
+                    // and collide at shared timestamps.
+                    let next = ctx.now() + SimTime::from_micros(90 + 7 * (t % 13));
+                    ctx.set_timer(next, t + 1);
+                }
+                self.0.on_timer(ctx, t);
+            }
+            fn on_deliver(
+                &mut self,
+                ctx: &mut Context<'_>,
+                channel: ChannelId,
+                to: Endpoint,
+                frame: Frame,
+            ) {
+                if to == Endpoint::B && frame.len().is_multiple_of(3) {
+                    let _ = ctx.send(channel, Endpoint::B, frame.clone());
+                }
+                self.0.on_deliver(ctx, channel, to, frame);
+            }
+        }
+        let net = || {
+            let mut b = NetworkBuilder::new();
+            b.channel(LinkConfig::new(8e6).with_loss(0.05));
+            b.channel(
+                LinkConfig::new(2e6)
+                    .with_delay(SimTime::from_millis(3))
+                    .with_jitter(SimTime::from_millis(1)),
+            );
+            b.channel(LinkConfig::new(1e6));
+            b.build()
+        };
+        let run = |kind| {
+            let mut sim = Simulator::with_queue_kind(net(), Chatty(Recorder::default()), 11, kind);
+            sim.enable_trace(1 << 16);
+            sim.run_to_completion();
+            let trace: Vec<_> = sim.trace().unwrap().events().cloned().collect();
+            let events = sim.events_processed();
+            let recorder = sim.app_mut();
+            (
+                std::mem::take(&mut recorder.0.delivered),
+                std::mem::take(&mut recorder.0.timers),
+                trace,
+                events,
+            )
+        };
+        let heap = run(crate::queue::QueueKind::Heap);
+        let wheel = run(crate::queue::QueueKind::Wheel);
+        assert_eq!(heap, wheel);
+        assert!(heap.3 > 1000, "workload should be non-trivial");
     }
 
     #[test]

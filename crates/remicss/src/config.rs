@@ -1,5 +1,7 @@
 //! Protocol configuration: the tunable parameters of a ReMICSS session.
 
+use std::sync::Arc;
+
 use mcss_core::{ModelError, ShareSchedule};
 use mcss_netsim::SimTime;
 
@@ -13,8 +15,9 @@ pub enum SchedulerKind {
     /// ready for writing (epoll-style).
     Dynamic,
     /// Sample `(k, M)` from an explicit share schedule (e.g. one produced
-    /// by the §IV-D linear program).
-    Static(ShareSchedule),
+    /// by the §IV-D linear program). Shared by reference: the session's
+    /// two endpoint schedulers clone the `Arc`, not the schedule.
+    Static(Arc<ShareSchedule>),
     /// Fixed `(k, m)` with the subset rotating round-robin — a naive
     /// baseline for ablation.
     RoundRobin,
@@ -42,6 +45,7 @@ pub struct ProtocolConfig {
     symbol_bytes: usize,
     reassembly_timeout: SimTime,
     reassembly_capacity_bytes: usize,
+    reassembly_resolved_cap: usize,
     readiness_threshold: SimTime,
     cpu: Option<CpuModel>,
     adaptive_target: Option<f64>,
@@ -56,6 +60,10 @@ impl ProtocolConfig {
 
     /// Default reassembly memory cap in buffered share bytes.
     pub const DEFAULT_REASSEMBLY_CAPACITY: usize = 8 * 1024 * 1024;
+
+    /// Default bound on the receiver's resolved-symbol records (see
+    /// [`crate::reassembly::DEFAULT_RESOLVED_CAP`]).
+    pub const DEFAULT_REASSEMBLY_RESOLVED_CAP: usize = crate::reassembly::DEFAULT_RESOLVED_CAP;
 
     /// Default backlog threshold below which a channel counts as
     /// "ready for writing".
@@ -84,6 +92,7 @@ impl ProtocolConfig {
             symbol_bytes: Self::DEFAULT_SYMBOL_BYTES,
             reassembly_timeout: Self::DEFAULT_REASSEMBLY_TIMEOUT,
             reassembly_capacity_bytes: Self::DEFAULT_REASSEMBLY_CAPACITY,
+            reassembly_resolved_cap: Self::DEFAULT_REASSEMBLY_RESOLVED_CAP,
             readiness_threshold: Self::DEFAULT_READINESS_THRESHOLD,
             cpu: None,
             adaptive_target: None,
@@ -124,6 +133,19 @@ impl ProtocolConfig {
     #[must_use]
     pub fn with_reassembly_capacity(mut self, bytes: usize) -> Self {
         self.reassembly_capacity_bytes = bytes;
+        self
+    }
+
+    /// Bounds the receiver's memory of completed/evicted symbol ids
+    /// (oldest-first eviction past the cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_reassembly_resolved_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "resolved cap must be positive");
+        self.reassembly_resolved_cap = cap;
         self
     }
 
@@ -177,6 +199,12 @@ impl ProtocolConfig {
     #[must_use]
     pub fn reassembly_capacity_bytes(&self) -> usize {
         self.reassembly_capacity_bytes
+    }
+
+    /// Bound on the receiver's resolved-symbol records.
+    #[must_use]
+    pub fn reassembly_resolved_cap(&self) -> usize {
+        self.reassembly_resolved_cap
     }
 
     /// Readiness backlog threshold.

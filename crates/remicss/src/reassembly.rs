@@ -3,24 +3,34 @@
 //! Without reliable share transport, shares of many symbols are in flight
 //! at once: loss, reordering, and differing channel rates interleave
 //! them arbitrarily. The receiver buffers partial symbols in a table and,
-//! borrowing from IP fragment reassembly, bounds that table two ways:
+//! borrowing from IP fragment reassembly, bounds that table three ways:
 //!
 //! * **timeout eviction** — a partial symbol older than the timeout is
 //!   abandoned (its remaining shares are presumed lost);
 //! * **memory cap** — when buffered share bytes exceed the cap, the
-//!   oldest partial symbols are evicted first.
+//!   oldest partial symbols are evicted first;
+//! * **resolution cap** — completed/evicted symbol ids are remembered
+//!   (so late duplicates read as stale, not fresh) in a map bounded by
+//!   [`with_resolved_cap`](ReassemblyTable::with_resolved_cap),
+//!   evicting oldest-first, so memory stays flat on unbounded runs.
 //!
-//! Completed symbols are remembered briefly so that late duplicate
-//! shares are recognized as stale rather than re-buffered.
+//! Share data lives in a [`BufferPool`]: each buffered share occupies a
+//! generation-checked pool slot, reconstruction accumulates directly
+//! into a caller-provided output buffer, and completed or evicted
+//! entries hand their buffers back — the steady-state receive path
+//! performs no heap allocation (see
+//! [`accept_into`](ReassemblyTable::accept_into)).
 
 use std::collections::{HashMap, VecDeque};
 
-use mcss_netsim::SimTime;
-use mcss_shamir::{reconstruct, Share};
+use mcss_gf256::slice as gf_slice;
+use mcss_netsim::{BufHandle, BufferPool, SimTime};
+use mcss_shamir::lagrange_weight_xs;
 
-use crate::wire::ShareFrame;
+use crate::wire::{ShareFrame, ShareRef};
 
-/// Outcome of offering one share frame to the table.
+/// Outcome of offering one share frame to the table via the owning
+/// [`accept`](ReassemblyTable::accept) API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Accept {
     /// The share was buffered; the symbol is still incomplete.
@@ -33,6 +43,23 @@ pub enum Accept {
     Stale,
     /// The share disagreed with its siblings (length or threshold) and
     /// was rejected.
+    Inconsistent,
+}
+
+/// Outcome of [`accept_into`](ReassemblyTable::accept_into): like
+/// [`Accept`] but the completed payload is written to the caller's
+/// buffer instead of being allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptOutcome {
+    /// The share was buffered; the symbol is still incomplete.
+    Stored,
+    /// The share completed its symbol; the payload is in `out`.
+    Completed,
+    /// A share with this abscissa was already buffered for this symbol.
+    Duplicate,
+    /// The symbol was already completed or evicted; the share is stale.
+    Stale,
+    /// The share disagreed with its siblings and was rejected.
     Inconsistent,
 }
 
@@ -51,15 +78,23 @@ pub struct ReassemblyStats {
     pub stale: u64,
     /// Shares rejected for disagreeing with buffered siblings.
     pub inconsistent: u64,
+    /// Resolution records evicted by the resolution cap (distinct from
+    /// the routine horizon pruning in [`ReassemblyTable::sweep`]).
+    pub resolved_evictions: u64,
 }
 
 #[derive(Debug)]
 struct Pending {
     k: u8,
-    shares: Vec<Share>,
+    /// `(abscissa, pooled share data)` in arrival order.
+    shares: Vec<(u8, BufHandle)>,
     first_seen: SimTime,
     bytes: usize,
 }
+
+/// Default bound on remembered resolutions; high enough that the
+/// time-horizon pruning in [`ReassemblyTable::sweep`] normally wins.
+pub const DEFAULT_RESOLVED_CAP: usize = 1 << 20;
 
 /// The share reassembly table.
 ///
@@ -87,6 +122,7 @@ struct Pending {
 pub struct ReassemblyTable {
     timeout: SimTime,
     capacity_bytes: usize,
+    resolved_cap: usize,
     buffered_bytes: usize,
     pending: HashMap<u64, Pending>,
     /// Insertion order of pending symbols, for oldest-first memory
@@ -94,22 +130,55 @@ pub struct ReassemblyTable {
     order: VecDeque<u64>,
     /// Recently completed or evicted symbols and when they resolved.
     resolved: HashMap<u64, SimTime>,
+    /// Insertion order of resolution records, for oldest-first eviction
+    /// at the cap (may contain ids already pruned by the sweep).
+    resolved_order: VecDeque<u64>,
+    /// Share-data buffers, recycled across symbols.
+    pool: BufferPool,
+    /// Recycled share lists of removed `Pending` entries.
+    spare_shares: Vec<Vec<(u8, BufHandle)>>,
+    /// Abscissa scratch for reconstruction.
+    xs: Vec<u8>,
+    /// Expired-id scratch for [`sweep`](ReassemblyTable::sweep).
+    expired: Vec<u64>,
     stats: ReassemblyStats,
 }
 
 impl ReassemblyTable {
-    /// Creates a table with the given eviction timeout and memory cap.
+    /// Creates a table with the given eviction timeout and memory cap
+    /// (and the [`DEFAULT_RESOLVED_CAP`] on resolution records).
     #[must_use]
     pub fn new(timeout: SimTime, capacity_bytes: usize) -> Self {
         ReassemblyTable {
             timeout,
             capacity_bytes,
+            resolved_cap: DEFAULT_RESOLVED_CAP,
             buffered_bytes: 0,
             pending: HashMap::new(),
             order: VecDeque::new(),
             resolved: HashMap::new(),
+            resolved_order: VecDeque::new(),
+            pool: BufferPool::new(),
+            spare_shares: Vec::new(),
+            xs: Vec::new(),
+            expired: Vec::new(),
             stats: ReassemblyStats::default(),
         }
+    }
+
+    /// Bounds the resolved-symbol memory to `cap` records, evicting
+    /// oldest-first; an evicted record makes a late duplicate of that
+    /// symbol read as fresh rather than stale (exactly as after the
+    /// sweep's time-horizon pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_resolved_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "resolved cap must be positive");
+        self.resolved_cap = cap;
+        self
     }
 
     /// Current counters.
@@ -130,88 +199,168 @@ impl ReassemblyTable {
         self.buffered_bytes
     }
 
-    /// Offers a share frame to the table at time `now`.
+    /// Number of remembered resolutions (bounded by the resolved cap).
+    #[must_use]
+    pub fn resolved_records(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// Buffers allocated by the internal share pool; flat after warmup
+    /// on the steady-state path.
+    #[must_use]
+    pub fn pool_misses(&self) -> u64 {
+        self.pool.misses()
+    }
+
+    /// Offers a share frame to the table at time `now`, allocating the
+    /// completed payload. The zero-allocation path is
+    /// [`accept_into`](ReassemblyTable::accept_into).
     pub fn accept(&mut self, frame: &ShareFrame, now: SimTime) -> Accept {
-        let seq = frame.seq();
+        let mut out = Vec::new();
+        match self.offer(
+            frame.seq(),
+            frame.k(),
+            frame.x(),
+            frame.payload(),
+            now,
+            &mut out,
+        ) {
+            AcceptOutcome::Stored => Accept::Stored,
+            AcceptOutcome::Completed => Accept::Completed(out),
+            AcceptOutcome::Duplicate => Accept::Duplicate,
+            AcceptOutcome::Stale => Accept::Stale,
+            AcceptOutcome::Inconsistent => Accept::Inconsistent,
+        }
+    }
+
+    /// Offers an in-place decoded share to the table at time `now`.
+    ///
+    /// On [`AcceptOutcome::Completed`], the reconstructed payload is in
+    /// `out` (cleared first). Steady state, this path performs no heap
+    /// allocation: share data goes into pooled buffers, reconstruction
+    /// accumulates into `out`'s existing capacity, and the completed
+    /// symbol's buffers return to the pool.
+    pub fn accept_into(
+        &mut self,
+        share: &ShareRef<'_>,
+        now: SimTime,
+        out: &mut Vec<u8>,
+    ) -> AcceptOutcome {
+        self.offer(share.seq(), share.k(), share.x(), share.payload(), now, out)
+    }
+
+    fn offer(
+        &mut self,
+        seq: u64,
+        k: u8,
+        x: u8,
+        payload: &[u8],
+        now: SimTime,
+        out: &mut Vec<u8>,
+    ) -> AcceptOutcome {
         if self.resolved.contains_key(&seq) {
             self.stats.stale += 1;
-            return Accept::Stale;
+            return AcceptOutcome::Stale;
         }
-        let share = Share::new(frame.x(), frame.k(), frame.payload().to_vec());
-        match self.pending.get_mut(&seq) {
-            None => {
-                if frame.k() == 1 {
-                    // Threshold 1: the share is the symbol.
-                    let payload = share.into_data();
-                    self.resolve(seq, now);
-                    self.stats.completed += 1;
-                    return Accept::Completed(payload);
-                }
-                let bytes = frame.payload().len();
-                self.make_room(bytes);
-                self.pending.insert(
-                    seq,
-                    Pending {
-                        k: frame.k(),
-                        shares: vec![share],
-                        first_seen: now,
-                        bytes,
-                    },
-                );
-                self.order.push_back(seq);
-                self.buffered_bytes += bytes;
-                Accept::Stored
+        if !self.pending.contains_key(&seq) {
+            if k == 1 {
+                // Threshold 1: the share is the symbol.
+                out.clear();
+                out.extend_from_slice(payload);
+                self.resolve(seq, now);
+                self.stats.completed += 1;
+                return AcceptOutcome::Completed;
             }
-            Some(p) => {
-                if p.k != frame.k()
-                    || p.shares
-                        .first()
-                        .is_some_and(|s| s.data().len() != frame.payload().len())
-                {
-                    self.stats.inconsistent += 1;
-                    return Accept::Inconsistent;
-                }
-                if p.shares.iter().any(|s| s.x() == frame.x()) {
-                    self.stats.duplicates += 1;
-                    return Accept::Duplicate;
-                }
-                p.shares.push(share);
-                self.buffered_bytes += frame.payload().len();
-                p.bytes += frame.payload().len();
-                if p.shares.len() >= p.k as usize {
-                    let p = self.pending.remove(&seq).expect("just seen");
-                    self.buffered_bytes -= p.bytes;
-                    self.resolve(seq, now);
-                    match reconstruct(&p.shares) {
-                        Ok(payload) => {
-                            self.stats.completed += 1;
-                            Accept::Completed(payload)
-                        }
-                        Err(_) => {
-                            self.stats.inconsistent += 1;
-                            Accept::Inconsistent
-                        }
-                    }
-                } else {
-                    Accept::Stored
-                }
-            }
+            let bytes = payload.len();
+            self.make_room(bytes);
+            let handle = self.pool.acquire();
+            self.pool.get_mut(handle).extend_from_slice(payload);
+            let mut shares = self.spare_shares.pop().unwrap_or_default();
+            shares.push((x, handle));
+            self.pending.insert(
+                seq,
+                Pending {
+                    k,
+                    shares,
+                    first_seen: now,
+                    bytes,
+                },
+            );
+            self.order.push_back(seq);
+            self.buffered_bytes += bytes;
+            return AcceptOutcome::Stored;
         }
+        let p = self.pending.get_mut(&seq).expect("checked above");
+        let first_len = p.shares.first().map(|&(_, h)| self.pool.get(h).len());
+        if p.k != k || first_len.is_some_and(|len| len != payload.len()) {
+            self.stats.inconsistent += 1;
+            return AcceptOutcome::Inconsistent;
+        }
+        if p.shares.iter().any(|&(sx, _)| sx == x) {
+            self.stats.duplicates += 1;
+            return AcceptOutcome::Duplicate;
+        }
+        let handle = self.pool.acquire();
+        self.pool.get_mut(handle).extend_from_slice(payload);
+        let p = self.pending.get_mut(&seq).expect("checked above");
+        p.shares.push((x, handle));
+        p.bytes += payload.len();
+        self.buffered_bytes += payload.len();
+        if p.shares.len() >= p.k as usize {
+            let p = self.pending.remove(&seq).expect("just seen");
+            self.buffered_bytes -= p.bytes;
+            self.resolve(seq, now);
+            self.reconstruct_into(&p, out);
+            self.recycle(p);
+            self.stats.completed += 1;
+            AcceptOutcome::Completed
+        } else {
+            AcceptOutcome::Stored
+        }
+    }
+
+    /// Lagrange reconstruction from the buffered shares into `out`,
+    /// byte-identical to [`mcss_shamir::reconstruct`] over the same
+    /// shares in arrival order (GF(2⁸) addition is exact and the
+    /// weights are the same field elements).
+    fn reconstruct_into(&mut self, p: &Pending, out: &mut Vec<u8>) {
+        self.xs.clear();
+        self.xs.extend(p.shares.iter().map(|&(x, _)| x));
+        let len = self.pool.get(p.shares[0].1).len();
+        out.clear();
+        out.resize(len, 0);
+        for (i, &(_, handle)) in p.shares.iter().enumerate() {
+            let w = lagrange_weight_xs(&self.xs, i);
+            gf_slice::add_scaled_assign(out, self.pool.get(handle), w);
+        }
+    }
+
+    /// Returns a removed entry's buffers to the pool.
+    fn recycle(&mut self, p: Pending) {
+        let mut shares = p.shares;
+        for &(_, handle) in &shares {
+            self.pool.release(handle);
+        }
+        shares.clear();
+        self.spare_shares.push(shares);
     }
 
     /// Evicts timed-out partial symbols and prunes stale resolution
     /// records. Call periodically (the session does so on a timer).
     pub fn sweep(&mut self, now: SimTime) {
         let timeout = self.timeout;
-        let expired: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| now.saturating_sub(p.first_seen) > timeout)
-            .map(|(&seq, _)| seq)
-            .collect();
-        for seq in expired {
+        self.expired.clear();
+        self.expired.extend(
+            self.pending
+                .iter()
+                .filter(|(_, p)| now.saturating_sub(p.first_seen) > timeout)
+                .map(|(&seq, _)| seq),
+        );
+        for i in 0..self.expired.len() {
+            let seq = self.expired[i];
             let p = self.pending.remove(&seq).expect("listed above");
             self.buffered_bytes -= p.bytes;
+            self.recycle(p);
             self.resolve(seq, now);
             self.stats.timeout_evictions += 1;
         }
@@ -220,11 +369,25 @@ impl ReassemblyTable {
         let horizon = self.timeout * 2;
         self.resolved
             .retain(|_, &mut t| now.saturating_sub(t) <= horizon);
+        self.resolved_order
+            .retain(|seq| self.resolved.contains_key(seq));
         self.order.retain(|seq| self.pending.contains_key(seq));
     }
 
     fn resolve(&mut self, seq: u64, now: SimTime) {
-        self.resolved.insert(seq, now);
+        if self.resolved.insert(seq, now).is_none() {
+            self.resolved_order.push_back(seq);
+        }
+        // Oldest-first eviction past the cap; ids already pruned by the
+        // sweep are skipped (their ring entries are stale).
+        while self.resolved.len() > self.resolved_cap {
+            let Some(old) = self.resolved_order.pop_front() else {
+                break;
+            };
+            if self.resolved.remove(&old).is_some() {
+                self.stats.resolved_evictions += 1;
+            }
+        }
     }
 
     /// Evicts oldest partial symbols until `incoming` more bytes fit
@@ -238,6 +401,7 @@ impl ReassemblyTable {
             if let Some(p) = self.pending.remove(&seq) {
                 self.buffered_bytes -= p.bytes;
                 let at = p.first_seen;
+                self.recycle(p);
                 self.resolve(seq, at);
                 self.stats.memory_evictions += 1;
             }
@@ -392,5 +556,89 @@ mod tests {
             panic!()
         };
         assert_eq!((pa.as_slice(), pb.as_slice()), (&b"AAAA"[..], &b"BBBB"[..]));
+    }
+
+    #[test]
+    fn accept_into_matches_accept() {
+        // The in-place path returns the same verdicts and payload as
+        // the owning path, share for share.
+        let mut owning = table();
+        let mut pooled = table();
+        let mut out = Vec::new();
+        for seq in 0..20u64 {
+            let k = 1 + (seq % 4) as u8;
+            let fs = frames(seq, k, 4, &[seq as u8; 64]);
+            for f in fs.iter().take(k as usize) {
+                let enc = f.encode();
+                let r = ShareRef::decode(&enc).unwrap();
+                let got = pooled.accept_into(&r, SimTime::ZERO, &mut out);
+                let want = owning.accept(f, SimTime::ZERO);
+                match (got, &want) {
+                    (AcceptOutcome::Completed, Accept::Completed(p)) => assert_eq!(&out, p),
+                    (AcceptOutcome::Stored, Accept::Stored) => {}
+                    other => panic!("diverged on seq {seq}: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(owning.stats(), pooled.stats());
+    }
+
+    #[test]
+    fn pooled_buffers_recycle_across_symbols() {
+        let mut t = table();
+        let mut out = Vec::with_capacity(256);
+        // Warm up one symbol's worth of pool slots…
+        let fs = frames(0, 3, 3, &[0u8; 200]);
+        for f in &fs {
+            let enc = f.encode();
+            let r = ShareRef::decode(&enc).unwrap();
+            t.accept_into(&r, SimTime::ZERO, &mut out);
+        }
+        let warm = t.pool_misses();
+        assert!(warm > 0);
+        // …then every further same-shape symbol reuses them.
+        for seq in 1..50u64 {
+            let fs = frames(seq, 3, 3, &[seq as u8; 200]);
+            for f in &fs {
+                let enc = f.encode();
+                let r = ShareRef::decode(&enc).unwrap();
+                t.accept_into(&r, SimTime::ZERO, &mut out);
+            }
+            assert_eq!(&out, &[seq as u8; 200], "symbol {seq}");
+        }
+        assert_eq!(t.pool_misses(), warm, "steady state must not allocate");
+    }
+
+    #[test]
+    fn resolved_cap_bounds_memory() {
+        let mut t = ReassemblyTable::new(SimTime::from_secs(10), 1 << 20).with_resolved_cap(64);
+        let mut out = Vec::new();
+        for seq in 0..1000u64 {
+            // k = 1 resolves immediately; never sweep, so only the cap
+            // bounds the table.
+            let f = ShareFrame::new(seq, 1, 1, 1, 0, vec![7u8; 8]).unwrap();
+            let enc = f.encode();
+            let r = ShareRef::decode(&enc).unwrap();
+            assert_eq!(
+                t.accept_into(&r, SimTime::ZERO, &mut out),
+                AcceptOutcome::Completed
+            );
+            assert!(t.resolved_records() <= 64);
+        }
+        assert_eq!(t.stats().resolved_evictions, 1000 - 64);
+        // Evicted ids read as fresh again (id space reuse), newest stay
+        // stale.
+        let f = ShareFrame::new(0, 1, 1, 1, 0, vec![7u8; 8]).unwrap();
+        let enc = f.encode();
+        assert_eq!(
+            t.accept_into(&ShareRef::decode(&enc).unwrap(), SimTime::ZERO, &mut out),
+            AcceptOutcome::Completed
+        );
+        let f = ShareFrame::new(999, 1, 1, 1, 0, vec![7u8; 8]).unwrap();
+        let enc = f.encode();
+        assert_eq!(
+            t.accept_into(&ShareRef::decode(&enc).unwrap(), SimTime::ZERO, &mut out),
+            AcceptOutcome::Stale
+        );
     }
 }

@@ -1,5 +1,7 @@
 //! Per-symbol `(k, M)` selection strategies (§V).
 
+use std::sync::Arc;
+
 use mcss_core::ShareSchedule;
 use mcss_netsim::SimTime;
 use rand::rngs::StdRng;
@@ -66,7 +68,7 @@ impl<'a> ChannelState<'a> {
 
 /// The scheduler's decision for one symbol: threshold `k` and the
 /// channels to carry the `m = channels.len()` shares.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Choice {
     /// The threshold for this symbol.
     pub k: u8,
@@ -77,7 +79,39 @@ pub struct Choice {
 /// A per-symbol `(k, M)` selection strategy.
 pub trait Scheduler {
     /// Chooses parameters for the next symbol.
-    fn choose(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng) -> Choice;
+    fn choose(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng) -> Choice {
+        let mut choice = Choice::default();
+        self.choose_into(channels, rng, &mut choice);
+        choice
+    }
+
+    /// Chooses parameters for the next symbol, reusing `choice`'s
+    /// buffers (the hot path: no allocation once `choice.channels` has
+    /// grown to the channel count).
+    fn choose_into(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng, choice: &mut Choice);
+}
+
+/// The session's scheduler: one of the concrete strategies, dispatched
+/// by value (no boxing; replacing it — as the adaptive controller does —
+/// allocates nothing).
+#[derive(Debug, Clone)]
+pub enum SessionScheduler {
+    /// The paper's dynamic share schedule.
+    Dynamic(DynamicScheduler),
+    /// An explicit (e.g. LP-produced) schedule.
+    Static(StaticScheduler),
+    /// The round-robin ablation baseline.
+    RoundRobin(RoundRobinScheduler),
+}
+
+impl Scheduler for SessionScheduler {
+    fn choose_into(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng, choice: &mut Choice) {
+        match self {
+            SessionScheduler::Dynamic(s) => s.choose_into(channels, rng, choice),
+            SessionScheduler::Static(s) => s.choose_into(channels, rng, choice),
+            SessionScheduler::RoundRobin(s) => s.choose_into(channels, rng, choice),
+        }
+    }
 }
 
 /// Draws integer `(k, m)` pairs whose means are the fractional protocol
@@ -167,14 +201,18 @@ impl DynamicScheduler {
 }
 
 impl Scheduler for DynamicScheduler {
-    fn choose(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng) -> Choice {
+    fn choose_into(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng, choice: &mut Choice) {
         let (k, m) = self.sampler.draw(rng);
         // Ready channels first (in index order, like epoll's ready list),
-        // then the least-backlogged busy channels.
-        let mut order: Vec<usize> = (0..channels.len()).collect();
-        order.sort_by_key(|&i| (!channels.is_ready(i), channels.backlog(i).as_nanos(), i));
-        order.truncate(m);
-        Choice { k, channels: order }
+        // then the least-backlogged busy channels. The sort key is unique
+        // (it ends in the index), so the unstable sort is deterministic.
+        choice.k = k;
+        choice.channels.clear();
+        choice.channels.extend(0..channels.len());
+        choice
+            .channels
+            .sort_unstable_by_key(|&i| (!channels.is_ready(i), channels.backlog(i).as_nanos(), i));
+        choice.channels.truncate(m);
     }
 }
 
@@ -183,14 +221,18 @@ impl Scheduler for DynamicScheduler {
 /// the schedule already encodes the per-channel utilization.
 #[derive(Debug, Clone)]
 pub struct StaticScheduler {
-    schedule: ShareSchedule,
+    schedule: Arc<ShareSchedule>,
 }
 
 impl StaticScheduler {
-    /// Wraps a share schedule.
+    /// Wraps a share schedule. Takes an `Arc` (or converts into one) so
+    /// the sender- and receiver-side schedulers of a session share one
+    /// schedule instead of deep-cloning it.
     #[must_use]
-    pub fn new(schedule: ShareSchedule) -> Self {
-        StaticScheduler { schedule }
+    pub fn new(schedule: impl Into<Arc<ShareSchedule>>) -> Self {
+        StaticScheduler {
+            schedule: schedule.into(),
+        }
     }
 
     /// The wrapped schedule.
@@ -201,12 +243,11 @@ impl StaticScheduler {
 }
 
 impl Scheduler for StaticScheduler {
-    fn choose(&mut self, _channels: &ChannelState<'_>, rng: &mut StdRng) -> Choice {
+    fn choose_into(&mut self, _channels: &ChannelState<'_>, rng: &mut StdRng, choice: &mut Choice) {
         let entry = self.schedule.sample(rng);
-        Choice {
-            k: entry.k(),
-            channels: entry.subset().iter().collect(),
-        }
+        choice.k = entry.k();
+        choice.channels.clear();
+        choice.channels.extend(entry.subset().iter());
     }
 }
 
@@ -234,15 +275,15 @@ impl RoundRobinScheduler {
 }
 
 impl Scheduler for RoundRobinScheduler {
-    fn choose(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng) -> Choice {
+    fn choose_into(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng, choice: &mut Choice) {
         let (k, m) = self.sampler.draw(rng);
         let n = channels.len();
-        let picked: Vec<usize> = (0..m).map(|j| (self.offset + j) % n).collect();
+        choice.k = k;
+        choice.channels.clear();
+        choice
+            .channels
+            .extend((0..m).map(|j| (self.offset + j) % n));
         self.offset = (self.offset + m) % n;
-        Choice {
-            k,
-            channels: picked,
-        }
     }
 }
 

@@ -10,19 +10,23 @@
 //!   back *through the protocol* and host A records round-trip times;
 //!   one-way delay is RTT/2 (Figure 4).
 
+use std::mem;
+use std::sync::Arc;
+
 use mcss_netsim::stats::{DelaySummary, ThroughputMeter};
 use mcss_netsim::traffic::Pacer;
-use mcss_netsim::{Application, ChannelId, Context, Endpoint, Frame, SendOutcome, SimTime};
-use mcss_shamir::{split, Params};
+use mcss_netsim::{Application, BufferPool, ChannelId, Context, Endpoint, Frame, SimTime};
+use mcss_shamir::{split_into, BatchScratch, Params};
 
 use crate::adaptive::AdaptiveController;
 use crate::config::{ProtocolConfig, SchedulerKind};
 use crate::cpu::CpuClock;
-use crate::reassembly::{Accept, ReassemblyStats, ReassemblyTable};
+use crate::reassembly::{AcceptOutcome, ReassemblyStats, ReassemblyTable};
 use crate::scheduler::{
-    ChannelState, DynamicScheduler, RoundRobinScheduler, Scheduler, StaticScheduler,
+    ChannelState, Choice, DynamicScheduler, RoundRobinScheduler, Scheduler as _, SessionScheduler,
+    StaticScheduler,
 };
-use crate::wire::{self, ControlFrame, ShareFrame};
+use crate::wire::{self, ControlFrame, MessageRef, ShareRef};
 
 const TIMER_SOURCE: u64 = 0;
 const TIMER_SWEEP: u64 = 1;
@@ -71,13 +75,17 @@ impl Workload {
         }
     }
 
-    fn symbol_rate(&self) -> f64 {
+    /// The offered source symbol rate.
+    #[must_use]
+    pub fn symbol_rate(&self) -> f64 {
         match *self {
             Workload::Cbr { symbol_rate, .. } | Workload::Echo { symbol_rate, .. } => symbol_rate,
         }
     }
 
-    fn duration(&self) -> SimTime {
+    /// The sending window.
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
         match *self {
             Workload::Cbr { duration, .. } | Workload::Echo { duration, .. } => duration,
         }
@@ -134,11 +142,11 @@ pub struct SessionReport {
 ///
 /// See the [crate docs](crate) for a complete example.
 pub struct Session {
-    config: ProtocolConfig,
+    config: Arc<ProtocolConfig>,
     n: usize,
     workload: Workload,
-    scheduler_a: Box<dyn Scheduler>,
-    scheduler_b: Box<dyn Scheduler>,
+    scheduler_a: SessionScheduler,
+    scheduler_b: SessionScheduler,
     table_a: ReassemblyTable,
     table_b: ReassemblyTable,
     pacer: Pacer,
@@ -162,6 +170,15 @@ pub struct Session {
     last_epoch_seen: Option<u32>,
     last_feedback_delivered: u64,
     last_feedback_sent: u64,
+    // Steady-state scratch: these persistent buffers make the per-symbol
+    // data path allocation-free once warm (see `transmit`).
+    backlogs: Vec<SimTime>,
+    choice: Choice,
+    split_scratch: BatchScratch,
+    tx_bufs: Vec<Vec<u8>>,
+    frames: BufferPool,
+    payload_buf: Vec<u8>,
+    rx_buf: Vec<u8>,
 }
 
 impl core::fmt::Debug for Session {
@@ -180,19 +197,35 @@ fn build_scheduler(
     kappa: f64,
     mu: f64,
     n: usize,
-) -> Result<Box<dyn Scheduler>, mcss_core::ModelError> {
+) -> Result<SessionScheduler, mcss_core::ModelError> {
     Ok(match kind {
-        SchedulerKind::Dynamic => Box::new(DynamicScheduler::new(kappa, mu, n)?),
-        SchedulerKind::Static(schedule) => Box::new(StaticScheduler::new(schedule.clone())),
-        SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new(kappa, mu, n)?),
+        SchedulerKind::Dynamic => SessionScheduler::Dynamic(DynamicScheduler::new(kappa, mu, n)?),
+        SchedulerKind::Static(schedule) => {
+            // Shares the schedule; the deep copy lives only in the config.
+            SessionScheduler::Static(StaticScheduler::new(Arc::clone(schedule)))
+        }
+        SchedulerKind::RoundRobin => {
+            SessionScheduler::RoundRobin(RoundRobinScheduler::new(kappa, mu, n)?)
+        }
     })
 }
 
 /// Deterministic payload pattern, verified at the receiver.
-fn pattern(seq: u64, len: usize) -> Vec<u8> {
-    (0..len)
-        .map(|i| (seq.wrapping_mul(31).wrapping_add(i as u64) & 0xff) as u8)
-        .collect()
+#[inline]
+fn pattern_byte(seq: u64, i: usize) -> u8 {
+    (seq.wrapping_mul(31).wrapping_add(i as u64) & 0xff) as u8
+}
+
+fn pattern_into(seq: u64, len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend((0..len).map(|i| pattern_byte(seq, i)));
+}
+
+fn pattern_matches(seq: u64, payload: &[u8]) -> bool {
+    payload
+        .iter()
+        .enumerate()
+        .all(|(i, &b)| b == pattern_byte(seq, i))
 }
 
 impl Session {
@@ -203,10 +236,11 @@ impl Session {
     /// [`mcss_core::ModelError::InvalidParameters`] if the config's
     /// `(κ, μ)` are invalid for `n` channels.
     pub fn new(
-        config: ProtocolConfig,
+        config: impl Into<Arc<ProtocolConfig>>,
         n: usize,
         workload: Workload,
     ) -> Result<Self, mcss_core::ModelError> {
+        let config: Arc<ProtocolConfig> = config.into();
         let scheduler_a = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
         let scheduler_b = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
         let adaptive = match config.adaptive_target() {
@@ -234,6 +268,7 @@ impl Session {
                 config.reassembly_timeout(),
                 config.reassembly_capacity_bytes(),
             )
+            .with_resolved_cap(config.reassembly_resolved_cap())
         };
         Ok(Session {
             scheduler_a,
@@ -261,6 +296,13 @@ impl Session {
             last_epoch_seen: None,
             last_feedback_delivered: 0,
             last_feedback_sent: 0,
+            backlogs: Vec::with_capacity(n),
+            choice: Choice::default(),
+            split_scratch: BatchScratch::new(),
+            tx_bufs: Vec::with_capacity(n),
+            frames: BufferPool::new(),
+            payload_buf: Vec::new(),
+            rx_buf: Vec::new(),
             config,
             n,
             workload,
@@ -317,6 +359,12 @@ impl Session {
 
     /// Splits and transmits one symbol from `from`. Returns `false` if
     /// the symbol was shed by the CPU model before transmission.
+    ///
+    /// Steady-state allocation-free: the scheduler writes into a reused
+    /// [`Choice`], shares are Horner-evaluated by [`split_into`] directly
+    /// into pooled wire buffers (header already written), and buffers
+    /// come back to the pool from the delivery path and from local queue
+    /// drops.
     fn transmit(
         &mut self,
         ctx: &mut Context<'_>,
@@ -325,13 +373,16 @@ impl Session {
         stamp: u64,
         payload: &[u8],
     ) -> bool {
-        let backlogs: Vec<SimTime> = (0..self.n).map(|i| ctx.backlog(i, from)).collect();
-        let state = ChannelState::new(&backlogs, self.config.readiness_threshold());
+        self.backlogs.clear();
+        self.backlogs
+            .extend((0..self.n).map(|i| ctx.backlog(i, from)));
+        let mut choice = mem::take(&mut self.choice);
+        let state = ChannelState::new(&self.backlogs, self.config.readiness_threshold());
         let scheduler = match from {
             Endpoint::A => &mut self.scheduler_a,
             Endpoint::B => &mut self.scheduler_b,
         };
-        let choice = scheduler.choose(&state, ctx.rng());
+        scheduler.choose_into(&state, ctx.rng(), &mut choice);
         let m = choice.channels.len();
         if let Some(cpu) = self.config.cpu() {
             let cost = cpu.send_cost(m, payload.len());
@@ -340,29 +391,47 @@ impl Session {
                 Endpoint::B => &mut self.cpu_b,
             };
             if !clock.try_charge(ctx.now(), cost, cpu) {
+                self.choice = choice;
                 return false;
             }
         }
         let params = Params::new(choice.k, m as u8).expect("scheduler guarantees k <= m");
-        let shares = split(payload, params, ctx.rng()).expect("split cannot fail");
+        let mut outs = mem::take(&mut self.tx_bufs);
+        for j in 0..m {
+            // Share j of a split carries abscissa j + 1.
+            let mut buf = self.frames.take();
+            wire::put_share_header(
+                &mut buf,
+                seq,
+                choice.k,
+                m as u8,
+                j as u8 + 1,
+                stamp,
+                payload.len(),
+            )
+            .expect("share parameters validated");
+            outs.push(buf);
+        }
+        split_into(
+            payload,
+            params,
+            ctx.rng(),
+            &mut self.split_scratch,
+            &mut outs,
+        )
+        .expect("split cannot fail");
         if from == Endpoint::A {
             self.sum_k += u64::from(choice.k);
             self.sum_m += m as u64;
         }
-        for (share, &channel) in shares.iter().zip(&choice.channels) {
-            let frame = ShareFrame::new(
-                seq,
-                choice.k,
-                m as u8,
-                share.x(),
-                stamp,
-                share.data().to_vec(),
-            )
-            .expect("share parameters validated");
-            if ctx.send(channel, from, Frame::new(frame.encode())) == SendOutcome::Dropped {
+        for (buf, &channel) in outs.drain(..).zip(&choice.channels) {
+            if let Err(frame) = ctx.try_send(channel, from, Frame::from_vec(buf)) {
                 self.send_queue_drops += 1;
+                self.frames.put(frame.into_vec());
             }
         }
+        self.tx_bufs = outs;
+        self.choice = choice;
         true
     }
 
@@ -372,12 +441,14 @@ impl Session {
         }
         self.offered += 1;
         let seq = self.next_seq;
-        let payload = pattern(seq, self.config.symbol_bytes());
+        let mut payload = mem::take(&mut self.payload_buf);
+        pattern_into(seq, self.config.symbol_bytes(), &mut payload);
         let stamp = ctx.now().as_nanos();
         if self.transmit(ctx, Endpoint::A, seq, stamp, &payload) {
             self.next_seq += 1;
             self.sent += 1;
         }
+        self.payload_buf = payload;
         let next = self.pacer.next_tick();
         ctx.set_timer(next, TIMER_SOURCE);
     }
@@ -386,47 +457,59 @@ impl Session {
         SimTime::from_nanos((self.config.reassembly_timeout().as_nanos() / 4).max(1_000_000))
     }
 
-    fn on_deliver_at_b(&mut self, ctx: &mut Context<'_>, frame: ShareFrame) {
-        let seq = frame.seq();
-        let k = frame.k() as usize;
-        let stamp = frame.sent_at_nanos();
-        if let Accept::Completed(payload) = self.table_b.accept(&frame, ctx.now()) {
-            if let Some(cpu) = self.config.cpu() {
-                let cost = cpu.recv_cost(k, payload.len());
-                if !self.cpu_b.try_charge(ctx.now(), cost, cpu) {
-                    return; // receiver saturated: symbol dropped
+    fn on_deliver_at_b(&mut self, ctx: &mut Context<'_>, share: &ShareRef<'_>) {
+        let seq = share.seq();
+        let k = share.k() as usize;
+        let stamp = share.sent_at_nanos();
+        let mut out = mem::take(&mut self.rx_buf);
+        if self.table_b.accept_into(share, ctx.now(), &mut out) == AcceptOutcome::Completed {
+            let charged = match self.config.cpu() {
+                Some(cpu) => {
+                    let cost = cpu.recv_cost(k, out.len());
+                    // On failure the receiver is saturated: symbol dropped.
+                    self.cpu_b.try_charge(ctx.now(), cost, cpu)
+                }
+                None => true,
+            };
+            if charged {
+                if pattern_matches(seq, &out) {
+                    self.delivered_total += 1;
+                    let window = self.workload.duration();
+                    if ctx.now() <= window {
+                        self.delivered_window += 1;
+                        self.meter.record(ctx.now(), (out.len() * 8) as u64);
+                        self.delay.record(ctx.now() - SimTime::from_nanos(stamp));
+                    }
+                    if matches!(self.workload, Workload::Echo { .. }) {
+                        // Bounce the symbol back through the protocol, keeping
+                        // the original timestamp so A measures full protocol RTT.
+                        self.transmit(ctx, Endpoint::B, seq, stamp, &out);
+                    }
+                } else {
+                    self.corrupted += 1;
                 }
             }
-            if payload != pattern(seq, payload.len()) {
-                self.corrupted += 1;
-                return;
-            }
-            self.delivered_total += 1;
-            let window = self.workload.duration();
-            if ctx.now() <= window {
-                self.delivered_window += 1;
-                self.meter.record(ctx.now(), (payload.len() * 8) as u64);
-                self.delay.record(ctx.now() - SimTime::from_nanos(stamp));
-            }
-            if matches!(self.workload, Workload::Echo { .. }) {
-                // Bounce the symbol back through the protocol, keeping
-                // the original timestamp so A measures full protocol RTT.
-                self.transmit(ctx, Endpoint::B, seq, stamp, &payload);
-            }
         }
+        self.rx_buf = out;
     }
 
-    fn on_deliver_at_a(&mut self, ctx: &mut Context<'_>, frame: ShareFrame) {
-        let stamp = frame.sent_at_nanos();
-        if let Accept::Completed(payload) = self.table_a.accept(&frame, ctx.now()) {
-            if let Some(cpu) = self.config.cpu() {
-                let cost = cpu.recv_cost(frame.k() as usize, payload.len());
-                if !self.cpu_a.try_charge(ctx.now(), cost, cpu) {
-                    return;
+    fn on_deliver_at_a(&mut self, ctx: &mut Context<'_>, share: &ShareRef<'_>) {
+        let k = share.k() as usize;
+        let stamp = share.sent_at_nanos();
+        let mut out = mem::take(&mut self.rx_buf);
+        if self.table_a.accept_into(share, ctx.now(), &mut out) == AcceptOutcome::Completed {
+            let charged = match self.config.cpu() {
+                Some(cpu) => {
+                    let cost = cpu.recv_cost(k, out.len());
+                    self.cpu_a.try_charge(ctx.now(), cost, cpu)
                 }
+                None => true,
+            };
+            if charged {
+                self.rtt.record(ctx.now() - SimTime::from_nanos(stamp));
             }
-            self.rtt.record(ctx.now() - SimTime::from_nanos(stamp));
         }
+        self.rx_buf = out;
     }
 }
 
@@ -434,9 +517,15 @@ impl Session {
     fn send_feedback(&mut self, ctx: &mut Context<'_>) {
         self.feedback_epoch += 1;
         let frame = ControlFrame::new(self.feedback_epoch, self.delivered_total);
-        // Tiny frame, sent on every channel for loss resilience.
+        // Tiny frame, sent on every channel for loss resilience. Local
+        // queue drops are deliberate (not counted), but the buffer still
+        // comes back to the pool.
         for ch in 0..self.n {
-            let _ = ctx.send(ch, Endpoint::B, Frame::new(frame.encode()));
+            let mut buf = self.frames.take();
+            frame.encode_into(&mut buf);
+            if let Err(dropped) = ctx.try_send(ch, Endpoint::B, Frame::from_vec(buf)) {
+                self.frames.put(dropped.into_vec());
+            }
         }
     }
 
@@ -457,7 +546,7 @@ impl Session {
         let old_mu = ctl.mu();
         let new_mu = ctl.observe(delivered, sent);
         if (new_mu - old_mu).abs() > 1e-12 {
-            self.scheduler_a = Box::new(
+            self.scheduler_a = SessionScheduler::Dynamic(
                 DynamicScheduler::new(self.config.kappa(), new_mu, self.n)
                     .expect("controller keeps mu within [kappa, n]"),
             );
@@ -512,13 +601,16 @@ impl Application for Session {
         to: Endpoint,
         frame: Frame,
     ) {
-        match wire::decode_message(frame.payload()) {
+        // Reclaim the wire buffer (frames we sent carry owned buffers),
+        // decode borrowing from it, and recycle it for the next send.
+        let buf = frame.into_vec();
+        match wire::decode_message_ref(&buf) {
             Err(_) => self.wire_errors += 1,
-            Ok(wire::Message::Share(share_frame)) => match to {
-                Endpoint::B => self.on_deliver_at_b(ctx, share_frame),
-                Endpoint::A => self.on_deliver_at_a(ctx, share_frame),
+            Ok(MessageRef::Share(share)) => match to {
+                Endpoint::B => self.on_deliver_at_b(ctx, &share),
+                Endpoint::A => self.on_deliver_at_a(ctx, &share),
             },
-            Ok(wire::Message::Control(control)) => {
+            Ok(MessageRef::Control(control)) => {
                 if to == Endpoint::A {
                     self.on_control_at_a(ctx, control);
                 }
@@ -526,6 +618,7 @@ impl Application for Session {
                 // cannot occur: B only ever sends them.
             }
         }
+        self.frames.put(buf);
     }
 }
 
@@ -539,13 +632,14 @@ mod tests {
 
     fn run(
         channels: &mcss_core::ChannelSet,
-        config: ProtocolConfig,
+        config: &Arc<ProtocolConfig>,
         workload: Workload,
         seed: u64,
     ) -> SessionReport {
         let window = workload.duration();
-        let net = testbed::network_for(channels, &config);
-        let session = Session::new(config, channels.len(), workload).unwrap();
+        let net = testbed::network_for(channels, config);
+        // The session shares the caller's config instead of cloning it.
+        let session = Session::new(Arc::clone(config), channels.len(), workload).unwrap();
         let mut sim = Simulator::new(net, session, seed);
         sim.run_until(window + SimTime::from_secs(2));
         sim.app().report(window)
@@ -554,11 +648,11 @@ mod tests {
     #[test]
     fn cbr_on_clean_channels_delivers_everything() {
         let channels = setups::diverse();
-        let config = ProtocolConfig::new(2.0, 3.0).unwrap();
+        let config = Arc::new(ProtocolConfig::new(2.0, 3.0).unwrap());
         let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::cbr(offered, SimTime::from_millis(500)),
             1,
         );
@@ -579,12 +673,12 @@ mod tests {
     #[test]
     fn achieved_rate_tracks_offered_when_undersubscribed() {
         let channels = setups::identical(100.0);
-        let config = ProtocolConfig::new(1.0, 2.0).unwrap();
+        let config = Arc::new(ProtocolConfig::new(1.0, 2.0).unwrap());
         let opt = testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let offered = 0.6 * opt;
         let r = run(
             &channels,
-            config.clone(),
+            &config,
             Workload::cbr(offered, SimTime::from_millis(500)),
             2,
         );
@@ -600,11 +694,11 @@ mod tests {
     fn lossy_channels_lose_roughly_the_subset_loss() {
         // κ = m = 5 on the Lossy setup: symbol lost if ANY share lost.
         let channels = setups::lossy();
-        let config = ProtocolConfig::new(5.0, 5.0).unwrap();
+        let config = Arc::new(ProtocolConfig::new(5.0, 5.0).unwrap());
         let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::cbr(offered, SimTime::from_secs(4)),
             3,
         );
@@ -621,11 +715,11 @@ mod tests {
     fn redundancy_masks_loss() {
         // κ = 1, μ = 5: symbol survives unless all five shares are lost.
         let channels = setups::lossy();
-        let config = ProtocolConfig::new(1.0, 5.0).unwrap();
+        let config = Arc::new(ProtocolConfig::new(1.0, 5.0).unwrap());
         let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::cbr(offered, SimTime::from_secs(1)),
             4,
         );
@@ -639,11 +733,11 @@ mod tests {
     #[test]
     fn echo_workload_measures_rtt() {
         let channels = setups::delayed();
-        let config = ProtocolConfig::new(1.0, 1.0).unwrap();
+        let config = Arc::new(ProtocolConfig::new(1.0, 1.0).unwrap());
         let offered = 0.2 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::echo(offered, SimTime::from_millis(500)),
             5,
         );
@@ -665,11 +759,11 @@ mod tests {
             mcss_core::lp_schedule::Objective::Privacy,
         )
         .unwrap();
-        let config = config.with_scheduler(SchedulerKind::Static(schedule));
+        let config = Arc::new(config.with_scheduler(SchedulerKind::Static(Arc::new(schedule))));
         let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::cbr(offered, SimTime::from_millis(500)),
             6,
         );
@@ -681,13 +775,15 @@ mod tests {
     #[test]
     fn round_robin_scheduler_works() {
         let channels = setups::identical(50.0);
-        let config = ProtocolConfig::new(2.0, 2.0)
-            .unwrap()
-            .with_scheduler(SchedulerKind::RoundRobin);
+        let config = Arc::new(
+            ProtocolConfig::new(2.0, 2.0)
+                .unwrap()
+                .with_scheduler(SchedulerKind::RoundRobin),
+        );
         let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::cbr(offered, SimTime::from_millis(300)),
             7,
         );
@@ -698,13 +794,13 @@ mod tests {
     #[test]
     fn max_privacy_static_schedule_runs() {
         let channels = setups::diverse();
-        let config = ProtocolConfig::new(5.0, 5.0)
-            .unwrap()
-            .with_scheduler(SchedulerKind::Static(ShareSchedule::max_privacy(5)));
+        let config = Arc::new(ProtocolConfig::new(5.0, 5.0).unwrap().with_scheduler(
+            SchedulerKind::Static(Arc::new(ShareSchedule::max_privacy(5))),
+        ));
         let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
-            config,
+            &config,
             Workload::cbr(offered, SimTime::from_millis(300)),
             8,
         );
@@ -718,17 +814,21 @@ mod tests {
         let channels = setups::identical(800.0);
         let base = ProtocolConfig::new(1.0, 1.0).unwrap();
         let offered = testbed::optimal_symbol_rate(&channels, &base).unwrap();
+        let capped_cfg = Arc::new(
+            base.clone()
+                .with_cpu_model(crate::cpu::CpuModel::paper_testbed()),
+        );
+        let base = Arc::new(base);
         // Without CPU model: near wire rate. With: capped well below.
         let free = run(
             &channels,
-            base.clone(),
+            &base,
             Workload::cbr(offered, SimTime::from_millis(300)),
             9,
         );
-        let capped_cfg = base.with_cpu_model(crate::cpu::CpuModel::paper_testbed());
         let capped = run(
             &channels,
-            capped_cfg,
+            &capped_cfg,
             Workload::cbr(offered, SimTime::from_millis(300)),
             9,
         );
@@ -744,10 +844,10 @@ mod tests {
     #[test]
     fn determinism_same_seed() {
         let channels = setups::lossy();
-        let mk = || ProtocolConfig::new(2.0, 3.5).unwrap();
+        let mk = || Arc::new(ProtocolConfig::new(2.0, 3.5).unwrap());
         let w = Workload::cbr(1000.0, SimTime::from_millis(300));
-        let a = run(&channels, mk(), w, 77);
-        let b = run(&channels, mk(), w, 77);
+        let a = run(&channels, &mk(), w, 77);
+        let b = run(&channels, &mk(), w, 77);
         assert_eq!(a, b);
     }
 

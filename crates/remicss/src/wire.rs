@@ -138,7 +138,8 @@ impl ShareFrame {
         buf.freeze()
     }
 
-    /// Parses a frame.
+    /// Parses a frame into owned storage (one payload copy). The hot
+    /// path uses the copy-free [`ShareRef::decode`] instead.
     ///
     /// # Errors
     ///
@@ -150,6 +151,41 @@ impl ShareFrame {
     /// - [`WireError::TrailingBytes`] if the buffer is longer than the
     ///   declared frame.
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let share = ShareRef::decode(buf)?;
+        ShareFrame::new(
+            share.seq(),
+            share.k(),
+            share.m(),
+            share.x(),
+            share.sent_at_nanos(),
+            Bytes::copy_from_slice(share.payload()),
+        )
+    }
+}
+
+/// A share frame decoded *in place*: every field is read out of the
+/// receive buffer, the payload stays borrowed, and nothing allocates.
+/// This is what the session's zero-allocation receive path parses; it
+/// validates exactly what [`ShareFrame::decode`] validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareRef<'a> {
+    seq: u64,
+    k: u8,
+    m: u8,
+    x: u8,
+    sent_at_nanos: u64,
+    payload: &'a [u8],
+}
+
+impl<'a> ShareRef<'a> {
+    /// Parses a frame without copying the payload.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ShareFrame::decode`]: [`WireError::Truncated`],
+    /// [`WireError::BadMagic`], [`WireError::BadVersion`],
+    /// [`WireError::InvalidShare`], [`WireError::TrailingBytes`].
+    pub fn decode(buf: &'a [u8]) -> Result<Self, WireError> {
         if buf.len() < HEADER_BYTES {
             return Err(WireError::Truncated {
                 have: buf.len(),
@@ -167,6 +203,9 @@ impl ShareFrame {
         let k = buf[3];
         let m = buf[4];
         let x = buf[5];
+        if k == 0 || k > m || x == 0 || x > m {
+            return Err(WireError::InvalidShare { k, m, x });
+        }
         let len = u16::from_be_bytes([buf[6], buf[7]]) as usize;
         let seq = u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes"));
         let sent_at_nanos = u64::from_be_bytes(buf[16..24].try_into().expect("8 bytes"));
@@ -182,15 +221,89 @@ impl ShareFrame {
                 extra: buf.len() - need,
             });
         }
-        ShareFrame::new(
+        Ok(ShareRef {
             seq,
             k,
             m,
             x,
             sent_at_nanos,
-            Bytes::copy_from_slice(&buf[HEADER_BYTES..need]),
-        )
+            payload: &buf[HEADER_BYTES..need],
+        })
     }
+
+    /// The symbol sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The threshold `k` for this symbol.
+    #[must_use]
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// The multiplicity `m` for this symbol.
+    #[must_use]
+    pub fn m(&self) -> u8 {
+        self.m
+    }
+
+    /// The share abscissa (1-based).
+    #[must_use]
+    pub fn x(&self) -> u8 {
+        self.x
+    }
+
+    /// Sender clock at transmission, in nanoseconds.
+    #[must_use]
+    pub fn sent_at_nanos(&self) -> u64 {
+        self.sent_at_nanos
+    }
+
+    /// The share payload, borrowed from the receive buffer.
+    #[must_use]
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+}
+
+/// Appends a share-frame header to `buf`, declaring `payload_len`
+/// payload bytes that the caller writes right after (e.g. via
+/// [`mcss_shamir::split_into`] straight into the same buffer).
+///
+/// Writing header and payload into one pooled buffer is what removes
+/// the encode-and-copy step from the sender: the buffer *is* the wire
+/// frame. Bytes emitted are identical to [`ShareFrame::encode`].
+///
+/// # Errors
+///
+/// [`WireError::InvalidShare`] unless `1 ≤ k ≤ m` and `1 ≤ x ≤ m`;
+/// [`WireError::PayloadTooLarge`] if `payload_len` exceeds `u16::MAX`.
+pub fn put_share_header(
+    buf: &mut Vec<u8>,
+    seq: u64,
+    k: u8,
+    m: u8,
+    x: u8,
+    sent_at_nanos: u64,
+    payload_len: usize,
+) -> Result<(), WireError> {
+    if k == 0 || k > m || x == 0 || x > m {
+        return Err(WireError::InvalidShare { k, m, x });
+    }
+    let Ok(len) = u16::try_from(payload_len) else {
+        return Err(WireError::PayloadTooLarge { len: payload_len });
+    };
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(k);
+    buf.push(m);
+    buf.push(x);
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&sent_at_nanos.to_be_bytes());
+    Ok(())
 }
 
 /// Magic bytes of a control (feedback) frame, `b"RC"`.
@@ -248,6 +361,16 @@ impl ControlFrame {
         buf.freeze()
     }
 
+    /// Appends the encoded frame to `buf` (same bytes as
+    /// [`encode`](ControlFrame::encode), no allocation beyond the
+    /// buffer's own growth).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&CONTROL_MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&self.epoch.to_be_bytes());
+        buf.extend_from_slice(&self.delivered.to_be_bytes());
+    }
+
     /// Parses a control frame.
     ///
     /// # Errors
@@ -302,6 +425,29 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
         ControlFrame::decode(buf).map(Message::Control)
     } else {
         ShareFrame::decode(buf).map(Message::Share)
+    }
+}
+
+/// Any frame the protocol puts on the wire, decoded in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageRef<'a> {
+    /// A share of a source symbol, payload borrowed.
+    Share(ShareRef<'a>),
+    /// Receiver feedback (small enough to always copy out).
+    Control(ControlFrame),
+}
+
+/// Copy-free twin of [`decode_message`]: dispatches on the magic bytes
+/// and leaves share payloads borrowed from `buf`.
+///
+/// # Errors
+///
+/// [`WireError`] as for [`decode_message`].
+pub fn decode_message_ref(buf: &[u8]) -> Result<MessageRef<'_>, WireError> {
+    if buf.len() >= 2 && buf[0..2] == CONTROL_MAGIC {
+        ControlFrame::decode(buf).map(MessageRef::Control)
+    } else {
+        ShareRef::decode(buf).map(MessageRef::Share)
     }
 }
 
@@ -512,6 +658,77 @@ mod tests {
             Message::Share(_) => panic!("expected control"),
         }
         assert!(decode_message(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn share_ref_matches_owned_decode() {
+        let f = sample();
+        let enc = f.encode();
+        let r = ShareRef::decode(&enc).unwrap();
+        assert_eq!(
+            (r.seq(), r.k(), r.m(), r.x(), r.sent_at_nanos()),
+            (f.seq(), f.k(), f.m(), f.x(), f.sent_at_nanos())
+        );
+        assert_eq!(r.payload(), &f.payload()[..]);
+        // Borrowed, not copied.
+        assert_eq!(r.payload().as_ptr(), enc[HEADER_BYTES..].as_ptr());
+        // Same rejections.
+        for cut in [0, 10, HEADER_BYTES + 5] {
+            assert_eq!(
+                ShareRef::decode(&enc[..cut]).unwrap_err(),
+                ShareFrame::decode(&enc[..cut]).unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn put_share_header_matches_encode() {
+        let f = sample();
+        let mut buf = Vec::new();
+        put_share_header(
+            &mut buf,
+            f.seq(),
+            f.k(),
+            f.m(),
+            f.x(),
+            f.sent_at_nanos(),
+            100,
+        )
+        .unwrap();
+        buf.extend_from_slice(f.payload());
+        assert_eq!(&buf[..], &f.encode()[..]);
+        assert_eq!(
+            put_share_header(&mut buf, 0, 0, 1, 1, 0, 4).unwrap_err(),
+            WireError::InvalidShare { k: 0, m: 1, x: 1 }
+        );
+        assert_eq!(
+            put_share_header(&mut Vec::new(), 0, 1, 1, 1, 0, 1 << 17).unwrap_err(),
+            WireError::PayloadTooLarge { len: 1 << 17 }
+        );
+    }
+
+    #[test]
+    fn control_encode_into_matches_encode() {
+        let c = ControlFrame::new(77, 1 << 40);
+        let mut buf = vec![0xff]; // appends after existing contents
+        c.encode_into(&mut buf);
+        assert_eq!(&buf[1..], &c.encode()[..]);
+    }
+
+    #[test]
+    fn message_ref_dispatch() {
+        let share = sample();
+        let enc = share.encode();
+        match decode_message_ref(&enc).unwrap() {
+            MessageRef::Share(s) => assert_eq!(s.seq(), share.seq()),
+            MessageRef::Control(_) => panic!("expected share"),
+        }
+        let ctl = ControlFrame::new(7, 8);
+        match decode_message_ref(&ctl.encode()).unwrap() {
+            MessageRef::Control(c) => assert_eq!(c, ctl),
+            MessageRef::Share(_) => panic!("expected control"),
+        }
+        assert!(decode_message_ref(&[0u8; 3]).is_err());
     }
 
     #[test]

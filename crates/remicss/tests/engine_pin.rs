@@ -1,0 +1,105 @@
+//! Pins the timer-wheel event engine against the binary heap at the
+//! protocol level: the figures the paper reproduces are made of
+//! [`SessionReport`] numbers, so a full session replayed under both
+//! queue engines must produce **bit-identical** reports — every `f64`
+//! compared via `to_bits`, not approximately.
+//!
+//! This holds because the wheel preserves the heap's exact `(time, seq)`
+//! pop order (see `mcss_netsim::queue`), so the two runs consume the
+//! same RNG stream and visit the same states.
+
+use std::sync::Arc;
+
+use mcss_core::setups;
+use mcss_netsim::{QueueKind, SimTime, Simulator};
+use mcss_remicss::config::ProtocolConfig;
+use mcss_remicss::session::{Session, SessionReport, Workload};
+use mcss_remicss::testbed;
+
+fn run_with(
+    channels: &mcss_core::ChannelSet,
+    config: &Arc<ProtocolConfig>,
+    workload: Workload,
+    seed: u64,
+    kind: QueueKind,
+) -> (SessionReport, u64) {
+    let window = workload.duration();
+    let net = testbed::network_for(channels, config);
+    let session = Session::new(Arc::clone(config), channels.len(), workload).unwrap();
+    let mut sim = Simulator::with_queue_kind(net, session, seed, kind);
+    sim.run_until(window + SimTime::from_secs(1));
+    let events = sim.events_processed();
+    (sim.app().report(window), events)
+}
+
+fn assert_bit_identical(heap: &SessionReport, wheel: &SessionReport) {
+    // Integer and Option<SimTime> fields: plain equality is exact.
+    assert_eq!(heap, wheel, "reports differ between queue engines");
+    // f64 fields again, at the bit level (== would accept -0.0 vs 0.0).
+    for (label, h, w) in [
+        (
+            "achieved_payload_bps",
+            heap.achieved_payload_bps,
+            wheel.achieved_payload_bps,
+        ),
+        (
+            "achieved_symbol_rate",
+            heap.achieved_symbol_rate,
+            wheel.achieved_symbol_rate,
+        ),
+        ("loss_fraction", heap.loss_fraction, wheel.loss_fraction),
+        ("mean_k", heap.mean_k, wheel.mean_k),
+        ("mean_m", heap.mean_m, wheel.mean_m),
+    ] {
+        assert_eq!(h.to_bits(), w.to_bits(), "{label} not bit-identical");
+    }
+    match (heap.adaptive_final_mu, wheel.adaptive_final_mu) {
+        (Some(h), Some(w)) => assert_eq!(h.to_bits(), w.to_bits(), "adaptive mu"),
+        (h, w) => assert_eq!(h, w),
+    }
+}
+
+#[test]
+fn wheel_session_reports_match_heap_bit_for_bit() {
+    // Lossy channels at a mildly oversubscribed rate: loss, eviction,
+    // and queue-drop paths all exercised.
+    let channels = setups::lossy();
+    let config = Arc::new(ProtocolConfig::new(2.0, 3.5).unwrap());
+    let w = Workload::cbr(2_000.0, SimTime::from_millis(400));
+    let (heap, heap_events) = run_with(&channels, &config, w, 0xF1C, QueueKind::Heap);
+    let (wheel, wheel_events) = run_with(&channels, &config, w, 0xF1C, QueueKind::Wheel);
+    assert!(heap.sent_symbols > 300, "workload should be non-trivial");
+    assert!(heap.loss_fraction > 0.0, "lossy setup should lose symbols");
+    assert_eq!(heap_events, wheel_events, "event counts diverged");
+    assert_bit_identical(&heap, &wheel);
+}
+
+#[test]
+fn wheel_echo_session_matches_heap_bit_for_bit() {
+    // Echo doubles the data path (B re-splits every completed symbol)
+    // and exercises the delayed setup's cross-level timer horizons.
+    let channels = setups::delayed();
+    let config = Arc::new(ProtocolConfig::new(2.0, 3.0).unwrap());
+    let offered = 0.3 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
+    let w = Workload::echo(offered, SimTime::from_millis(400));
+    let (heap, heap_events) = run_with(&channels, &config, w, 0xEC40, QueueKind::Heap);
+    let (wheel, wheel_events) = run_with(&channels, &config, w, 0xEC40, QueueKind::Wheel);
+    assert!(heap.mean_rtt.is_some(), "echo should record RTTs");
+    assert_eq!(heap_events, wheel_events, "event counts diverged");
+    assert_bit_identical(&heap, &wheel);
+}
+
+#[test]
+fn wheel_adaptive_session_matches_heap_bit_for_bit() {
+    // The adaptive controller's feedback loop makes event order feed
+    // back into future scheduling decisions — the most order-sensitive
+    // configuration the protocol has.
+    let channels = setups::lossy();
+    let config = Arc::new(ProtocolConfig::new(1.5, 3.0).unwrap().with_adaptive(0.02));
+    let w = Workload::cbr(1_500.0, SimTime::from_millis(600));
+    let (heap, heap_events) = run_with(&channels, &config, w, 7, QueueKind::Heap);
+    let (wheel, wheel_events) = run_with(&channels, &config, w, 7, QueueKind::Wheel);
+    assert!(heap.adaptive_adjustments > 0, "controller should adjust");
+    assert_eq!(heap_events, wheel_events, "event counts diverged");
+    assert_bit_identical(&heap, &wheel);
+}

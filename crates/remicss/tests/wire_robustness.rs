@@ -1,8 +1,13 @@
 //! Robustness of the wire codec: arbitrary bytes never panic the
-//! decoder, and valid frames survive arbitrary field values.
+//! decoder, valid frames survive arbitrary field values, and any
+//! mutation the decoder *accepts* re-encodes to exactly the bytes it
+//! decoded from (the format is canonical — no two byte strings decode
+//! to the same frame).
 
 use bytes::Bytes;
-use mcss_remicss::wire::{decode_message, ControlFrame, Message, ShareFrame};
+use mcss_remicss::wire::{
+    decode_message, decode_message_ref, ControlFrame, Message, MessageRef, ShareFrame, ShareRef,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,6 +54,94 @@ proptest! {
         let enc = frame.encode();
         let cut = cut.min(enc.len().saturating_sub(1));
         prop_assert!(ShareFrame::decode(&enc[..cut]).is_err());
+    }
+
+    #[test]
+    fn mutated_share_frames_error_or_reencode_identically(
+        seq in any::<u64>(),
+        m in 1u8..=8,
+        k_off in 0u8..=7,
+        x_off in 0u8..=7,
+        stamp in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..16),
+    ) {
+        let k = 1 + k_off % m;
+        let x = 1 + x_off % m;
+        let frame = ShareFrame::new(seq, k, m, x, stamp, payload).unwrap();
+        let mut enc = frame.encode().to_vec();
+        for &(idx, byte) in &mutations {
+            let len = enc.len();
+            enc[idx % len] = byte;
+        }
+        match decode_message(&Bytes::copy_from_slice(&enc)) {
+            Err(_) => {}
+            Ok(Message::Share(decoded)) => {
+                prop_assert_eq!(decoded.encode().as_ref(), enc.as_slice());
+            }
+            Ok(Message::Control(decoded)) => {
+                prop_assert_eq!(decoded.encode().as_ref(), enc.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_control_frames_error_or_reencode_identically(
+        epoch in any::<u32>(),
+        delivered in any::<u64>(),
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let mut enc = ControlFrame::new(epoch, delivered).encode().to_vec();
+        for &(idx, byte) in &mutations {
+            let len = enc.len();
+            enc[idx % len] = byte;
+        }
+        match decode_message(&Bytes::copy_from_slice(&enc)) {
+            Err(_) => {}
+            Ok(Message::Share(decoded)) => {
+                prop_assert_eq!(decoded.encode().as_ref(), enc.as_slice());
+            }
+            Ok(Message::Control(decoded)) => {
+                prop_assert_eq!(decoded.encode().as_ref(), enc.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owning_decoders_agree_on_mutations(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..12),
+    ) {
+        let frame = ShareFrame::new(11, 2, 3, 2, 5, payload).unwrap();
+        let mut enc = frame.encode().to_vec();
+        for &(idx, byte) in &mutations {
+            let len = enc.len();
+            enc[idx % len] = byte;
+        }
+        let owned = ShareFrame::decode(&enc);
+        let by_ref = ShareRef::decode(&enc);
+        match (&owned, &by_ref) {
+            (Ok(o), Ok(r)) => {
+                prop_assert_eq!(o.seq(), r.seq());
+                prop_assert_eq!(o.k(), r.k());
+                prop_assert_eq!(o.m(), r.m());
+                prop_assert_eq!(o.x(), r.x());
+                prop_assert_eq!(o.sent_at_nanos(), r.sent_at_nanos());
+                prop_assert_eq!(o.payload().as_ref(), r.payload());
+            }
+            (Err(oe), Err(re)) => prop_assert_eq!(oe, re),
+            other => prop_assert!(false, "decoders disagree: {:?}", other),
+        }
+        let owned_msg = decode_message(&Bytes::copy_from_slice(&enc));
+        let ref_msg = decode_message_ref(&enc);
+        prop_assert_eq!(
+            owned_msg.is_ok(),
+            ref_msg.is_ok(),
+            "message dispatch disagrees"
+        );
+        if let (Ok(Message::Control(o)), Ok(MessageRef::Control(r))) = (&owned_msg, &ref_msg) {
+            prop_assert_eq!(o, r);
+        }
     }
 
     #[test]

@@ -135,6 +135,81 @@ pub fn split_batch<R: rand::Rng + ?Sized>(
     Ok(out)
 }
 
+/// Splits one symbol *in place*: share `j`'s evaluation bytes are
+/// appended to `outs[j]`, with no allocation beyond what the output
+/// buffers already hold.
+///
+/// This is the zero-copy core of the protocol sender: the caller writes
+/// each share's wire header into a pooled frame buffer, then this
+/// appends the share data directly after it — no intermediate `Share`,
+/// no `data().to_vec()`. The Horner evaluation runs straight into the
+/// output buffer's spare capacity.
+///
+/// Draws randomness in exactly the order [`split`](crate::split) does,
+/// so for the same seeded RNG the bytes appended to `outs[j]` are
+/// byte-identical to `split(...)[j].data()` — the determinism contract
+/// the protocol's figure reproductions rely on, pinned by tests.
+///
+/// # Panics
+///
+/// Panics if `outs.len() != params.multiplicity()`.
+///
+/// # Errors
+///
+/// Never fails for valid [`Params`], like [`split`](crate::split).
+///
+/// # Examples
+///
+/// ```
+/// use mcss_shamir::{split_into, BatchScratch, Params};
+///
+/// # fn main() -> Result<(), mcss_shamir::ShareError> {
+/// let mut outs = vec![b"hdr0".to_vec(), b"hdr1".to_vec(), b"hdr2".to_vec()];
+/// let mut scratch = BatchScratch::new();
+/// split_into(b"secret", Params::new(2, 3)?, &mut rand::rng(), &mut scratch, &mut outs)?;
+/// assert!(outs.iter().all(|o| o.len() == 4 + 6)); // header + share
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_into<R: rand::Rng + ?Sized>(
+    secret: &[u8],
+    params: Params,
+    rng: &mut R,
+    scratch: &mut BatchScratch,
+    outs: &mut [Vec<u8>],
+) -> Result<(), ShareError> {
+    use rand::RngExt as _;
+    let k = params.threshold() as usize;
+    let m = params.multiplicity() as usize;
+    assert_eq!(outs.len(), m, "need one output buffer per share");
+
+    // Random coefficient planes 1..k (plane 0 is `secret` itself, read
+    // in place). Drawn in the same order as `split` for stream parity.
+    let random = k - 1;
+    if scratch.planes.len() < random {
+        scratch.planes.resize_with(random, Vec::new);
+    }
+    let planes = &mut scratch.planes[..random];
+    for p in planes.iter_mut() {
+        p.clear();
+        p.resize(secret.len(), 0);
+        rng.fill(p.as_mut_slice());
+    }
+
+    for (j, out) in outs.iter_mut().enumerate() {
+        let x = Gf256::new(j as u8 + 1);
+        let start = out.len();
+        out.resize(start + secret.len(), 0);
+        let acc = &mut out[start..];
+        // Horner over planes k-1, …, 1, then the secret (plane 0).
+        for plane in planes.iter().rev() {
+            gf_slice::scale_add_assign(acc, plane, x);
+        }
+        gf_slice::scale_add_assign(acc, secret, x);
+    }
+    Ok(())
+}
+
 /// Whether every symbol's usable prefix presents the same threshold and
 /// abscissa sequence as the first symbol's, enabling one shared set of
 /// Lagrange weights and concatenated-lane kernels.
@@ -277,6 +352,64 @@ mod tests {
         assert_eq!(
             reconstruct_batch(&short, &mut scratch).unwrap_err(),
             ShareError::NotEnoughShares { needed: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn split_into_matches_split_byte_and_stream() {
+        // Same RNG stream, byte-identical share data, for every k ≤ m ≤ 8
+        // (the protocol's supported range) including k = 1.
+        let secret = b"in-place split parity";
+        for m in 1..=8u8 {
+            for k in 1..=m {
+                let params = Params::new(k, m).unwrap();
+                let mut scratch = BatchScratch::new();
+                let mut outs: Vec<Vec<u8>> = (0..m).map(|j| vec![j, 0xee]).collect();
+                split_into(secret, params, &mut rng(), &mut scratch, &mut outs).unwrap();
+                let serial = split(secret, params, &mut rng()).unwrap();
+                for (j, out) in outs.iter().enumerate() {
+                    assert_eq!(&out[..2], &[j as u8, 0xee], "prefix clobbered k={k} m={m}");
+                    assert_eq!(&out[2..], serial[j].data(), "k={k} m={m} share {j}");
+                }
+                // The streams stay aligned: a draw after the call matches.
+                use rand::RngExt as _;
+                let mut a = rng();
+                let mut b = rng();
+                split_into(secret, params, &mut a, &mut scratch, &mut outs).unwrap();
+                let _ = split(secret, params, &mut b).unwrap();
+                assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+            }
+        }
+    }
+
+    #[test]
+    fn split_into_is_alloc_free_on_warm_buffers() {
+        // Capacity-preserving: warmed outputs and scratch never realloc.
+        let params = Params::new(3, 5).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut outs: Vec<Vec<u8>> = (0..5).map(|_| Vec::with_capacity(64)).collect();
+        let mut r = rng();
+        split_into(b"warmup pass", params, &mut r, &mut scratch, &mut outs).unwrap();
+        let ptrs: Vec<_> = outs.iter().map(|o| o.as_ptr()).collect();
+        for o in &mut outs {
+            o.clear();
+        }
+        split_into(b"steady pass", params, &mut r, &mut scratch, &mut outs).unwrap();
+        for (o, p) in outs.iter().zip(ptrs) {
+            assert_eq!(o.as_ptr(), p, "buffer reallocated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output buffer per share")]
+    fn split_into_wrong_buffer_count_panics() {
+        let mut outs = vec![Vec::new(); 2];
+        let _ = split_into(
+            b"x",
+            Params::new(2, 3).unwrap(),
+            &mut rng(),
+            &mut BatchScratch::new(),
+            &mut outs,
         );
     }
 

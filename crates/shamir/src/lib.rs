@@ -37,7 +37,7 @@ mod params;
 mod share;
 pub mod stream;
 
-pub use batch::{reconstruct_batch, split_batch, BatchScratch};
+pub use batch::{reconstruct_batch, split_batch, split_into, BatchScratch};
 pub use error::ShareError;
 pub use params::Params;
 pub use share::Share;
@@ -186,6 +186,41 @@ pub(crate) fn lagrange_weight(used: &[Share], i: usize) -> Gf256 {
     for (j, sj) in used.iter().enumerate() {
         if i != j {
             let xj = Gf256::new(sj.x());
+            num *= xj;
+            den *= xj + xi;
+        }
+    }
+    num / den
+}
+
+/// The Lagrange basis weight at zero for abscissa `xs[i]` against the
+/// abscissa set `xs`, for callers that keep share data outside
+/// [`Share`] objects (e.g. pooled reassembly buffers): the secret is
+/// `Σ_i weight(xs, i) · data_i`, accumulated with
+/// [`mcss_gf256::slice::add_scaled_assign`].
+///
+/// Identical to the weight [`reconstruct`] uses; exact over GF(2⁸), so
+/// a reconstruction summed this way is byte-identical to
+/// [`reconstruct`] on the same shares.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if abscissae are zero or not distinct —
+/// the caller is expected to have validated the share set, as
+/// [`validate_shares`] does for the `Share`-based API.
+#[must_use]
+pub fn lagrange_weight_xs(xs: &[u8], i: usize) -> Gf256 {
+    debug_assert!(xs.iter().all(|&x| x != 0), "abscissae must be nonzero");
+    debug_assert!(
+        xs.iter().enumerate().all(|(a, x)| !xs[..a].contains(x)),
+        "abscissae must be distinct"
+    );
+    let xi = Gf256::new(xs[i]);
+    let mut num = Gf256::ONE;
+    let mut den = Gf256::ONE;
+    for (j, &xj) in xs.iter().enumerate() {
+        if i != j {
+            let xj = Gf256::new(xj);
             num *= xj;
             den *= xj + xi;
         }

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Objective::Loss,
     )?;
     let run_config = ProtocolConfig::new(choice.kappa, choice.mu)?
-        .with_scheduler(SchedulerKind::Static(schedule));
+        .with_scheduler(SchedulerKind::Static(std::sync::Arc::new(schedule)));
     let window = SimTime::from_secs(2);
     let offered = 0.95 * choice.rate;
     let session = Session::new(run_config.clone(), 5, Workload::cbr(offered, window))?;

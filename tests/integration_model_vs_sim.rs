@@ -86,7 +86,7 @@ fn protocol_loss_matches_model_prediction() {
         // A §IV-B schedule may concentrate on few channels; offer half of
         // what *it* can sustain so queues stay empty.
         let offered = 0.5 * schedule.max_symbol_rate(&share_channels);
-        let config = config.with_scheduler(SchedulerKind::Static(schedule));
+        let config = config.with_scheduler(SchedulerKind::Static(std::sync::Arc::new(schedule)));
         let session = Session::new(
             config.clone(),
             channels.len(),
@@ -119,7 +119,7 @@ fn protocol_delay_matches_model_prediction() {
         lp_schedule::optimal_schedule(&share_channels, kappa, mu, Objective::Delay).unwrap();
     let predicted = schedule.delay(&share_channels);
     let offered = 0.3 * schedule.max_symbol_rate(&share_channels);
-    let config = config.with_scheduler(SchedulerKind::Static(schedule));
+    let config = config.with_scheduler(SchedulerKind::Static(std::sync::Arc::new(schedule)));
     let session = Session::new(
         config.clone(),
         channels.len(),
@@ -155,7 +155,7 @@ fn protocol_rate_reaches_theorem4_optimum() {
             Objective::Privacy,
         )
         .unwrap();
-        let config = config.with_scheduler(SchedulerKind::Static(schedule));
+        let config = config.with_scheduler(SchedulerKind::Static(std::sync::Arc::new(schedule)));
         let optimal_rate = testbed::optimal_symbol_rate(&channels, &config).unwrap();
         // Offer exactly the optimum: overdriving would shed redundant
         // shares at the queues, letting low-κ symbols complete above

@@ -35,7 +35,7 @@ fn calibrate_optimize_run_closed_loop() {
     // 3. Run on the *true* network with the measured-channel schedule.
     let run_config = config
         .clone()
-        .with_scheduler(SchedulerKind::Static(schedule));
+        .with_scheduler(SchedulerKind::Static(std::sync::Arc::new(schedule)));
     let window = SimTime::from_secs(2);
     let offered = 0.9 * predicted_rate;
     let session = Session::new(run_config.clone(), 5, Workload::cbr(offered, window)).unwrap();
