@@ -1,0 +1,10 @@
+//! `cargo bench -p mcss-bench --bench gf256_kernels` entry point: the
+//! same backend × op × length matrix as the `gf256_kernels` binary
+//! (both call [`mcss_bench::gf256_kernels::run`]), wired as a
+//! harness-free bench target so `cargo bench --no-run` keeps it
+//! compiling in CI. Emission stays gated by `MCSS_BENCH_EMIT`, which
+//! this entry point — unlike the binary — does not set by itself.
+
+fn main() {
+    mcss_bench::gf256_kernels::run();
+}

@@ -106,6 +106,9 @@ struct EngineRun {
 #[derive(Serialize)]
 struct ThroughputReport {
     id: String,
+    /// The GF(2⁸) kernel backend the Shamir hot path ran on
+    /// (`scalar` | `table` | `swar` | `simd`; see `MCSS_GF256_BACKEND`).
+    gf256_backend: String,
     datapath: Vec<DataPathRecord>,
     session: Vec<EngineRun>,
 }
@@ -270,7 +273,11 @@ fn bench_session(kind: QueueKind, label: &str) -> EngineRun {
 
 fn main() {
     mcss_bench::report::enable_emission();
-    println!("ReMICSS end-to-end throughput (wall-clock rates on this host)\n");
+    let gf256_backend = mcss::gf256::simd::Backend::active().name();
+    println!(
+        "ReMICSS end-to-end throughput (wall-clock rates on this host; \
+         GF(2\u{2078}) backend: {gf256_backend})\n"
+    );
 
     // 64 B isolates the per-symbol fixed cost (allocation, framing,
     // table bookkeeping) the pool removes; 1250 B (the default symbol
@@ -317,6 +324,7 @@ fn main() {
 
     let report = ThroughputReport {
         id: "remicss_throughput".to_string(),
+        gf256_backend: gf256_backend.to_string(),
         datapath,
         session,
     };

@@ -1,0 +1,202 @@
+//! GF(2⁸) kernel microbenchmark: bytes/sec per backend, per op, per
+//! length class, with the measured speedup against the scalar reference.
+//!
+//! Every backend available on the host is driven directly (not through
+//! the process-wide dispatch), so one run reports the whole matrix the
+//! `MCSS_GF256_BACKEND` override can select from. Under
+//! `MCSS_BENCH_EMIT=1` — set by the binary itself, like every figure
+//! binary — the results land in `BENCH_gf256_kernels.json`.
+//!
+//! Rates are wall-clock bytes/sec of this host and are meant for
+//! before/after comparison on the same machine. The `speedup_vs_scalar`
+//! column divides same-run rates, so it is robust to absolute load but,
+//! like every wall-clock ratio here, can wobble on an oversubscribed
+//! host; compare repeated runs before trusting small deltas.
+
+use std::time::Instant;
+
+use mcss::gf256::simd::{Backend, MulTable};
+use mcss::gf256::Gf256;
+use serde::Serialize;
+
+/// Bytes processed per (backend, op, length) measurement. Large enough
+/// to swamp timer granularity, small enough that the full matrix stays
+/// in CI budget.
+const TARGET_BYTES: usize = 1 << 25;
+
+/// Plane lengths: one below the dispatch threshold, the protocol's
+/// default symbol size neighborhood, and two cache-resident batch
+/// sizes.
+const LENGTHS: [usize; 4] = [64, 1_024, 16_384, 262_144];
+
+/// Planes in the fused Horner measurement (a κ = 4 split).
+const HORNER_PLANES: usize = 4;
+
+/// One measured cell of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRecord {
+    /// Backend name (`scalar` | `table` | `swar` | `simd`).
+    pub backend: String,
+    /// Kernel name (`scale_add` | `add_scaled` | `scale` | `horner4`).
+    pub op: String,
+    /// Plane length in bytes.
+    pub len: u64,
+    /// Wall-clock processing rate.
+    pub bytes_per_sec: f64,
+    /// This cell's rate over the scalar backend's rate for the same
+    /// (op, len).
+    pub speedup_vs_scalar: f64,
+}
+
+/// The full `BENCH_gf256_kernels.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelReport {
+    /// Report identifier (`gf256_kernels`).
+    pub id: String,
+    /// The backend `Backend::active()` picked on this host (what the
+    /// protocol data path actually runs).
+    pub active_backend: String,
+    /// Backends measured (all available on this host).
+    pub backends: Vec<String>,
+    /// The matrix, grouped by op, then length, then backend.
+    pub records: Vec<KernelRecord>,
+}
+
+/// A kernel invocation under measurement.
+enum Op {
+    ScaleAdd,
+    AddScaled,
+    Scale,
+    Horner,
+}
+
+impl Op {
+    fn name(&self) -> &'static str {
+        match self {
+            Op::ScaleAdd => "scale_add",
+            Op::AddScaled => "add_scaled",
+            Op::Scale => "scale",
+            Op::Horner => "horner4",
+        }
+    }
+
+    /// Bytes of `dst`/`acc` written per invocation (the rate
+    /// denominator; the fused Horner also reads `HORNER_PLANES` input
+    /// planes per output byte, like the per-plane loop it replaces).
+    fn bytes_per_iter(&self, len: usize) -> usize {
+        len
+    }
+}
+
+/// Runs `op` on `backend` until ~[`TARGET_BYTES`] are processed and
+/// returns bytes/sec. Buffers are caller-provided and reused so the
+/// loop body is exactly the kernel (plus one table build per batch of
+/// iterations — the table is hoisted, as the protocol paths hoist it).
+fn measure(backend: Backend, op: &Op, dst: &mut [u8], src: &[u8], planes: &[&[u8]]) -> f64 {
+    let len = dst.len();
+    let iters = (TARGET_BYTES / op.bytes_per_iter(len).max(1)).max(8);
+    let t = MulTable::new(Gf256::new(0x53));
+    // Warm caches and fault pages outside the timed window.
+    run_op(backend, op, dst, src, planes, &t, 2);
+    let start = Instant::now();
+    run_op(backend, op, dst, src, planes, &t, iters);
+    let wall = start.elapsed().as_secs_f64();
+    (iters * op.bytes_per_iter(len)) as f64 / wall
+}
+
+fn run_op(
+    backend: Backend,
+    op: &Op,
+    dst: &mut [u8],
+    src: &[u8],
+    planes: &[&[u8]],
+    t: &MulTable,
+    iters: usize,
+) {
+    match op {
+        Op::ScaleAdd => {
+            for _ in 0..iters {
+                backend.scale_add_assign(dst, src, t);
+            }
+        }
+        Op::AddScaled => {
+            for _ in 0..iters {
+                backend.add_scaled_assign(dst, src, t);
+            }
+        }
+        Op::Scale => {
+            for _ in 0..iters {
+                backend.scale_assign(dst, t);
+            }
+        }
+        Op::Horner => {
+            for _ in 0..iters {
+                backend.horner_into(dst, planes, t);
+            }
+        }
+    }
+    std::hint::black_box(&dst[..]);
+}
+
+/// Runs the whole matrix, prints the table, and emits
+/// `BENCH_gf256_kernels.json` (when emission is enabled).
+pub fn run() -> KernelReport {
+    let available: Vec<Backend> = Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect();
+    let active = Backend::active();
+    println!(
+        "GF(256) kernel microbench — active backend: {} (override with MCSS_GF256_BACKEND)\n",
+        active.name()
+    );
+
+    let mut records = Vec::new();
+    for op in [Op::ScaleAdd, Op::AddScaled, Op::Scale, Op::Horner] {
+        for len in LENGTHS {
+            let src: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+            let planes: Vec<Vec<u8>> = (0..HORNER_PLANES)
+                .map(|p| (0..len).map(|i| (i * 11 + p * 3 + 1) as u8).collect())
+                .collect();
+            let plane_refs: Vec<&[u8]> = planes.iter().map(Vec::as_slice).collect();
+            let mut dst: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let mut scalar_rate = 0.0;
+            for &backend in &available {
+                let rate = measure(backend, &op, &mut dst, &src, &plane_refs);
+                if backend == Backend::Scalar {
+                    scalar_rate = rate;
+                }
+                let speedup = if scalar_rate > 0.0 {
+                    rate / scalar_rate
+                } else {
+                    1.0
+                };
+                println!(
+                    "{:>10} {:>8} B  {:>6}: {:>8.1} MB/s  ({:.2}x scalar)",
+                    op.name(),
+                    len,
+                    backend.name(),
+                    rate / 1e6,
+                    speedup
+                );
+                records.push(KernelRecord {
+                    backend: backend.name().to_string(),
+                    op: op.name().to_string(),
+                    len: len as u64,
+                    bytes_per_sec: rate,
+                    speedup_vs_scalar: speedup,
+                });
+            }
+        }
+        println!();
+    }
+
+    let report = KernelReport {
+        id: "gf256_kernels".to_string(),
+        active_backend: active.name().to_string(),
+        backends: available.iter().map(|b| b.name().to_string()).collect(),
+        records,
+    };
+    crate::report::emit_value(&report.id, &report);
+    report
+}

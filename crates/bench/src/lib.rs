@@ -25,6 +25,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod gf256_kernels;
 pub mod report;
 pub mod sweep;
 

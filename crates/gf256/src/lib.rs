@@ -4,7 +4,11 @@
 //! The field is constructed as GF(2)[x] modulo the AES reduction polynomial
 //! x⁸ + x⁴ + x³ + x + 1 (0x11b). Multiplication and inversion are table
 //! driven; the log/exp tables are computed at compile time from the
-//! generator 0x03, so there is no runtime initialization and no `unsafe`.
+//! generator 0x03, so scalar arithmetic has no runtime initialization and
+//! no `unsafe`. The bulk [`slice`] kernels additionally dispatch to
+//! runtime-detected vector backends (split-nibble `pshufb` on x86_64,
+//! portable SWAR elsewhere) — see [`simd`] for the dispatch layer and the
+//! `MCSS_GF256_BACKEND` override.
 //!
 //! # Examples
 //!
@@ -20,6 +24,7 @@
 
 pub mod matrix;
 pub mod poly;
+pub mod simd;
 pub mod slice;
 
 pub use poly::Poly;

@@ -1,0 +1,877 @@
+//! Runtime-dispatched vector kernels for the bulk GF(2⁸) slice ops.
+//!
+//! The [`slice`](crate::slice) functions — one Horner or Lagrange step
+//! per coefficient plane — are the single hottest loop in the workspace:
+//! every byte a ReMICSS session moves passes through them `k` (split)
+//! or `k²` (reconstruct) times. This module provides four byte-identical
+//! implementations of the three slice ops plus a fused multi-plane
+//! Horner kernel, selected once per process:
+//!
+//! * [`Backend::Scalar`] — two log/exp table hops per byte, the
+//!   reference implementation.
+//! * [`Backend::Table`] — one 256-entry multiplication-table hop per
+//!   byte; the table lives in a caller-held [`MulTable`].
+//! * [`Backend::Swar`] — portable 8-lane SWAR: eight bytes packed in a
+//!   `u64`, multiplied by shift-and-add with a lane-parallel `xtime`
+//!   (conditional 0x1b reduction via mask arithmetic). No per-byte
+//!   table loads, works on every target.
+//! * [`Backend::Simd`] — x86_64 split-nibble `pshufb`: the product
+//!   `b · x` is `LO[b & 0xf] ⊕ HI[b >> 4]` where `LO`/`HI` are 16-entry
+//!   tables for the fixed multiplier `x`, so one `_mm_shuffle_epi8`
+//!   (SSSE3, 16 bytes/step) or `_mm256_shuffle_epi8` (AVX2, 32
+//!   bytes/step) performs 16/32 field multiplications. Ragged tails
+//!   fall back to the 256-entry table row, so any length (and any
+//!   alignment — all loads/stores are unaligned) is handled.
+//!
+//! The active backend is chosen once, on first use, via
+//! `is_x86_feature_detected!` and cached; `MCSS_GF256_BACKEND`
+//! (`scalar` | `table` | `swar` | `simd`) forces a specific path for
+//! testing and benchmarking. Forcing an unavailable backend falls back
+//! to the best available one with a warning on stderr, so a test matrix
+//! can set `MCSS_GF256_BACKEND=simd` unconditionally.
+//!
+//! All per-multiplier state lives in the caller-owned [`MulTable`]
+//! (288 bytes, plain `Copy` data, stack- or scratch-resident), so the
+//! kernels perform **zero heap allocations** — a property the workspace
+//! pins with a counting-allocator test.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcss_gf256::simd::{Backend, MulTable};
+//! use mcss_gf256::Gf256;
+//!
+//! let t = MulTable::new(Gf256::new(0x53));
+//! let mut dst = vec![1u8; 64];
+//! let src = vec![0xaau8; 64];
+//! // dst[i] ← dst[i]·0x53 ⊕ src[i], on the best backend for this host.
+//! Backend::active().scale_add_assign(&mut dst, &src, &t);
+//! assert_eq!(dst[0], (Gf256::new(1) * Gf256::new(0x53) + Gf256::new(0xaa)).value());
+//! ```
+
+use crate::{Gf256, EXP, LOG};
+use std::sync::OnceLock;
+
+/// Precomputed multiplication tables for one fixed multiplier `x`.
+///
+/// Holds the full 256-entry row `b ↦ b·x` (used by the table backend
+/// and for ragged tails) and the two 16-entry nibble tables
+/// `LO[n] = n·x`, `HI[n] = (n << 4)·x` used by the `pshufb` path
+/// (`b·x = LO[b & 0xf] ⊕ HI[b >> 4]`, by linearity of the field over
+/// GF(2)). Building one costs ~256 table lookups; callers working over
+/// large planes or several Horner steps with the same `x` should build
+/// it once and reuse it (see `mcss_shamir::batch`).
+#[derive(Debug, Clone, Copy)]
+pub struct MulTable {
+    x: Gf256,
+    row: [u8; 256],
+    lo: [u8; 16],
+    hi: [u8; 16],
+}
+
+impl MulTable {
+    /// Builds the tables for multiplier `x` (any value, including 0
+    /// and 1).
+    #[must_use]
+    pub fn new(x: Gf256) -> MulTable {
+        let mut row = [0u8; 256];
+        match x.value() {
+            0 => {}
+            1 => {
+                for (b, r) in row.iter_mut().enumerate() {
+                    *r = b as u8;
+                }
+            }
+            v => {
+                let log_x = LOG[v as usize] as usize;
+                for b in 1..256 {
+                    row[b] = EXP[LOG[b] as usize + log_x];
+                }
+            }
+        }
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for n in 0..16 {
+            lo[n] = row[n];
+            hi[n] = row[n << 4];
+        }
+        MulTable { x, row, lo, hi }
+    }
+
+    /// The multiplier the tables were built for.
+    #[inline]
+    #[must_use]
+    pub fn x(&self) -> Gf256 {
+        self.x
+    }
+
+    /// Table-driven product `b · x`.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.row[b as usize]
+    }
+}
+
+/// One implementation of the bulk GF(2⁸) kernels.
+///
+/// All backends produce byte-identical results for every input length
+/// (pinned by differential property tests); they differ only in speed
+/// and portability. [`Backend::active`] returns the process-wide
+/// selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Two log/exp lookups per byte — the reference path.
+    Scalar,
+    /// One 256-entry table lookup per byte.
+    Table,
+    /// Portable 8-bytes-per-`u64` SWAR shift-and-add.
+    Swar,
+    /// x86_64 split-nibble `pshufb` (AVX2 when available, else SSSE3).
+    Simd,
+}
+
+impl Backend {
+    /// Every backend, in `scalar → simd` order (slowest first).
+    pub const ALL: [Backend; 4] = [
+        Backend::Scalar,
+        Backend::Table,
+        Backend::Swar,
+        Backend::Simd,
+    ];
+
+    /// The backend's `MCSS_GF256_BACKEND` name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Table => "table",
+            Backend::Swar => "swar",
+            Backend::Simd => "simd",
+        }
+    }
+
+    /// Parses an `MCSS_GF256_BACKEND` name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Backend> {
+        Backend::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Whether this backend can run on the current host.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar | Backend::Table | Backend::Swar => true,
+            Backend::Simd => simd_level().is_some(),
+        }
+    }
+
+    /// The process-wide active backend: the `MCSS_GF256_BACKEND`
+    /// override if set and available, else the fastest available path.
+    /// Detected once and cached for the life of the process.
+    #[must_use]
+    pub fn active() -> Backend {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(Backend::detect)
+    }
+
+    fn detect() -> Backend {
+        let best = if Backend::Simd.is_available() {
+            Backend::Simd
+        } else {
+            Backend::Swar
+        };
+        match std::env::var("MCSS_GF256_BACKEND") {
+            Ok(name) => match Backend::from_name(&name) {
+                Some(b) if b.is_available() => b,
+                Some(b) => {
+                    eprintln!(
+                        "[gf256] MCSS_GF256_BACKEND={} unavailable on this host; using {}",
+                        b.name(),
+                        best.name()
+                    );
+                    best
+                }
+                None => {
+                    eprintln!(
+                        "[gf256] unknown MCSS_GF256_BACKEND={name:?} \
+                         (expected scalar|table|swar|simd); using {}",
+                        best.name()
+                    );
+                    best
+                }
+            },
+            Err(_) => best,
+        }
+    }
+
+    /// `dst[i] ← dst[i] · x ⊕ src[i]` — one Horner step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn scale_add_assign(self, dst: &mut [u8], src: &[u8], t: &MulTable) {
+        assert_eq!(dst.len(), src.len(), "plane lengths must match");
+        if t.x.is_zero() {
+            dst.copy_from_slice(src);
+            return;
+        }
+        if t.x == Gf256::ONE {
+            xor_assign(dst, src);
+            return;
+        }
+        match self {
+            Backend::Scalar => scalar::scale_add(dst, src, t),
+            Backend::Table => table::scale_add(dst, src, t),
+            Backend::Swar => swar::scale_add(dst, src, t),
+            Backend::Simd => simd_scale_add(dst, src, t),
+        }
+    }
+
+    /// `dst[i] ← dst[i] ⊕ src[i] · x` — one Lagrange accumulation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn add_scaled_assign(self, dst: &mut [u8], src: &[u8], t: &MulTable) {
+        assert_eq!(dst.len(), src.len(), "plane lengths must match");
+        if t.x.is_zero() {
+            return;
+        }
+        if t.x == Gf256::ONE {
+            xor_assign(dst, src);
+            return;
+        }
+        match self {
+            Backend::Scalar => scalar::add_scaled(dst, src, t),
+            Backend::Table => table::add_scaled(dst, src, t),
+            Backend::Swar => swar::add_scaled(dst, src, t),
+            Backend::Simd => simd_add_scaled(dst, src, t),
+        }
+    }
+
+    /// `dst[i] ← dst[i] · x` for every `i`.
+    pub fn scale_assign(self, dst: &mut [u8], t: &MulTable) {
+        if t.x.is_zero() {
+            dst.fill(0);
+            return;
+        }
+        if t.x == Gf256::ONE {
+            return;
+        }
+        match self {
+            Backend::Scalar => scalar::scale(dst, t),
+            Backend::Table => table::scale(dst, t),
+            Backend::Swar => swar::scale(dst, t),
+            Backend::Simd => simd_scale(dst, t),
+        }
+    }
+
+    /// Fused multi-plane Horner evaluation: overwrites `acc` with
+    /// `Σᵢ planes[i] · x^(n−1−i)` (planes ordered highest coefficient
+    /// first), i.e. the fold `a ← a·x ⊕ planes[i]` starting from zero.
+    ///
+    /// Equivalent to zeroing `acc` and applying
+    /// [`scale_add_assign`](Backend::scale_add_assign) once per plane,
+    /// but the accumulator chunk stays in registers across all planes —
+    /// one load per plane chunk and one store per `acc` chunk instead
+    /// of a round trip through `acc` per plane. `acc`'s prior contents
+    /// are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any plane's length differs from `acc`'s.
+    pub fn horner_into(self, acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        for p in planes {
+            assert_eq!(acc.len(), p.len(), "plane lengths must match");
+        }
+        let Some(last) = planes.last() else {
+            acc.fill(0);
+            return;
+        };
+        if t.x.is_zero() {
+            // a·0 ⊕ p discards everything but the final plane.
+            acc.copy_from_slice(last);
+            return;
+        }
+        if t.x == Gf256::ONE {
+            acc.copy_from_slice(planes[0]);
+            for p in &planes[1..] {
+                xor_assign(acc, p);
+            }
+            return;
+        }
+        match self {
+            Backend::Scalar => scalar::horner(acc, planes, t),
+            Backend::Table => table::horner(acc, planes, t),
+            Backend::Swar => swar::horner(acc, planes, t),
+            Backend::Simd => simd_horner(acc, planes, t),
+        }
+    }
+}
+
+/// Shared `x = 1` path: plain XOR, which LLVM auto-vectorizes.
+#[inline]
+fn xor_assign(dst: &mut [u8], src: &[u8]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Reference kernels: two log/exp hops per byte, zero checks inline.
+mod scalar {
+    use super::MulTable;
+    use crate::{EXP, LOG};
+
+    #[inline]
+    fn mul(b: u8, log_x: usize) -> u8 {
+        if b == 0 {
+            0
+        } else {
+            EXP[LOG[b as usize] as usize + log_x]
+        }
+    }
+
+    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = mul(*d, log_x) ^ s;
+        }
+    }
+
+    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= mul(s, log_x);
+        }
+    }
+
+    pub fn scale(dst: &mut [u8], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for d in dst.iter_mut() {
+            *d = mul(*d, log_x);
+        }
+    }
+
+    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for (i, a) in acc.iter_mut().enumerate() {
+            let mut v = 0u8;
+            for p in planes {
+                v = mul(v, log_x) ^ p[i];
+            }
+            *a = v;
+        }
+    }
+}
+
+/// One 256-entry table hop per byte, table provided by the caller.
+mod table {
+    use super::MulTable;
+
+    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = t.row[*d as usize] ^ s;
+        }
+    }
+
+    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= t.row[s as usize];
+        }
+    }
+
+    pub fn scale(dst: &mut [u8], t: &MulTable) {
+        for d in dst.iter_mut() {
+            *d = t.row[*d as usize];
+        }
+    }
+
+    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        for (i, a) in acc.iter_mut().enumerate() {
+            let mut v = 0u8;
+            for p in planes {
+                v = t.row[v as usize] ^ p[i];
+            }
+            *a = v;
+        }
+    }
+}
+
+/// Portable 8-lane SWAR kernels: eight bytes per `u64`, multiplied by
+/// shift-and-add over the bits of `x` with a lane-parallel `xtime`.
+mod swar {
+    use super::MulTable;
+
+    const HIGH_BITS: u64 = 0x8080_8080_8080_8080;
+    const LOW_SEVEN: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+
+    /// Multiplies all eight byte lanes of `v` by the scalar `x`:
+    /// `acc ⊕= v` for each set bit of `x`, doubling `v` between bits.
+    /// `xtime` doubles every lane at once — shift the low seven bits
+    /// left, then XOR 0x1b into exactly the lanes whose top bit was
+    /// set (`(hi >> 7) * 0x1b` spreads 0x1b into those lanes without
+    /// cross-lane carries, since lanes are 8 bits apart).
+    #[inline]
+    fn mul_word(mut v: u64, mut x: u8) -> u64 {
+        let mut acc = 0u64;
+        while x != 0 {
+            if x & 1 != 0 {
+                acc ^= v;
+            }
+            let hi = v & HIGH_BITS;
+            v = ((v & LOW_SEVEN) << 1) ^ ((hi >> 7) * 0x1b);
+            x >>= 1;
+        }
+        acc
+    }
+
+    #[inline]
+    fn load(bytes: &[u8]) -> u64 {
+        u64::from_ne_bytes(bytes.try_into().expect("8-byte chunk"))
+    }
+
+    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let x = t.x().value();
+        let main = dst.len() & !7;
+        for (dc, sc) in dst[..main]
+            .chunks_exact_mut(8)
+            .zip(src[..main].chunks_exact(8))
+        {
+            let v = mul_word(load(dc), x) ^ load(sc);
+            dc.copy_from_slice(&v.to_ne_bytes());
+        }
+        for (d, &s) in dst[main..].iter_mut().zip(&src[main..]) {
+            *d = t.row[*d as usize] ^ s;
+        }
+    }
+
+    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let x = t.x().value();
+        let main = dst.len() & !7;
+        for (dc, sc) in dst[..main]
+            .chunks_exact_mut(8)
+            .zip(src[..main].chunks_exact(8))
+        {
+            let v = load(dc) ^ mul_word(load(sc), x);
+            dc.copy_from_slice(&v.to_ne_bytes());
+        }
+        for (d, &s) in dst[main..].iter_mut().zip(&src[main..]) {
+            *d ^= t.row[s as usize];
+        }
+    }
+
+    pub fn scale(dst: &mut [u8], t: &MulTable) {
+        let x = t.x().value();
+        let main = dst.len() & !7;
+        for dc in dst[..main].chunks_exact_mut(8) {
+            let v = mul_word(load(dc), x);
+            dc.copy_from_slice(&v.to_ne_bytes());
+        }
+        for d in dst[main..].iter_mut() {
+            *d = t.row[*d as usize];
+        }
+    }
+
+    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        let x = t.x().value();
+        let main = acc.len() & !7;
+        let mut off = 0;
+        for ac in acc[..main].chunks_exact_mut(8) {
+            let mut v = 0u64;
+            for p in planes {
+                v = mul_word(v, x) ^ load(&p[off..off + 8]);
+            }
+            ac.copy_from_slice(&v.to_ne_bytes());
+            off += 8;
+        }
+        for (i, a) in acc.iter_mut().enumerate().skip(main) {
+            let mut v = 0u8;
+            for p in planes {
+                v = t.row[v as usize] ^ p[i];
+            }
+            *a = v;
+        }
+    }
+}
+
+/// The x86 vector width the `Simd` backend runs at on this host.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimdLevel {
+    Ssse3,
+    Avx2,
+}
+
+/// Detects (once) whether the host supports the `pshufb` path, and at
+/// which width. `None` means [`Backend::Simd`] is unavailable.
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> Option<SimdLevel> {
+    static LEVEL: OnceLock<Option<SimdLevel>> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if is_x86_feature_detected!("avx2") {
+            Some(SimdLevel::Avx2)
+        } else if is_x86_feature_detected!("ssse3") {
+            Some(SimdLevel::Ssse3)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn simd_level() -> Option<std::convert::Infallible> {
+    None
+}
+
+// On non-x86_64 targets Backend::Simd is never available; a direct call
+// (only reachable by constructing the variant explicitly) degrades to
+// the portable SWAR path rather than aborting.
+#[cfg(not(target_arch = "x86_64"))]
+use swar::{
+    add_scaled as simd_add_scaled, horner as simd_horner, scale as simd_scale,
+    scale_add as simd_scale_add,
+};
+
+#[cfg(target_arch = "x86_64")]
+use x86::{simd_add_scaled, simd_horner, simd_scale, simd_scale_add};
+
+/// Split-nibble `pshufb` kernels. Every load and store is unaligned
+/// (`loadu`/`storeu`), so slice alignment never matters; lengths that
+/// are not a multiple of the vector width finish on the table row.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{simd_level, table, MulTable, SimdLevel};
+    use core::arch::x86_64::{
+        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+        _mm256_set1_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi64,
+        _mm256_storeu_si256, _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8,
+        _mm_setzero_si128, _mm_shuffle_epi8, _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// The nibble tables as 128-bit lanes plus the low-nibble mask.
+    ///
+    /// # Safety
+    ///
+    /// Requires SSSE3 (guaranteed by the callers' `target_feature`).
+    #[inline]
+    unsafe fn tables128(t: &MulTable) -> (__m128i, __m128i, __m128i) {
+        let lo = unsafe { _mm_loadu_si128(t.lo.as_ptr().cast()) };
+        let hi = unsafe { _mm_loadu_si128(t.hi.as_ptr().cast()) };
+        (lo, hi, _mm_set1_epi8(0x0f))
+    }
+
+    /// 16 field products at once: `LO[v & 0xf] ⊕ HI[v >> 4]`.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul128(v: __m128i, lo: __m128i, hi: __m128i, mask: __m128i) -> __m128i {
+        let lo_n = _mm_and_si128(v, mask);
+        let hi_n = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+        _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n))
+    }
+
+    /// 32 field products at once (both 128-bit lanes use the same
+    /// broadcast tables — `vpshufb` shuffles within lanes, which is
+    /// exactly what the 16-entry tables need).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul256(v: __m256i, lo: __m256i, hi: __m256i, mask: __m256i) -> __m256i {
+        let lo_n = _mm256_and_si256(v, mask);
+        let hi_n = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+        _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n), _mm256_shuffle_epi8(hi, hi_n))
+    }
+
+    macro_rules! dispatch {
+        ($avx2:ident, $ssse3:ident, $($arg:expr),+) => {
+            match simd_level().expect("Simd backend requires SSSE3") {
+                // SAFETY: simd_level() verified the feature at runtime.
+                SimdLevel::Avx2 => unsafe { $avx2($($arg),+) },
+                SimdLevel::Ssse3 => unsafe { $ssse3($($arg),+) },
+            }
+        };
+    }
+
+    pub fn simd_scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        dispatch!(scale_add_avx2, scale_add_ssse3, dst, src, t)
+    }
+
+    pub fn simd_add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        dispatch!(add_scaled_avx2, add_scaled_ssse3, dst, src, t)
+    }
+
+    pub fn simd_scale(dst: &mut [u8], t: &MulTable) {
+        dispatch!(scale_avx2, scale_ssse3, dst, t)
+    }
+
+    pub fn simd_horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        dispatch!(horner_avx2, horner_ssse3, acc, planes, t)
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn scale_add_ssse3(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let (lo, hi, mask) = unsafe { tables128(t) };
+        let main = dst.len() & !15;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
+            unsafe {
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let v = _mm_xor_si128(mul128(d, lo, hi, mask), s);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
+            }
+            i += 16;
+        }
+        table::scale_add(&mut dst[main..], &src[main..], t);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_add_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+        let mask = _mm256_set1_epi8(0x0f);
+        let main = dst.len() & !31;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
+            unsafe {
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let v = _mm256_xor_si256(mul256(d, lo, hi, mask), s);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+            }
+            i += 32;
+        }
+        table::scale_add(&mut dst[main..], &src[main..], t);
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn add_scaled_ssse3(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let (lo, hi, mask) = unsafe { tables128(t) };
+        let main = dst.len() & !15;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
+            unsafe {
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let v = _mm_xor_si128(d, mul128(s, lo, hi, mask));
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
+            }
+            i += 16;
+        }
+        table::add_scaled(&mut dst[main..], &src[main..], t);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_scaled_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+        let mask = _mm256_set1_epi8(0x0f);
+        let main = dst.len() & !31;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
+            unsafe {
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let v = _mm256_xor_si256(d, mul256(s, lo, hi, mask));
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+            }
+            i += 32;
+        }
+        table::add_scaled(&mut dst[main..], &src[main..], t);
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn scale_ssse3(dst: &mut [u8], t: &MulTable) {
+        let (lo, hi, mask) = unsafe { tables128(t) };
+        let main = dst.len() & !15;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 ≤ main ≤ dst.len().
+            unsafe {
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), mul128(d, lo, hi, mask));
+            }
+            i += 16;
+        }
+        table::scale(&mut dst[main..], t);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_avx2(dst: &mut [u8], t: &MulTable) {
+        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+        let mask = _mm256_set1_epi8(0x0f);
+        let main = dst.len() & !31;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 32 ≤ main ≤ dst.len().
+            unsafe {
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), mul256(d, lo, hi, mask));
+            }
+            i += 32;
+        }
+        table::scale(&mut dst[main..], t);
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn horner_ssse3(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        let (lo, hi, mask) = unsafe { tables128(t) };
+        let main = acc.len() & !15;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 16 ≤ main ≤ acc.len() == every plane's len.
+            unsafe {
+                let mut a = _mm_setzero_si128();
+                for p in planes {
+                    let pv = _mm_loadu_si128(p.as_ptr().add(i).cast());
+                    a = _mm_xor_si128(mul128(a, lo, hi, mask), pv);
+                }
+                _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), a);
+            }
+            i += 16;
+        }
+        horner_tail(acc, planes, t, main);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn horner_avx2(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+        let mask = _mm256_set1_epi8(0x0f);
+        let main = acc.len() & !31;
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 32 ≤ main ≤ acc.len() == every plane's len.
+            unsafe {
+                let mut a = _mm256_setzero_si256();
+                for p in planes {
+                    let pv = _mm256_loadu_si256(p.as_ptr().add(i).cast());
+                    a = _mm256_xor_si256(mul256(a, lo, hi, mask), pv);
+                }
+                _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), a);
+            }
+            i += 32;
+        }
+        horner_tail(acc, planes, t, main);
+    }
+
+    fn horner_tail(acc: &mut [u8], planes: &[&[u8]], t: &MulTable, from: usize) {
+        for (i, a) in acc.iter_mut().enumerate().skip(from) {
+            let mut v = 0u8;
+            for p in planes {
+                v = t.row[v as usize] ^ p[i];
+            }
+            *a = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_table_matches_field_multiplication() {
+        for x in [0u8, 1, 2, 3, 0x53, 0x8e, 0xff] {
+            let t = MulTable::new(Gf256::new(x));
+            for b in 0..=255u8 {
+                assert_eq!(
+                    t.mul(b),
+                    (Gf256::new(b) * Gf256::new(x)).value(),
+                    "x={x} b={b}"
+                );
+            }
+            // Nibble decomposition: b·x == LO[b&0xf] ⊕ HI[b>>4].
+            for b in 0..=255u8 {
+                assert_eq!(
+                    t.mul(b),
+                    t.lo[(b & 0xf) as usize] ^ t.hi[(b >> 4) as usize],
+                    "x={x} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("avx9000"), None);
+    }
+
+    #[test]
+    fn active_backend_is_available() {
+        assert!(Backend::active().is_available());
+    }
+
+    #[test]
+    fn portable_backends_always_available() {
+        assert!(Backend::Scalar.is_available());
+        assert!(Backend::Table.is_available());
+        assert!(Backend::Swar.is_available());
+    }
+
+    #[test]
+    fn backends_agree_on_fixed_vectors() {
+        // Cheap smoke check; the exhaustive differential coverage lives
+        // in tests/backend_diff.rs.
+        let dst0: Vec<u8> = (0..777).map(|i| (i * 31 + 7) as u8).collect();
+        let src: Vec<u8> = (0..777).map(|i| (i * 13 + 1) as u8).collect();
+        for x in [0u8, 1, 2, 0x53, 0xff] {
+            let t = MulTable::new(Gf256::new(x));
+            let mut want = dst0.clone();
+            Backend::Scalar.scale_add_assign(&mut want, &src, &t);
+            for b in Backend::ALL {
+                if !b.is_available() {
+                    continue;
+                }
+                let mut got = dst0.clone();
+                b.scale_add_assign(&mut got, &src, &t);
+                assert_eq!(got, want, "backend {} x={x}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn horner_matches_unfused_steps() {
+        let planes: Vec<Vec<u8>> = (0..4)
+            .map(|p| (0..333).map(|i| (i * 7 + p * 11 + 3) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = planes.iter().map(Vec::as_slice).collect();
+        for x in [0u8, 1, 2, 0x53] {
+            let t = MulTable::new(Gf256::new(x));
+            let mut want = vec![0u8; 333];
+            for p in &refs {
+                let mut stepped = want.clone();
+                Backend::Scalar.scale_add_assign(&mut stepped, p, &t);
+                want = stepped;
+            }
+            for b in Backend::ALL {
+                if !b.is_available() {
+                    continue;
+                }
+                let mut got = vec![0xeeu8; 333]; // prior contents ignored
+                b.horner_into(&mut got, &refs, &t);
+                assert_eq!(got, want, "backend {} x={x}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn horner_empty_planes_zeroes_acc() {
+        let t = MulTable::new(Gf256::new(7));
+        for b in Backend::ALL {
+            if !b.is_available() {
+                continue;
+            }
+            let mut acc = vec![0xffu8; 40];
+            b.horner_into(&mut acc, &[], &t);
+            assert_eq!(acc, vec![0u8; 40], "backend {}", b.name());
+        }
+    }
+}

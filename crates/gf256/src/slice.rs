@@ -3,31 +3,29 @@
 //! Shamir sharing of packet-sized secrets evaluates one polynomial per
 //! byte. Doing that byte-by-byte walks the log/exp tables with a data
 //! dependency per step; the slice forms here process whole coefficient
-//! *planes* at once (all bytes' i-th coefficients together), which lets
-//! the compiler unroll and keeps a single scalar's log lookup out of the
-//! inner loop. [`mcss_shamir`](https://docs.rs/mcss-shamir) evaluates
-//! shares with one [`scale_add_assign`] per coefficient plane (Horner
-//! over planes).
+//! *planes* at once (all bytes' i-th coefficients together).
+//! [`mcss_shamir`](https://docs.rs/mcss-shamir) evaluates shares with
+//! one [`scale_add_assign`] per coefficient plane (Horner over planes),
+//! or all planes at once through the fused [`horner_into`].
+//!
+//! Slices below [`DISPATCH_THRESHOLD`] run a scalar log/exp loop with no
+//! setup cost; everything longer builds a [`MulTable`] for the
+//! multiplier and dispatches to the process-wide [`Backend`] — the
+//! runtime-detected vector path (`pshufb` on x86_64, SWAR elsewhere; see
+//! [`crate::simd`]). Callers that reuse one multiplier across several
+//! calls should build the [`MulTable`] themselves and use the `_with`
+//! variants, which skip the per-call table construction.
 
+use crate::simd::{Backend, MulTable};
 use crate::{Gf256, EXP, GROUP_ORDER, LOG};
 
-/// Slice length from which the kernels amortize a 256-entry
-/// multiplication table instead of doing two table hops per byte. The
-/// table build costs 255 lookups, so it pays for itself within a few
-/// hundred bytes; batched (concatenated-plane) callers sit well above
-/// this.
-const MUL_TABLE_THRESHOLD: usize = 512;
-
-/// The row `b ↦ b · x` of the multiplication table, for a nonzero `x`
-/// given by its log.
-#[inline]
-fn mul_row(log_x: usize) -> [u8; 256] {
-    let mut row = [0u8; 256];
-    for b in 1..256 {
-        row[b] = EXP[LOG[b] as usize + log_x];
-    }
-    row
-}
+/// Slice length from which the kernels build a [`MulTable`] and dispatch
+/// to the active [`Backend`] instead of doing two scalar table hops per
+/// byte. The table build costs ~256 lookups and the vector kernels save
+/// several ops per byte, so it pays for itself within ~100 bytes;
+/// protocol symbol planes (1250 B default) and batched (concatenated-
+/// plane) callers sit well above this.
+const DISPATCH_THRESHOLD: usize = 128;
 
 /// `dst[i] ← dst[i] · x  ⊕  src[i]` for every `i` — one Horner step over
 /// a coefficient plane.
@@ -59,22 +57,31 @@ pub fn scale_add_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         }
         return;
     }
-    let log_x = LOG[x.value() as usize] as usize;
-    if dst.len() >= MUL_TABLE_THRESHOLD {
-        let row = mul_row(log_x);
+    if dst.len() < DISPATCH_THRESHOLD {
+        let log_x = LOG[x.value() as usize] as usize;
         for (d, &s) in dst.iter_mut().zip(src) {
-            *d = row[*d as usize] ^ s;
+            let scaled = if *d == 0 {
+                0
+            } else {
+                EXP[LOG[*d as usize] as usize + log_x]
+            };
+            *d = scaled ^ s;
         }
         return;
     }
-    for (d, &s) in dst.iter_mut().zip(src) {
-        let scaled = if *d == 0 {
-            0
-        } else {
-            EXP[LOG[*d as usize] as usize + log_x]
-        };
-        *d = scaled ^ s;
-    }
+    let t = MulTable::new(x);
+    Backend::active().scale_add_assign(dst, src, &t);
+}
+
+/// [`scale_add_assign`] with a caller-built [`MulTable`], for callers
+/// that reuse one multiplier across many planes (always dispatches to
+/// the active backend; the threshold only guards table construction).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn scale_add_assign_with(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    Backend::active().scale_add_assign(dst, src, t);
 }
 
 /// `dst[i] ← dst[i] ⊕ src[i] · x` for every `i` — the accumulation step
@@ -104,19 +111,26 @@ pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         }
         return;
     }
-    let log_x = LOG[x.value() as usize] as usize;
-    if dst.len() >= MUL_TABLE_THRESHOLD {
-        let row = mul_row(log_x);
+    if dst.len() < DISPATCH_THRESHOLD {
+        let log_x = LOG[x.value() as usize] as usize;
         for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= row[s as usize];
+            if s != 0 {
+                *d ^= EXP[LOG[s as usize] as usize + log_x];
+            }
         }
         return;
     }
-    for (d, &s) in dst.iter_mut().zip(src) {
-        if s != 0 {
-            *d ^= EXP[LOG[s as usize] as usize + log_x];
-        }
-    }
+    let t = MulTable::new(x);
+    Backend::active().add_scaled_assign(dst, src, &t);
+}
+
+/// [`add_scaled_assign`] with a caller-built [`MulTable`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scaled_assign_with(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    Backend::active().add_scaled_assign(dst, src, t);
 }
 
 /// Multiplies every byte in place by the scalar `x`.
@@ -138,12 +152,53 @@ pub fn scale_assign(dst: &mut [u8], x: Gf256) {
     if x == Gf256::ONE {
         return;
     }
-    let log_x = LOG[x.value() as usize] as usize;
-    for d in dst.iter_mut() {
-        if *d != 0 {
-            *d = EXP[LOG[*d as usize] as usize + log_x];
+    if dst.len() < DISPATCH_THRESHOLD {
+        let log_x = LOG[x.value() as usize] as usize;
+        for d in dst.iter_mut() {
+            if *d != 0 {
+                *d = EXP[LOG[*d as usize] as usize + log_x];
+            }
         }
+        return;
     }
+    let t = MulTable::new(x);
+    Backend::active().scale_assign(dst, &t);
+}
+
+/// Fused multi-plane Horner evaluation: overwrites `acc` with
+/// `Σᵢ planes[i] · x^(n−1−i)` (planes ordered highest coefficient
+/// first) — equivalent to zeroing `acc` and calling
+/// [`scale_add_assign`] once per plane, but with a single [`MulTable`]
+/// build and the accumulator kept in registers across planes. `acc`'s
+/// prior contents are ignored.
+///
+/// # Panics
+///
+/// Panics if any plane's length differs from `acc`'s.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::{slice, Gf256};
+///
+/// // p(y) = 2·y + 3 at y = 4, per byte.
+/// let mut acc = [0u8; 2];
+/// slice::horner_into(&mut acc, &[&[2, 2], &[3, 3]], Gf256::new(4));
+/// let want = (Gf256::new(2) * Gf256::new(4) + Gf256::new(3)).value();
+/// assert_eq!(acc, [want, want]);
+/// ```
+pub fn horner_into(acc: &mut [u8], planes: &[&[u8]], x: Gf256) {
+    let t = MulTable::new(x);
+    Backend::active().horner_into(acc, planes, &t);
+}
+
+/// [`horner_into`] with a caller-built [`MulTable`].
+///
+/// # Panics
+///
+/// Panics if any plane's length differs from `acc`'s.
+pub fn horner_into_with(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    Backend::active().horner_into(acc, planes, t);
 }
 
 /// Reference check that the doubled EXP table really removes the modular
@@ -200,10 +255,11 @@ mod tests {
     }
 
     #[test]
-    fn table_path_matches_scalar_path() {
-        // Long slices take the mul_row fast path; it must agree with the
-        // short-slice double-lookup path byte for byte.
-        let dst0: Vec<u8> = (0..MUL_TABLE_THRESHOLD + 37)
+    fn dispatched_path_matches_scalar_path() {
+        // Long slices take the backend fast path; it must agree with the
+        // short-slice double-lookup path byte for byte (including the
+        // ragged 37-byte tail past the last full vector).
+        let dst0: Vec<u8> = (0..DISPATCH_THRESHOLD * 4 + 37)
             .map(|i| (i * 7) as u8)
             .collect();
         let src: Vec<u8> = (0..dst0.len()).map(|i| (i * 13 + 5) as u8).collect();
@@ -213,11 +269,50 @@ mod tests {
             scale_add_assign(&mut long, &src, x);
             let mut long2 = dst0.clone();
             add_scaled_assign(&mut long2, &src, x);
+            let mut long3 = dst0.clone();
+            scale_assign(&mut long3, x);
             for (i, (&d, &s)) in dst0.iter().zip(&src).enumerate() {
                 assert_eq!(long[i], (Gf256::new(d) * x + Gf256::new(s)).value());
                 assert_eq!(long2[i], (Gf256::new(d) + Gf256::new(s) * x).value());
+                assert_eq!(long3[i], (Gf256::new(d) * x).value());
             }
         }
+    }
+
+    #[test]
+    fn horner_into_matches_per_plane_steps() {
+        for len in [0usize, 5, 130, 1000] {
+            let planes: Vec<Vec<u8>> = (0..3)
+                .map(|p| (0..len).map(|i| (i * 11 + p * 29 + 1) as u8).collect())
+                .collect();
+            let refs: Vec<&[u8]> = planes.iter().map(Vec::as_slice).collect();
+            for x in [0u8, 1, 5, 0x9d] {
+                let x = Gf256::new(x);
+                let mut want = vec![0u8; len];
+                for p in &refs {
+                    scale_add_assign(&mut want, p, x);
+                }
+                let mut got = vec![0x77u8; len];
+                horner_into(&mut got, &refs, x);
+                assert_eq!(got, want, "len={len} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_variants_match_plain_calls() {
+        let dst0: Vec<u8> = (0..600).map(|i| (i * 3) as u8).collect();
+        let src: Vec<u8> = (0..600).map(|i| (i * 5 + 1) as u8).collect();
+        let x = Gf256::new(0x1c);
+        let t = MulTable::new(x);
+        let (mut a, mut b) = (dst0.clone(), dst0.clone());
+        scale_add_assign(&mut a, &src, x);
+        scale_add_assign_with(&mut b, &src, &t);
+        assert_eq!(a, b);
+        let (mut a, mut b) = (dst0.clone(), dst0);
+        add_scaled_assign(&mut a, &src, x);
+        add_scaled_assign_with(&mut b, &src, &t);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -243,6 +338,10 @@ mod tests {
             for plane in planes.iter().rev() {
                 scale_add_assign(&mut acc, plane, x);
             }
+            let refs: Vec<&[u8]> = planes.iter().rev().map(Vec::as_slice).collect();
+            let mut fused = vec![0u8; len];
+            horner_into(&mut fused, &refs, x);
+            prop_assert_eq!(&fused, &acc);
             for b in 0..len {
                 let coeffs: Vec<Gf256> =
                     planes.iter().map(|p| Gf256::new(p[b])).collect();

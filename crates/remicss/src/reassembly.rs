@@ -125,11 +125,16 @@ pub struct ReassemblyTable {
     resolved_cap: usize,
     buffered_bytes: usize,
     pending: HashMap<u64, Pending>,
+    /// Post-rehash capacity high-water of `pending` (see
+    /// [`reserve_headroom`](Self::reserve_headroom)).
+    pending_full_cap: usize,
     /// Insertion order of pending symbols, for oldest-first memory
     /// eviction (may contain ids already completed or evicted).
     order: VecDeque<u64>,
     /// Recently completed or evicted symbols and when they resolved.
     resolved: HashMap<u64, SimTime>,
+    /// Post-rehash capacity high-water of `resolved`.
+    resolved_full_cap: usize,
     /// Insertion order of resolution records, for oldest-first eviction
     /// at the cap (may contain ids already pruned by the sweep).
     resolved_order: VecDeque<u64>,
@@ -155,8 +160,10 @@ impl ReassemblyTable {
             resolved_cap: DEFAULT_RESOLVED_CAP,
             buffered_bytes: 0,
             pending: HashMap::new(),
+            pending_full_cap: 0,
             order: VecDeque::new(),
             resolved: HashMap::new(),
+            resolved_full_cap: 0,
             resolved_order: VecDeque::new(),
             pool: BufferPool::new(),
             spare_shares: Vec::new(),
@@ -288,6 +295,7 @@ impl ReassemblyTable {
             );
             self.order.push_back(seq);
             self.buffered_bytes += bytes;
+            Self::reserve_headroom(&mut self.pending, &mut self.pending_full_cap);
             return AcceptOutcome::Stored;
         }
         let p = self.pending.get_mut(&seq).expect("checked above");
@@ -374,10 +382,33 @@ impl ReassemblyTable {
         self.order.retain(|seq| self.pending.contains_key(seq));
     }
 
+    /// Keeps `map` at no more than half its true capacity. Removals
+    /// (`remove`, `retain`) leave tombstones in the table; once they
+    /// exhaust the free slots, the next insert rehashes — in place when
+    /// live occupancy is at most half the capacity, but *reallocating*
+    /// above that, at a point that depends on the per-process hash seed
+    /// (the tombstone distribution). Pinning occupancy to the in-place
+    /// regime means the maps only ever allocate when live occupancy
+    /// reaches a new high-water mark (warmup), never at a seed-dependent
+    /// moment in steady state.
+    ///
+    /// `full_cap` is a caller-held shadow of the map's post-rehash
+    /// capacity: `HashMap::capacity()` itself *shrinks* as tombstones
+    /// eat free slots, so it cannot be compared against directly — its
+    /// running maximum is the real (monotone) table size.
+    fn reserve_headroom<V>(map: &mut HashMap<u64, V>, full_cap: &mut usize) {
+        *full_cap = (*full_cap).max(map.capacity());
+        if (map.len() + 1) * 2 > *full_cap {
+            map.reserve(map.len() + 2);
+            *full_cap = (*full_cap).max(map.capacity());
+        }
+    }
+
     fn resolve(&mut self, seq: u64, now: SimTime) {
         if self.resolved.insert(seq, now).is_none() {
             self.resolved_order.push_back(seq);
         }
+        Self::reserve_headroom(&mut self.resolved, &mut self.resolved_full_cap);
         // Oldest-first eviction past the cap; ids already pruned by the
         // sweep are skipped (their ring entries are stale).
         while self.resolved.len() > self.resolved_cap {

@@ -40,7 +40,9 @@
 
 use mcss_gf256::{slice as gf_slice, Gf256};
 
-use crate::{lagrange_weight, reconstruct, validate_shares, Params, Share, ShareError};
+use crate::{
+    horner_eval, lagrange_weight, reconstruct, validate_shares, Params, Share, ShareError,
+};
 
 /// Reusable working memory for [`split_batch`] and [`reconstruct_batch`].
 ///
@@ -120,10 +122,10 @@ pub fn split_batch<R: rand::Rng + ?Sized>(
     let mut out: Vec<Vec<Share>> = secrets.iter().map(|_| Vec::with_capacity(m)).collect();
     for j in 0..m {
         let x = Gf256::new(j as u8 + 1);
-        acc.fill(0);
-        for plane in planes.iter().rev() {
-            gf_slice::scale_add_assign(acc, plane, x);
-        }
+        // Fused Horner over the concatenated planes: one MulTable per
+        // share point, built once and reused across every Horner step,
+        // instead of one 256-entry row per scale_add_assign call.
+        horner_eval(acc, planes, None, x);
         for (s, shares) in out.iter_mut().enumerate() {
             shares.push(Share::new(
                 j as u8 + 1,
@@ -201,11 +203,11 @@ pub fn split_into<R: rand::Rng + ?Sized>(
         let start = out.len();
         out.resize(start + secret.len(), 0);
         let acc = &mut out[start..];
-        // Horner over planes k-1, …, 1, then the secret (plane 0).
-        for plane in planes.iter().rev() {
-            gf_slice::scale_add_assign(acc, plane, x);
-        }
-        gf_slice::scale_add_assign(acc, secret, x);
+        // Fused Horner over planes k-1, …, 1, then the secret (plane
+        // 0), straight into the output buffer: one MulTable and one
+        // accumulator pass for all k steps, no per-plane acc round
+        // trips and no heap allocation.
+        horner_eval(acc, planes, Some(secret), x);
     }
     Ok(())
 }

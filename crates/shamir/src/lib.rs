@@ -42,12 +42,53 @@ pub use error::ShareError;
 pub use params::Params;
 pub use share::Share;
 
+use mcss_gf256::simd::MulTable;
 use mcss_gf256::{slice as gf_slice, Gf256};
 
 /// Maximum number of shares a secret can be split into.
 ///
 /// Share abscissae are nonzero elements of GF(2⁸), of which there are 255.
 pub const MAX_SHARES: usize = 255;
+
+/// Plane count up to which Horner evaluation runs through the fused
+/// multi-plane kernel with a stack array of plane references (no
+/// allocation). The protocol's `k ≤ 8` always fits; larger thresholds
+/// fall back to one dispatched step per plane with a shared
+/// [`MulTable`], which is still table-hoisted, just not
+/// register-fused.
+pub(crate) const FUSED_MAX_PLANES: usize = 16;
+
+/// Overwrites `acc` with the Horner evaluation at `x` whose step order
+/// is `planes[n−1], …, planes[0]`, then `tail` if given — so `planes[i]`
+/// is the degree-`i+tail_count` coefficient and `tail` (or `planes[0]`)
+/// the constant term. This is the exact step sequence `split`,
+/// `split_into`, and `split_batch` previously ran as one
+/// `scale_add_assign` per plane. One [`MulTable`] serves every step;
+/// small plane counts additionally fuse all steps into one pass that
+/// keeps the accumulator in registers (see
+/// [`mcss_gf256::slice::horner_into`]).
+pub(crate) fn horner_eval(acc: &mut [u8], planes: &[Vec<u8>], tail: Option<&[u8]>, x: Gf256) {
+    let n = planes.len() + usize::from(tail.is_some());
+    if n <= FUSED_MAX_PLANES {
+        let mut refs: [&[u8]; FUSED_MAX_PLANES] = [&[]; FUSED_MAX_PLANES];
+        for (r, p) in refs.iter_mut().zip(planes.iter().rev()) {
+            *r = p.as_slice();
+        }
+        if let Some(t) = tail {
+            refs[planes.len()] = t;
+        }
+        gf_slice::horner_into(acc, &refs[..n], x);
+        return;
+    }
+    let table = MulTable::new(x);
+    acc.fill(0);
+    for plane in planes.iter().rev() {
+        gf_slice::scale_add_assign_with(acc, plane, &table);
+    }
+    if let Some(t) = tail {
+        gf_slice::scale_add_assign_with(acc, t, &table);
+    }
+}
 
 /// Splits `secret` into `params.multiplicity()` shares with threshold
 /// `params.threshold()`.
@@ -97,9 +138,7 @@ pub fn split<R: rand::Rng + ?Sized>(
     for j in 0..m {
         let x = Gf256::new(j as u8 + 1);
         let mut acc = vec![0u8; secret.len()];
-        for plane in planes.iter().rev() {
-            gf_slice::scale_add_assign(&mut acc, plane, x);
-        }
+        horner_eval(&mut acc, &planes, None, x);
         shares.push(Share::new(j as u8 + 1, params.threshold(), acc));
     }
     Ok(shares)
