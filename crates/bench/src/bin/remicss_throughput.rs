@@ -17,6 +17,11 @@
 //!   a warmup window long enough for every pool, table, and timer-wheel
 //!   level to reach its high-water mark (the deepest active wheel level
 //!   wraps in ~1.07 s of simulated time).
+//! * **Telemetry**: the report's `telemetry` section carries the
+//!   heap-engine session's protocol metrics — empirical `(κ, μ)` versus
+//!   configured, frame-pool hit rate, per-channel one-way delay
+//!   quantiles, reassembly residency, and the global span registry
+//!   (Shamir kernel and event-loop timings).
 //!
 //! All rates are wall-clock processing rates of this host, useful for
 //! before/after comparison on the same machine — not simulated channel
@@ -103,6 +108,48 @@ struct EngineRun {
     allocations_per_symbol: f64,
 }
 
+/// Per-channel one-way share delay quantiles, milliseconds of
+/// simulated time.
+#[derive(Serialize)]
+struct ChannelDelaySummary {
+    channel: usize,
+    samples: u64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    max_ms: f64,
+}
+
+/// Protocol telemetry harvested from the heap-engine session run: what
+/// the scheduler actually drew versus the configured `(κ, μ)`, how the
+/// frame pool behaved, and the share delay / reassembly residency
+/// distributions. Zeroed when the workspace is built without the
+/// `telemetry` feature.
+#[derive(Serialize)]
+struct TelemetrySection {
+    configured_kappa: f64,
+    configured_mu: f64,
+    empirical_kappa: f64,
+    empirical_mu: f64,
+    scheduler_choices: u64,
+    shares_sent: u64,
+    shares_received: u64,
+    shares_dropped: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    /// `hits / (hits + misses)`; 1.0 in steady state.
+    pool_hit_rate: f64,
+    pool_grows: u64,
+    per_channel_delay: Vec<ChannelDelaySummary>,
+    residency_p50_ms: f64,
+    residency_p99_ms: f64,
+    residency_max_ms: f64,
+    /// The global registry (span timers from the Shamir kernels, event
+    /// loop, and scheduler) as of report assembly.
+    global: mcss::obs::MetricsSnapshot,
+}
+
 #[derive(Serialize)]
 struct ThroughputReport {
     id: String,
@@ -111,6 +158,7 @@ struct ThroughputReport {
     gf256_backend: String,
     datapath: Vec<DataPathRecord>,
     session: Vec<EngineRun>,
+    telemetry: TelemetrySection,
 }
 
 /// Symbols between periodic sweeps, mirroring a session's sweep timer.
@@ -230,10 +278,59 @@ fn bench_datapath(k: u8, m: u8, payload_bytes: usize) -> DataPathRecord {
     }
 }
 
-fn bench_session(kind: QueueKind, label: &str) -> EngineRun {
+/// Configured `(κ, μ)` of the session benchmark; the telemetry section
+/// reports the empirical means the scheduler actually realized.
+const SESSION_KAPPA: f64 = 2.0;
+const SESSION_MU: f64 = 3.0;
+
+fn ns_to_ms(nanos: f64) -> f64 {
+    nanos / 1e6
+}
+
+/// Harvests the telemetry section from a finished session.
+fn telemetry_section(session: &Session) -> TelemetrySection {
+    let metrics = session.metrics();
+    let pool = session.frame_pool();
+    let (hits, misses) = (pool.hits(), pool.misses());
+    let per_channel_delay = metrics
+        .channels()
+        .iter()
+        .enumerate()
+        .map(|(channel, ch)| ChannelDelaySummary {
+            channel,
+            samples: ch.one_way_delay.count(),
+            p50_ms: ns_to_ms(ch.one_way_delay.percentile(0.50)),
+            p90_ms: ns_to_ms(ch.one_way_delay.percentile(0.90)),
+            p99_ms: ns_to_ms(ch.one_way_delay.percentile(0.99)),
+            p999_ms: ns_to_ms(ch.one_way_delay.percentile(0.999)),
+            max_ms: ns_to_ms(ch.one_way_delay.max() as f64),
+        })
+        .collect();
+    TelemetrySection {
+        configured_kappa: SESSION_KAPPA,
+        configured_mu: SESSION_MU,
+        empirical_kappa: metrics.empirical_kappa(),
+        empirical_mu: metrics.empirical_mu(),
+        scheduler_choices: metrics.choices(),
+        shares_sent: metrics.shares_sent_total(),
+        shares_received: metrics.shares_received_total(),
+        shares_dropped: metrics.shares_dropped_total(),
+        pool_hits: hits,
+        pool_misses: misses,
+        pool_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        pool_grows: pool.grows(),
+        per_channel_delay,
+        residency_p50_ms: ns_to_ms(metrics.residency.percentile(0.50)),
+        residency_p99_ms: ns_to_ms(metrics.residency.percentile(0.99)),
+        residency_max_ms: ns_to_ms(metrics.residency.max() as f64),
+        global: mcss::obs::global_snapshot(),
+    }
+}
+
+fn bench_session(kind: QueueKind, label: &str) -> (EngineRun, TelemetrySection) {
     let channels = setups::identical_n(8, 40.0);
     let config = Arc::new(
-        ProtocolConfig::new(2.0, 3.0)
+        ProtocolConfig::new(SESSION_KAPPA, SESSION_MU)
             .expect("valid config")
             .with_reassembly_timeout(SimTime::from_millis(20)),
     );
@@ -258,7 +355,7 @@ fn bench_session(kind: QueueKind, label: &str) -> EngineRun {
     let events = sim.events_processed() - events_before;
     let delivered = sim.app().report(warmup + measure).delivered_symbols - delivered_before;
     let bytes = delivered * config.symbol_bytes() as u64;
-    EngineRun {
+    let run = EngineRun {
         engine: label.to_string(),
         wall_millis: wall * 1e3,
         events,
@@ -268,11 +365,13 @@ fn bench_session(kind: QueueKind, label: &str) -> EngineRun {
         bytes_per_sec: bytes as f64 / wall,
         allocations: allocs,
         allocations_per_symbol: allocs as f64 / delivered.max(1) as f64,
-    }
+    };
+    (run, telemetry_section(sim.app()))
 }
 
 fn main() {
     mcss_bench::report::enable_emission();
+    mcss::obs::force_enable();
     let gf256_backend = mcss::gf256::simd::Backend::active().name();
     println!(
         "ReMICSS end-to-end throughput (wall-clock rates on this host; \
@@ -304,10 +403,9 @@ fn main() {
     }
 
     println!();
-    let session = vec![
-        bench_session(QueueKind::Heap, "heap"),
-        bench_session(QueueKind::Wheel, "wheel"),
-    ];
+    let (heap_run, heap_telemetry) = bench_session(QueueKind::Heap, "heap");
+    let (wheel_run, _) = bench_session(QueueKind::Wheel, "wheel");
+    let session = vec![heap_run, wheel_run];
     for r in &session {
         println!(
             "session [{:>5}]: {:>7.0} sym/s  {:>5.2} MB/s  {:>9.0} events/s  \
@@ -322,11 +420,35 @@ fn main() {
         );
     }
 
+    let t = &heap_telemetry;
+    println!(
+        "\ntelemetry [heap]: κ {:.3} (configured {:.1})  μ {:.3} (configured {:.1})  \
+         pool hit rate {:.4} ({} hits / {} misses, {} grows)",
+        t.empirical_kappa,
+        t.configured_kappa,
+        t.empirical_mu,
+        t.configured_mu,
+        t.pool_hit_rate,
+        t.pool_hits,
+        t.pool_misses,
+        t.pool_grows
+    );
+    for d in &t.per_channel_delay {
+        if d.samples > 0 {
+            println!(
+                "telemetry [heap]: ch{} delay p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms  \
+                 ({} shares)",
+                d.channel, d.p50_ms, d.p99_ms, d.max_ms, d.samples
+            );
+        }
+    }
+
     let report = ThroughputReport {
         id: "remicss_throughput".to_string(),
         gf256_backend: gf256_backend.to_string(),
         datapath,
         session,
+        telemetry: heap_telemetry,
     };
     mcss_bench::report::emit_value(&report.id, &report);
 }

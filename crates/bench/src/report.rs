@@ -17,6 +17,7 @@
 
 use std::path::PathBuf;
 
+use mcss::obs::MetricsSnapshot;
 use serde::Serialize;
 
 use crate::sweep::Timed;
@@ -69,6 +70,10 @@ pub struct BenchReport {
     pub speedup: f64,
     /// The full point series, in grid order.
     pub points: Vec<PointRecord>,
+    /// Global telemetry snapshot (span timings, registered counters)
+    /// taken when the report was assembled. Empty when the workspace is
+    /// built without the `telemetry` feature.
+    pub telemetry: MetricsSnapshot,
 }
 
 impl BenchReport {
@@ -95,6 +100,7 @@ impl BenchReport {
                 1.0
             },
             points,
+            telemetry: mcss::obs::global_snapshot(),
         }
     }
 

@@ -13,6 +13,12 @@
 //! | [`model`] | `mcss-core` | channels, subset formulas, schedules, Theorems 1–5, LP schedules |
 //! | [`netsim`] | `mcss-netsim` | deterministic discrete-event network simulator |
 //! | [`remicss`] | `mcss-remicss` | the best-effort reference protocol |
+//! | [`obs`] | `mcss-obs` | telemetry: counters, histograms, span timers, snapshots |
+//!
+//! Telemetry is on by default and compiles to nothing under
+//! `--no-default-features` (see the `mcss-obs` crate docs for the
+//! overhead contract). Binaries print snapshots when `MCSS_TELEMETRY=1`
+//! is set; try `cargo run --example mcss-obs-dump`.
 //!
 //! # Examples
 //!
@@ -37,6 +43,7 @@ pub use mcss_core as model;
 pub use mcss_gf256 as gf256;
 pub use mcss_lp as lp;
 pub use mcss_netsim as netsim;
+pub use mcss_obs as obs;
 pub use mcss_remicss as remicss;
 pub use mcss_shamir as shamir;
 
@@ -48,6 +55,7 @@ pub mod prelude {
         ScheduleEntry, ShareSchedule, Subset, SubsetMetricCache,
     };
     pub use mcss_netsim::{SimTime, Simulator};
+    pub use mcss_obs::{global_snapshot, MetricsSnapshot};
     pub use mcss_remicss::{
         config::{ProtocolConfig, SchedulerKind},
         session::{Session, SessionReport, Workload},

@@ -73,6 +73,10 @@ pub struct BufferPool {
     misses: u64,
     /// Buffers served from the free lists.
     hits: u64,
+    /// Times a returned buffer raised the largest capacity seen.
+    grows: u64,
+    /// Largest buffer capacity that has passed through the pool.
+    max_capacity: usize,
 }
 
 impl BufferPool {
@@ -99,7 +103,17 @@ impl BufferPool {
     /// Returns a detached buffer to the pool, retaining its capacity.
     pub fn put(&mut self, mut buf: Vec<u8>) {
         buf.clear();
+        self.note_capacity(buf.capacity());
         self.free.push(buf);
+    }
+
+    /// Tracks capacity escalation: each time a returned buffer exceeds
+    /// every capacity seen before, the pool's working set grew.
+    fn note_capacity(&mut self, capacity: usize) {
+        if capacity > self.max_capacity {
+            self.max_capacity = capacity;
+            self.grows += 1;
+        }
     }
 
     /// Checks out an empty in-pool buffer and returns its handle.
@@ -172,6 +186,8 @@ impl BufferPool {
         slot.live = false;
         slot.generation = slot.generation.wrapping_add(1);
         slot.buf.clear();
+        let capacity = slot.buf.capacity();
+        self.note_capacity(capacity);
         self.free_slots.push(handle.index);
     }
 
@@ -192,6 +208,19 @@ impl BufferPool {
     #[must_use]
     pub fn idle(&self) -> usize {
         self.free.len()
+    }
+
+    /// Times a returned buffer raised the largest capacity the pool had
+    /// seen. Flat after warmup ⇔ the working set stopped growing.
+    #[must_use]
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// The largest buffer capacity that has passed through the pool.
+    #[must_use]
+    pub fn max_capacity(&self) -> usize {
+        self.max_capacity
     }
 }
 
@@ -269,5 +298,25 @@ mod tests {
         }
         assert_eq!(pool.misses(), 2); // one detached, one slot
         assert_eq!(pool.hits(), 6);
+    }
+
+    #[test]
+    fn grows_flat_once_working_set_stabilizes() {
+        let mut pool = BufferPool::new();
+        // Warmup: capacity climbs to 4096.
+        for size in [64usize, 512, 4096] {
+            let mut b = pool.take();
+            b.resize(size, 0);
+            pool.put(b);
+        }
+        assert_eq!(pool.grows(), 3);
+        assert!(pool.max_capacity() >= 4096);
+        // Steady state at or below the high-water mark: no new grows.
+        for _ in 0..16 {
+            let mut b = pool.take();
+            b.resize(1500, 0);
+            pool.put(b);
+        }
+        assert_eq!(pool.grows(), 3);
     }
 }

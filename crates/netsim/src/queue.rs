@@ -158,6 +158,7 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let _span = mcss_obs::span!("netsim.queue.pop");
         let entry = match &mut self.inner {
             Inner::Heap(h) => h.pop(),
             Inner::Wheel(w) => w.pop(),

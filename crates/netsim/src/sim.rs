@@ -256,8 +256,16 @@ impl<A: Application> Simulator<A> {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero. A zero-capacity trace would
+    /// silently record nothing while appearing enabled (`trace()`
+    /// returning `Some`), so it is rejected loudly instead of being a
+    /// no-op.
     pub fn enable_trace(&mut self, capacity: usize) {
+        assert!(
+            capacity > 0,
+            "enable_trace(0): a zero-capacity trace records nothing; \
+             pass a positive capacity or leave tracing off"
+        );
         self.trace = Some(Trace::new(capacity));
     }
 
@@ -305,6 +313,7 @@ impl<A: Application> Simulator<A> {
     /// Processes the next event, if any. Returns `false` when the event
     /// queue is empty.
     pub fn step(&mut self) -> bool {
+        let _span = mcss_obs::span!("netsim.step");
         let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
@@ -429,6 +438,15 @@ mod tests {
         ) {
             self.0.on_deliver(ctx, channel, to, frame);
         }
+    }
+
+    /// Pins the documented `enable_trace(0)` contract: loud rejection,
+    /// not a silently-enabled trace that records nothing.
+    #[test]
+    #[should_panic(expected = "enable_trace(0)")]
+    fn enable_trace_zero_capacity_panics() {
+        let mut sim = Simulator::new(one_channel(1e6), Recorder::default(), 0);
+        sim.enable_trace(0);
     }
 
     #[test]

@@ -54,12 +54,26 @@ impl ThroughputMeter {
 
     /// Throughput in bits per second over an externally supplied window
     /// (e.g. the benchmark duration), which is how `iperf` reports.
+    /// A zero-length window yields 0.0 rather than a NaN/∞ rate.
     #[must_use]
     pub fn rate_bps(&self, window: SimTime) -> f64 {
         if window == SimTime::ZERO {
             return 0.0;
         }
         self.bits as f64 / window.as_secs_f64()
+    }
+
+    /// Throughput in bits per second over the *recorded* span (first to
+    /// last delivery), for callers that did not track the window
+    /// themselves. An empty meter, or one holding a single instant
+    /// (first == last, a degenerate zero-length span), yields 0.0 —
+    /// never NaN or infinity from the 0/0 division.
+    #[must_use]
+    pub fn span_rate_bps(&self) -> f64 {
+        match self.span() {
+            Some((first, last)) if last > first => self.bits as f64 / (last - first).as_secs_f64(),
+            _ => 0.0,
+        }
     }
 }
 
@@ -174,6 +188,37 @@ mod tests {
             Some((SimTime::from_millis(10), SimTime::from_millis(20)))
         );
         assert_eq!(m.rate_bps(SimTime::from_millis(500)), 2000.0);
+    }
+
+    #[test]
+    fn span_rate_empty_meter_is_zero() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.span_rate_bps(), 0.0);
+    }
+
+    #[test]
+    fn span_rate_single_instant_is_zero_not_nan() {
+        // All deliveries at one instant: the recorded span is zero-length
+        // and the rate must be 0.0, not NaN or infinity.
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(5), 1_000);
+        m.record(SimTime::from_millis(5), 1_000);
+        assert_eq!(
+            m.span(),
+            Some((SimTime::from_millis(5), SimTime::from_millis(5)))
+        );
+        let rate = m.span_rate_bps();
+        assert!(rate.is_finite());
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn span_rate_over_recorded_span() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(0), 500);
+        m.record(SimTime::from_millis(500), 500);
+        // 1000 bits over 0.5 s.
+        assert_eq!(m.span_rate_bps(), 2000.0);
     }
 
     #[test]

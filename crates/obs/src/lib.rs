@@ -1,0 +1,138 @@
+//! Workspace-wide telemetry: where time and shares go.
+//!
+//! The paper's contribution is a set of *measures* — privacy `Z(p)`,
+//! loss `L(p)`, delay `D(p)`, and the rate achieved by ReMICSS's dynamic
+//! schedule. This crate is the runtime substrate those measures are
+//! observed through: counters, gauges, log₂-bucketed HDR-style
+//! [`Histogram`]s, RAII [`span!`] timers, and a [`Recorder`] registry
+//! that snapshots everything into a serializable [`MetricsSnapshot`]
+//! (JSON via serde, Prometheus text via
+//! [`MetricsSnapshot::to_prometheus`]).
+//!
+//! # Overhead contract
+//!
+//! * **Feature off** (`--no-default-features`): every type here is a
+//!   zero-sized stub and every recording method an empty body — the
+//!   instrumentation compiles to nothing. The API surface is identical,
+//!   so instrumented crates build unchanged either way.
+//! * **Feature on**: recording is lock-free relaxed atomics on
+//!   preallocated storage — no heap allocation on any record path, so
+//!   the zero-allocation steady-state proof of the ReMICSS data path
+//!   (`mcss-remicss/tests/zero_alloc.rs`) holds *with telemetry
+//!   enabled*. Registration (first use of a [`span!`] site, building a
+//!   [`Histogram`]) may allocate; hot loops only ever record.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcss_obs::{span, Counter, Histogram};
+//!
+//! static DELIVERIES: Counter = Counter::new();
+//!
+//! fn deliver() {
+//!     let _span = span!("example.deliver"); // timed into the registry
+//!     DELIVERIES.inc();
+//! }
+//!
+//! deliver();
+//! let snapshot = mcss_obs::global().snapshot();
+//! # #[cfg(feature = "telemetry")]
+//! assert!(snapshot.histograms.iter().any(|h| h.name == "example.deliver"));
+//! ```
+
+mod hist;
+mod metric;
+mod recorder;
+mod snapshot;
+
+pub use hist::Histogram;
+#[cfg(feature = "telemetry")]
+pub use hist::{bucket_bounds, bucket_index, BUCKETS, SUB_BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use recorder::{global, global_snapshot, Recorder, SpanGuard, SpanSite};
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+
+/// Times the enclosing scope into the global registry's histogram named
+/// `$name` (wall-clock nanoseconds). Returns a guard; bind it —
+/// `let _span = span!("shamir.split");` — so it drops at scope end.
+///
+/// Each call site resolves its histogram once and caches it; after that
+/// a span is two monotonic clock reads and one relaxed atomic record.
+/// With the `telemetry` feature off the guard is a zero-sized no-op.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __MCSS_OBS_SITE: $crate::SpanSite = $crate::SpanSite::new($name);
+        $crate::SpanGuard::enter(&__MCSS_OBS_SITE)
+    }};
+}
+
+#[cfg(feature = "telemetry")]
+mod runtime {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    static FORCED: AtomicBool = AtomicBool::new(false);
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+    /// Whether verbose telemetry output was requested at runtime, via
+    /// `MCSS_TELEMETRY=1` (or `true`) or [`force_enable`]. Recording is
+    /// always on when the feature is compiled in (it is too cheap to
+    /// gate); this flag is for binaries deciding whether to *print*
+    /// snapshots.
+    #[must_use]
+    pub fn runtime_enabled() -> bool {
+        FORCED.load(Ordering::Relaxed)
+            || *FROM_ENV.get_or_init(|| {
+                matches!(
+                    std::env::var("MCSS_TELEMETRY").as_deref(),
+                    Ok("1") | Ok("true")
+                )
+            })
+    }
+
+    /// Turns [`runtime_enabled`] on programmatically (benchmark binaries
+    /// call this so their emitted reports always carry telemetry).
+    pub fn force_enable() {
+        FORCED.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod runtime {
+    /// Always `false` without the `telemetry` feature.
+    #[must_use]
+    pub fn runtime_enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `telemetry` feature.
+    pub fn force_enable() {}
+}
+
+pub use runtime::{force_enable, runtime_enabled};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_macro_compiles_and_guards() {
+        let _span = span!("obs.test.span");
+        // Dropping the guard must not panic in either feature mode.
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn force_enable_wins() {
+        force_enable();
+        assert!(runtime_enabled());
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn runtime_disabled_without_feature() {
+        force_enable();
+        assert!(!runtime_enabled());
+    }
+}

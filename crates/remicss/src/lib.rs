@@ -61,6 +61,7 @@
 pub mod adaptive;
 pub mod config;
 pub mod cpu;
+pub mod metrics;
 pub mod reassembly;
 pub mod scheduler;
 pub mod session;
@@ -68,5 +69,6 @@ pub mod testbed;
 pub mod wire;
 
 pub use config::{ProtocolConfig, SchedulerKind};
+pub use metrics::SessionMetrics;
 pub use session::{Session, SessionReport, Workload};
 pub use wire::ShareFrame;

@@ -1,0 +1,333 @@
+//! Per-session protocol metrics.
+//!
+//! [`SessionMetrics`] is the session-scoped companion to the global
+//! [`mcss_obs`] span registry: while spans time *code* (split kernels,
+//! the event loop), these count and time *protocol* behavior — shares
+//! sent, dropped, and received per channel, one-way share delay and
+//! inter-share gap distributions, reassembly residency, and the
+//! realized `(k, m)` frequency matrix the dynamic scheduler actually
+//! drew (whose empirical means must converge to the configured `κ` and
+//! `μ`; see `tests/metrics_stat.rs`).
+//!
+//! Everything here is built from [`mcss_obs`] primitives, so the whole
+//! structure inherits the crate's overhead contract: recording is
+//! relaxed atomics on storage preallocated at session build (the
+//! zero-allocation steady-state proof holds with telemetry enabled),
+//! and with the `telemetry` feature off every field is a zero-sized
+//! no-op.
+
+use mcss_obs::{Counter, Histogram, MetricsSnapshot};
+
+/// Sentinel for "no share received on this channel yet".
+const NO_RX: u64 = u64::MAX;
+
+/// One channel's share traffic counters and latency histograms.
+#[derive(Debug, Default)]
+pub struct ChannelMetrics {
+    /// Share frames handed to this channel's send queue.
+    pub shares_sent: Counter,
+    /// Share frames rejected by this channel's full send queue.
+    pub shares_dropped: Counter,
+    /// Share frames delivered from this channel.
+    pub shares_received: Counter,
+    /// One-way share delay (send stamp to delivery), nanoseconds of
+    /// simulated time.
+    pub one_way_delay: Histogram,
+    /// Gap between consecutive share deliveries on this channel,
+    /// nanoseconds of simulated time.
+    pub inter_share_gap: Histogram,
+}
+
+/// Protocol counters for one [`Session`](crate::Session).
+///
+/// The session records into this on its hot paths; benchmarks and
+/// binaries read it back through accessors or [`snapshot`]
+/// (`SessionMetrics::snapshot`).
+#[derive(Debug)]
+pub struct SessionMetrics {
+    n: usize,
+    channels: Vec<ChannelMetrics>,
+    /// Simulated time of the previous delivery per channel ([`NO_RX`]
+    /// before the first).
+    last_rx_nanos: Vec<u64>,
+    /// Realized `(k, m)` draw counts, indexed `k * (n + 1) + m`.
+    km: Vec<Counter>,
+    /// Sum of drawn thresholds, for the empirical `κ`.
+    sum_k: Counter,
+    /// Sum of drawn multiplicities, for the empirical `μ`.
+    sum_m: Counter,
+    /// Number of scheduler draws recorded.
+    choices: Counter,
+    /// Reassembly residency of completed symbols (first share seen to
+    /// reconstruction), nanoseconds of simulated time.
+    pub residency: Histogram,
+}
+
+impl SessionMetrics {
+    /// Metrics for a session over `n` channels. Allocates all storage up
+    /// front; recording never allocates.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        SessionMetrics {
+            n,
+            channels: (0..n).map(|_| ChannelMetrics::default()).collect(),
+            last_rx_nanos: vec![NO_RX; n],
+            km: (0..(n + 1) * (n + 1)).map(|_| Counter::new()).collect(),
+            sum_k: Counter::new(),
+            sum_m: Counter::new(),
+            choices: Counter::new(),
+            residency: Histogram::new(),
+        }
+    }
+
+    /// The channel count this was built for.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.n
+    }
+
+    /// One channel's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= channel_count()`.
+    #[must_use]
+    pub fn channel(&self, channel: usize) -> &ChannelMetrics {
+        &self.channels[channel]
+    }
+
+    /// All channels' metrics, in channel order.
+    #[must_use]
+    pub fn channels(&self) -> &[ChannelMetrics] {
+        &self.channels
+    }
+
+    /// Records one scheduler draw of threshold `k` over `m` channels.
+    pub fn record_choice(&mut self, k: u8, m: usize) {
+        let (k, m) = (k as usize, m);
+        if k <= self.n && m <= self.n {
+            self.km[k * (self.n + 1) + m].inc();
+        }
+        self.sum_k.add(k as u64);
+        self.sum_m.add(m as u64);
+        self.choices.inc();
+    }
+
+    /// Records a share frame accepted by `channel`'s send queue.
+    pub fn record_send(&mut self, channel: usize) {
+        self.channels[channel].shares_sent.inc();
+    }
+
+    /// Records a share frame rejected by `channel`'s full send queue.
+    pub fn record_drop(&mut self, channel: usize) {
+        self.channels[channel].shares_dropped.inc();
+    }
+
+    /// Records a share delivered from `channel` at simulated time
+    /// `now_nanos`, `delay_nanos` after it was stamped at the sender.
+    pub fn record_receive(&mut self, channel: usize, now_nanos: u64, delay_nanos: u64) {
+        let ch = &self.channels[channel];
+        ch.shares_received.inc();
+        ch.one_way_delay.record(delay_nanos);
+        let last = self.last_rx_nanos[channel];
+        if last != NO_RX {
+            ch.inter_share_gap.record(now_nanos.saturating_sub(last));
+        }
+        self.last_rx_nanos[channel] = now_nanos;
+    }
+
+    /// Records a completed symbol's reassembly residency.
+    pub fn record_residency(&mut self, nanos: u64) {
+        self.residency.record(nanos);
+    }
+
+    /// Number of scheduler draws recorded.
+    #[must_use]
+    pub fn choices(&self) -> u64 {
+        self.choices.get()
+    }
+
+    /// How many draws realized exactly `(k, m)`.
+    #[must_use]
+    pub fn km_count(&self, k: usize, m: usize) -> u64 {
+        if k <= self.n && m <= self.n {
+            self.km[k * (self.n + 1) + m].get()
+        } else {
+            0
+        }
+    }
+
+    /// Mean realized threshold — must converge to the configured `κ`.
+    /// Zero before any draw.
+    #[must_use]
+    pub fn empirical_kappa(&self) -> f64 {
+        let n = self.choices.get();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_k.get() as f64 / n as f64
+        }
+    }
+
+    /// Mean realized multiplicity — must converge to the configured `μ`.
+    /// Zero before any draw.
+    #[must_use]
+    pub fn empirical_mu(&self) -> f64 {
+        let n = self.choices.get();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_m.get() as f64 / n as f64
+        }
+    }
+
+    /// Total shares handed to send queues across channels.
+    #[must_use]
+    pub fn shares_sent_total(&self) -> u64 {
+        self.channels.iter().map(|c| c.shares_sent.get()).sum()
+    }
+
+    /// Total shares dropped by full send queues across channels.
+    #[must_use]
+    pub fn shares_dropped_total(&self) -> u64 {
+        self.channels.iter().map(|c| c.shares_dropped.get()).sum()
+    }
+
+    /// Total shares delivered across channels.
+    #[must_use]
+    pub fn shares_received_total(&self) -> u64 {
+        self.channels.iter().map(|c| c.shares_received.get()).sum()
+    }
+
+    /// Serializable snapshot under `remicss.*` names (e.g.
+    /// `remicss.shares_sent.ch0`, `remicss.delay.ch2`). Empty with the
+    /// `telemetry` feature off — the metrics are absent, not zero.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        #[cfg(not(feature = "telemetry"))]
+        {
+            MetricsSnapshot::default()
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            use mcss_obs::{CounterSnapshot, HistogramSnapshot};
+            let mut snap = MetricsSnapshot::default();
+            for (i, ch) in self.channels.iter().enumerate() {
+                for (what, counter) in [
+                    ("shares_sent", &ch.shares_sent),
+                    ("shares_dropped", &ch.shares_dropped),
+                    ("shares_received", &ch.shares_received),
+                ] {
+                    snap.counters.push(CounterSnapshot {
+                        name: format!("remicss.{what}.ch{i}"),
+                        value: counter.get(),
+                    });
+                }
+                if !ch.one_way_delay.is_empty() {
+                    snap.histograms.push(HistogramSnapshot::of(
+                        &format!("remicss.delay.ch{i}"),
+                        &ch.one_way_delay,
+                    ));
+                }
+                if !ch.inter_share_gap.is_empty() {
+                    snap.histograms.push(HistogramSnapshot::of(
+                        &format!("remicss.inter_share_gap.ch{i}"),
+                        &ch.inter_share_gap,
+                    ));
+                }
+            }
+            snap.counters.push(CounterSnapshot {
+                name: "remicss.scheduler.choices".to_string(),
+                value: self.choices.get(),
+            });
+            if !self.residency.is_empty() {
+                snap.histograms.push(HistogramSnapshot::of(
+                    "remicss.reassembly.residency",
+                    &self.residency,
+                ));
+            }
+            snap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_means_over_fixed_draws() {
+        let mut m = SessionMetrics::new(4);
+        m.record_choice(2, 3);
+        m.record_choice(3, 4);
+        // With telemetry off the counters are absent, not zero.
+        let expected_choices = if cfg!(feature = "telemetry") { 2 } else { 0 };
+        assert_eq!(m.choices(), expected_choices);
+        assert_eq!(
+            m.km_count(2, 3),
+            if cfg!(feature = "telemetry") { 1 } else { 0 }
+        );
+        if cfg!(feature = "telemetry") {
+            assert!((m.empirical_kappa() - 2.5).abs() < 1e-12);
+            assert!((m.empirical_mu() - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_channel_counters_are_independent() {
+        let mut m = SessionMetrics::new(3);
+        m.record_send(0);
+        m.record_send(0);
+        m.record_drop(2);
+        m.record_receive(1, 1_000, 250);
+        if cfg!(feature = "telemetry") {
+            assert_eq!(m.channel(0).shares_sent.get(), 2);
+            assert_eq!(m.channel(1).shares_received.get(), 1);
+            assert_eq!(m.channel(2).shares_dropped.get(), 1);
+            assert_eq!(m.shares_sent_total(), 2);
+            assert_eq!(m.shares_received_total(), 1);
+            assert_eq!(m.shares_dropped_total(), 1);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn inter_share_gap_needs_two_deliveries() {
+        let mut m = SessionMetrics::new(1);
+        m.record_receive(0, 1_000, 100);
+        assert!(m.channel(0).inter_share_gap.is_empty());
+        m.record_receive(0, 1_750, 100);
+        assert_eq!(m.channel(0).inter_share_gap.count(), 1);
+        assert_eq!(m.channel(0).inter_share_gap.max(), 750);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn snapshot_names_are_per_channel() {
+        let mut m = SessionMetrics::new(2);
+        m.record_send(1);
+        m.record_receive(1, 5_000, 400);
+        let snap = m.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|c| c.name == "remicss.shares_sent.ch1" && c.value == 1));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "remicss.delay.ch1"));
+        // Channel 0 saw no deliveries: counter present at zero, but no
+        // empty histograms.
+        assert!(!snap.histograms.iter().any(|h| h.name.ends_with("ch0")));
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_snapshot_is_empty() {
+        let mut m = SessionMetrics::new(2);
+        m.record_send(0);
+        m.record_receive(0, 1_000, 100);
+        assert!(m.snapshot().is_empty());
+        assert_eq!(m.shares_sent_total(), 0);
+    }
+}

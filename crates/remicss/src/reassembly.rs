@@ -146,6 +146,8 @@ pub struct ReassemblyTable {
     xs: Vec<u8>,
     /// Expired-id scratch for [`sweep`](ReassemblyTable::sweep).
     expired: Vec<u64>,
+    /// Buffering time of the most recently completed symbol.
+    last_completed_residency: SimTime,
     stats: ReassemblyStats,
 }
 
@@ -169,6 +171,7 @@ impl ReassemblyTable {
             spare_shares: Vec::new(),
             xs: Vec::new(),
             expired: Vec::new(),
+            last_completed_residency: SimTime::ZERO,
             stats: ReassemblyStats::default(),
         }
     }
@@ -217,6 +220,21 @@ impl ReassemblyTable {
     #[must_use]
     pub fn pool_misses(&self) -> u64 {
         self.pool.misses()
+    }
+
+    /// Buffers served from the internal share pool without allocating.
+    #[must_use]
+    pub fn pool_hits(&self) -> u64 {
+        self.pool.hits()
+    }
+
+    /// How long the most recently completed symbol sat in the table
+    /// (first share seen to reconstruction; zero for `k = 1` symbols,
+    /// which never buffer). Read this right after a `Completed` outcome
+    /// to sample reassembly residency without changing the accept API.
+    #[must_use]
+    pub fn last_completed_residency(&self) -> SimTime {
+        self.last_completed_residency
     }
 
     /// Offers a share frame to the table at time `now`, allocating the
@@ -275,6 +293,7 @@ impl ReassemblyTable {
                 out.clear();
                 out.extend_from_slice(payload);
                 self.resolve(seq, now);
+                self.last_completed_residency = SimTime::ZERO;
                 self.stats.completed += 1;
                 return AcceptOutcome::Completed;
             }
@@ -318,6 +337,7 @@ impl ReassemblyTable {
             let p = self.pending.remove(&seq).expect("just seen");
             self.buffered_bytes -= p.bytes;
             self.resolve(seq, now);
+            self.last_completed_residency = now.saturating_sub(p.first_seen);
             self.reconstruct_into(&p, out);
             self.recycle(p);
             self.stats.completed += 1;
@@ -555,6 +575,21 @@ mod tests {
             t.accept(&c[1], SimTime::from_nanos(5)),
             Accept::Completed(_)
         ));
+    }
+
+    #[test]
+    fn residency_tracks_buffering_time() {
+        let mut t = table();
+        let fs = frames(40, 2, 3, b"wait");
+        t.accept(&fs[0], SimTime::from_millis(3));
+        let Accept::Completed(_) = t.accept(&fs[1], SimTime::from_millis(8)) else {
+            panic!("second share completes");
+        };
+        assert_eq!(t.last_completed_residency(), SimTime::from_millis(5));
+        // k = 1 never buffers: residency reads zero.
+        let one = frames(41, 1, 1, b"now");
+        t.accept(&one[0], SimTime::from_millis(20));
+        assert_eq!(t.last_completed_residency(), SimTime::ZERO);
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub enum SessionScheduler {
 
 impl Scheduler for SessionScheduler {
     fn choose_into(&mut self, channels: &ChannelState<'_>, rng: &mut StdRng, choice: &mut Choice) {
+        let _span = mcss_obs::span!("remicss.schedule");
         match self {
             SessionScheduler::Dynamic(s) => s.choose_into(channels, rng, choice),
             SessionScheduler::Static(s) => s.choose_into(channels, rng, choice),

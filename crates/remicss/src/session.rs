@@ -18,9 +18,12 @@ use mcss_netsim::traffic::Pacer;
 use mcss_netsim::{Application, BufferPool, ChannelId, Context, Endpoint, Frame, SimTime};
 use mcss_shamir::{split_into, BatchScratch, Params};
 
+use mcss_obs::MetricsSnapshot;
+
 use crate::adaptive::AdaptiveController;
 use crate::config::{ProtocolConfig, SchedulerKind};
 use crate::cpu::CpuClock;
+use crate::metrics::SessionMetrics;
 use crate::reassembly::{AcceptOutcome, ReassemblyStats, ReassemblyTable};
 use crate::scheduler::{
     ChannelState, Choice, DynamicScheduler, RoundRobinScheduler, Scheduler as _, SessionScheduler,
@@ -165,6 +168,7 @@ pub struct Session {
     wire_errors: u64,
     cpu_a: CpuClock,
     cpu_b: CpuClock,
+    metrics: SessionMetrics,
     adaptive: Option<AdaptiveController>,
     feedback_epoch: u32,
     last_epoch_seen: Option<u32>,
@@ -291,6 +295,7 @@ impl Session {
             wire_errors: 0,
             cpu_a: CpuClock::new(),
             cpu_b: CpuClock::new(),
+            metrics: SessionMetrics::new(n),
             adaptive,
             feedback_epoch: 0,
             last_epoch_seen: None,
@@ -355,6 +360,51 @@ impl Session {
     #[must_use]
     pub fn adaptive(&self) -> Option<&AdaptiveController> {
         self.adaptive.as_ref()
+    }
+
+    /// The session's protocol metrics (per-channel share traffic, delay
+    /// and gap histograms, realized `(k, m)` frequencies).
+    #[must_use]
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// The sender-side frame buffer pool (for hit/miss/grow telemetry).
+    #[must_use]
+    pub fn frame_pool(&self) -> &BufferPool {
+        &self.frames
+    }
+
+    /// Serializable snapshot of the session's metrics plus the buffer
+    /// pool and reassembly counters, under `remicss.*` names. Empty with
+    /// the `telemetry` feature off.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut snap = self.metrics.snapshot();
+        #[cfg(feature = "telemetry")]
+        {
+            let stats = self.table_b.stats();
+            for (name, value) in [
+                ("remicss.pool.hits", self.frames.hits()),
+                ("remicss.pool.misses", self.frames.misses()),
+                ("remicss.pool.grows", self.frames.grows()),
+                ("remicss.reassembly.pool_hits", self.table_b.pool_hits()),
+                ("remicss.reassembly.pool_misses", self.table_b.pool_misses()),
+                ("remicss.symbols.resolved", stats.completed),
+                (
+                    "remicss.symbols.expired",
+                    stats.timeout_evictions + stats.memory_evictions,
+                ),
+            ] {
+                snap.counters.push(mcss_obs::CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                });
+            }
+            snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        }
+        snap
     }
 
     /// Splits and transmits one symbol from `from`. Returns `false` if
@@ -423,11 +473,15 @@ impl Session {
         if from == Endpoint::A {
             self.sum_k += u64::from(choice.k);
             self.sum_m += m as u64;
+            self.metrics.record_choice(choice.k, m);
         }
         for (buf, &channel) in outs.drain(..).zip(&choice.channels) {
             if let Err(frame) = ctx.try_send(channel, from, Frame::from_vec(buf)) {
                 self.send_queue_drops += 1;
+                self.metrics.record_drop(channel);
                 self.frames.put(frame.into_vec());
+            } else {
+                self.metrics.record_send(channel);
             }
         }
         self.tx_bufs = outs;
@@ -463,6 +517,8 @@ impl Session {
         let stamp = share.sent_at_nanos();
         let mut out = mem::take(&mut self.rx_buf);
         if self.table_b.accept_into(share, ctx.now(), &mut out) == AcceptOutcome::Completed {
+            self.metrics
+                .record_residency(self.table_b.last_completed_residency().as_nanos());
             let charged = match self.config.cpu() {
                 Some(cpu) => {
                     let cost = cpu.recv_cost(k, out.len());
@@ -597,7 +653,7 @@ impl Application for Session {
     fn on_deliver(
         &mut self,
         ctx: &mut Context<'_>,
-        _channel: ChannelId,
+        channel: ChannelId,
         to: Endpoint,
         frame: Frame,
     ) {
@@ -606,10 +662,18 @@ impl Application for Session {
         let buf = frame.into_vec();
         match wire::decode_message_ref(&buf) {
             Err(_) => self.wire_errors += 1,
-            Ok(MessageRef::Share(share)) => match to {
-                Endpoint::B => self.on_deliver_at_b(ctx, &share),
-                Endpoint::A => self.on_deliver_at_a(ctx, &share),
-            },
+            Ok(MessageRef::Share(share)) => {
+                let now = ctx.now().as_nanos();
+                self.metrics.record_receive(
+                    channel,
+                    now,
+                    now.saturating_sub(share.sent_at_nanos()),
+                );
+                match to {
+                    Endpoint::B => self.on_deliver_at_b(ctx, &share),
+                    Endpoint::A => self.on_deliver_at_a(ctx, &share),
+                }
+            }
             Ok(MessageRef::Control(control)) => {
                 if to == Endpoint::A {
                     self.on_control_at_a(ctx, control);

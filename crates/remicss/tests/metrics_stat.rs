@@ -1,0 +1,88 @@
+//! Statistical check on [`SessionMetrics`]: the empirical `(κ, μ)`
+//! recovered from the realized `(k, m)` frequency matrix must converge
+//! to the configured protocol parameters — the telemetry layer reports
+//! what the scheduler actually does.
+
+#![cfg(feature = "telemetry")]
+
+use mcss_netsim::SimTime;
+use mcss_remicss::scheduler::{ChannelState, DynamicScheduler, Scheduler as _};
+use mcss_remicss::SessionMetrics;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SYMBOLS: u64 = 100_000;
+
+/// Drives the dynamic scheduler for 100k symbols on all-ready channels
+/// and checks the metrics-side empirical means against the configuration.
+fn check_convergence(kappa: f64, mu: f64, n: usize, seed: u64) {
+    let mut sched = DynamicScheduler::new(kappa, mu, n).expect("valid (kappa, mu)");
+    let mut metrics = SessionMetrics::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let backlogs = vec![SimTime::ZERO; n];
+    let state = ChannelState::new(&backlogs, SimTime::from_millis(1));
+    let mut choice = Default::default();
+    for _ in 0..SYMBOLS {
+        sched.choose_into(&state, &mut rng, &mut choice);
+        metrics.record_choice(choice.k, choice.channels.len());
+    }
+    assert_eq!(metrics.choices(), SYMBOLS);
+    let ek = metrics.empirical_kappa();
+    let em = metrics.empirical_mu();
+    assert!(
+        (ek - kappa).abs() / kappa < 0.01,
+        "empirical kappa {ek} vs configured {kappa} (n={n})"
+    );
+    assert!(
+        (em - mu).abs() / mu < 0.01,
+        "empirical mu {em} vs configured {mu} (n={n})"
+    );
+    // The frequency matrix and the means must agree: the means are
+    // exactly the matrix's marginal expectations.
+    let (mut sum_k, mut sum_m, mut total) = (0u64, 0u64, 0u64);
+    for k in 0..=n {
+        for m in 0..=n {
+            let c = metrics.km_count(k, m);
+            sum_k += c * k as u64;
+            sum_m += c * m as u64;
+            total += c;
+        }
+    }
+    assert_eq!(total, SYMBOLS, "every draw lands in the (k, m) matrix");
+    assert!((sum_k as f64 / total as f64 - ek).abs() < 1e-9);
+    assert!((sum_m as f64 / total as f64 - em).abs() < 1e-9);
+}
+
+#[test]
+fn fractional_parameters_converge_within_one_percent() {
+    // Fractional (κ, μ): every draw rounds up or down, so convergence
+    // genuinely exercises the sampler's randomization.
+    check_convergence(2.4, 3.3, 5, 11);
+}
+
+#[test]
+fn integral_parameters_are_exact() {
+    // Integral (κ, μ) leave the sampler nothing to randomize: the
+    // empirical means are exact, and a single matrix cell holds
+    // every draw.
+    let n = 5;
+    let mut metrics = SessionMetrics::new(n);
+    let mut sched = DynamicScheduler::new(2.0, 3.0, n).expect("valid");
+    let mut rng = StdRng::seed_from_u64(7);
+    let backlogs = vec![SimTime::ZERO; n];
+    let state = ChannelState::new(&backlogs, SimTime::from_millis(1));
+    let mut choice = Default::default();
+    for _ in 0..10_000u64 {
+        sched.choose_into(&state, &mut rng, &mut choice);
+        metrics.record_choice(choice.k, choice.channels.len());
+    }
+    assert_eq!(metrics.empirical_kappa(), 2.0);
+    assert_eq!(metrics.empirical_mu(), 3.0);
+    assert_eq!(metrics.km_count(2, 3), 10_000);
+}
+
+#[test]
+fn near_boundary_parameters_converge() {
+    // μ close to n stresses the "all channels" end of the sampler.
+    check_convergence(1.2, 4.8, 5, 23);
+}

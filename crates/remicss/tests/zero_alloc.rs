@@ -17,6 +17,13 @@
 //! become fully warm after a complete wrap). The queue engine is pinned
 //! bit-identical against the heap separately (see `engine_pin.rs`), so
 //! this measures exactly the protocol data path.
+//!
+//! This test builds with the default `telemetry` feature **on**, so it
+//! also proves the `mcss-obs` overhead contract: span timers, session
+//! counters, and delay/gap/residency histograms all record on the data
+//! path, and none of them allocate in steady state. Telemetry
+//! registration (span-site resolution, histogram bucket storage) happens
+//! at session build and during the warmup window, never after.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;

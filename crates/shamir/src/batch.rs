@@ -85,6 +85,7 @@ pub fn split_batch<R: rand::Rng + ?Sized>(
     scratch: &mut BatchScratch,
 ) -> Result<Vec<Vec<Share>>, ShareError> {
     use rand::RngExt as _;
+    let _span = mcss_obs::span!("shamir.split_batch");
     let k = params.threshold() as usize;
     let m = params.multiplicity() as usize;
 
@@ -181,6 +182,7 @@ pub fn split_into<R: rand::Rng + ?Sized>(
     outs: &mut [Vec<u8>],
 ) -> Result<(), ShareError> {
     use rand::RngExt as _;
+    let _span = mcss_obs::span!("shamir.split_into");
     let k = params.threshold() as usize;
     let m = params.multiplicity() as usize;
     assert_eq!(outs.len(), m, "need one output buffer per share");
@@ -241,6 +243,7 @@ pub fn reconstruct_batch(
     symbols: &[&[Share]],
     scratch: &mut BatchScratch,
 ) -> Result<Vec<Vec<u8>>, ShareError> {
+    let _span = mcss_obs::span!("shamir.reconstruct_batch");
     let Some(first) = symbols.first() else {
         return Ok(Vec::new());
     };

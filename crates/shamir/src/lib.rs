@@ -121,6 +121,7 @@ pub fn split<R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<Share>, ShareError> {
     use rand::RngExt as _;
+    let _span = mcss_obs::span!("shamir.split");
     let k = params.threshold() as usize;
     let m = params.multiplicity() as usize;
     // Coefficient *planes*: plane 0 holds every byte's constant term
@@ -170,6 +171,7 @@ pub fn split<R: rand::Rng + ?Sized>(
 /// # }
 /// ```
 pub fn reconstruct(shares: &[Share]) -> Result<Vec<u8>, ShareError> {
+    let _span = mcss_obs::span!("shamir.reconstruct");
     let k = validate_shares(shares)?;
     let used = &shares[..k];
     // Lagrange weights at zero are shared by every byte position, so
