@@ -1,0 +1,54 @@
+//! The two hosts of a point-to-point multichannel bundle.
+//!
+//! The paper's testbed — and everything modeled on it — is exactly two
+//! hosts joined by `n` dedicated channels. Protocol state machines and
+//! drivers tag every frame and every send with the endpoint it belongs
+//! to; the type lives here so the sans-I/O engine can use it without
+//! pulling in the simulator.
+
+/// One of the two hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The first host (the paper's sender in all experiments).
+    A,
+    /// The second host.
+    B,
+}
+
+impl Endpoint {
+    /// The other endpoint.
+    #[must_use]
+    pub const fn peer(self) -> Endpoint {
+        match self {
+            Endpoint::A => Endpoint::B,
+            Endpoint::B => Endpoint::A,
+        }
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Endpoint::A => write!(f, "A"),
+            Endpoint::B => write!(f, "B"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_is_involutive() {
+        assert_eq!(Endpoint::A.peer(), Endpoint::B);
+        assert_eq!(Endpoint::B.peer(), Endpoint::A);
+        assert_eq!(Endpoint::A.peer().peer(), Endpoint::A);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Endpoint::A.to_string(), "A");
+        assert_eq!(Endpoint::B.to_string(), "B");
+    }
+}

@@ -1,0 +1,34 @@
+//! Runtime primitives shared by every layer of the workspace that is
+//! *not* allowed to depend on the discrete-event simulator: the
+//! sans-I/O protocol engine (`mcss-remicss`'s `engine` module), the
+//! real-socket drivers, and the simulator itself.
+//!
+//! Everything here is pure data and arithmetic — no I/O, no clocks, no
+//! randomness — which is exactly what lets the protocol core run
+//! unchanged under simulated time and under a monotonic wall clock:
+//!
+//! * [`SimTime`] — nanosecond timestamps/durations. Despite the name
+//!   (kept from its simulator origin), nothing about it is
+//!   simulation-specific; drivers map any monotonic nanosecond count
+//!   onto it.
+//! * [`Endpoint`] — which of the two hosts of a point-to-point
+//!   multichannel bundle is acting.
+//! * [`BufferPool`] / [`BufHandle`] — capacity-recycling byte buffers,
+//!   the backbone of the zero-allocation data path.
+//! * [`Pacer`] — drift-free constant-rate tick scheduling.
+//! * [`stats`] — throughput, sequence-loss, and delay meters.
+//!
+//! `mcss-netsim` re-exports all of these under their historical paths
+//! (`mcss_netsim::SimTime`, `mcss_netsim::pool`, …), so simulator-side
+//! code keeps compiling unchanged.
+
+pub mod endpoint;
+mod pace;
+pub mod pool;
+pub mod stats;
+mod time;
+
+pub use endpoint::Endpoint;
+pub use pace::Pacer;
+pub use pool::{BufHandle, BufferPool};
+pub use time::SimTime;

@@ -1,0 +1,86 @@
+//! Drift-free constant-rate scheduling, the sending discipline of
+//! `iperf`'s UDP mode. Pure arithmetic over [`SimTime`]: the pacer
+//! never reads a clock, it only emits the ideal tick times, so it works
+//! identically under simulated and wall-clock drivers.
+
+use crate::time::SimTime;
+
+/// Drift-free constant-rate scheduler: emits tick times separated by a
+/// fixed fractional-nanosecond period.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_base::Pacer;
+///
+/// // 1000-bit frames at 1 Mbit/s: one per millisecond.
+/// let mut p = Pacer::new(1e6, 1000);
+/// assert_eq!(p.next_tick().as_nanos(), 0);
+/// assert_eq!(p.next_tick().as_nanos(), 1_000_000);
+/// assert_eq!(p.next_tick().as_nanos(), 2_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    period_ns: f64,
+    next_ns: f64,
+}
+
+impl Pacer {
+    /// A pacer emitting `frame_bits`-sized frames at `rate_bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive and finite.
+    #[must_use]
+    pub fn new(rate_bps: f64, frame_bits: u64) -> Self {
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "rate must be positive"
+        );
+        assert!(frame_bits > 0, "frame size must be positive");
+        Pacer {
+            period_ns: frame_bits as f64 * 1e9 / rate_bps,
+            next_ns: 0.0,
+        }
+    }
+
+    /// The inter-frame period.
+    #[must_use]
+    pub fn period(&self) -> SimTime {
+        SimTime::from_nanos(self.period_ns.round() as u64)
+    }
+
+    /// The next tick time; each call advances the schedule by one period
+    /// without accumulating rounding drift.
+    pub fn next_tick(&mut self) -> SimTime {
+        let t = SimTime::from_nanos(self.next_ns.round() as u64);
+        self.next_ns += self.period_ns;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacer_has_no_drift() {
+        // Period 333.333… ns; after 3 million ticks we should be at 1 s.
+        let mut p = Pacer::new(3e9, 1000);
+        let mut last = SimTime::ZERO;
+        for _ in 0..3_000_000 {
+            last = p.next_tick();
+        }
+        let expect = SimTime::from_secs_f64(2_999_999.0 / 3_000_000.0);
+        assert!(
+            last.saturating_sub(expect).max(expect.saturating_sub(last)) < SimTime::from_nanos(10),
+            "pacer drifted: {last} vs {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = Pacer::new(0.0, 1000);
+    }
+}

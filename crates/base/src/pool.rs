@@ -1,0 +1,322 @@
+//! Reusable byte-buffer pooling for the zero-allocation data path.
+//!
+//! A steady-state protocol session moves a bounded working set of
+//! buffers: frames in flight, shares pending reassembly, scratch for
+//! split/reconstruct. [`BufferPool`] keeps that working set alive so
+//! the hot loop recycles capacity instead of asking the allocator —
+//! after warmup, `take`/`put` and `acquire`/`release` cycles perform no
+//! heap allocation at all (the counting-allocator test in
+//! `mcss-remicss` pins this).
+//!
+//! Two usage shapes:
+//!
+//! * **Detached** buffers ([`take`](BufferPool::take) /
+//!   [`put`](BufferPool::put)) leave the pool entirely — e.g. a frame
+//!   payload that travels through the simulator by value and is
+//!   returned at the receiver.
+//! * **Checked-out** buffers ([`acquire`](BufferPool::acquire) /
+//!   [`release`](BufferPool::release)) stay inside the pool and are
+//!   addressed through a generation-checked [`BufHandle`] — e.g. share
+//!   data parked in a reassembly table. The generation stamp turns
+//!   use-after-release into a deterministic panic instead of silent
+//!   corruption, which is what makes handle recycling safe to reason
+//!   about.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcss_base::BufferPool;
+//!
+//! let mut pool = BufferPool::new();
+//! let mut buf = pool.take();
+//! buf.extend_from_slice(b"payload");
+//! pool.put(buf);
+//! assert_eq!(pool.take().capacity() >= 7, true); // capacity recycled
+//!
+//! let h = pool.acquire();
+//! pool.get_mut(h).extend_from_slice(b"share");
+//! assert_eq!(pool.get(h), b"share");
+//! pool.release(h);
+//! ```
+
+/// A generation-stamped reference to a buffer checked out of a
+/// [`BufferPool`] slot.
+///
+/// Handles are plain `Copy` data; the pool validates the generation on
+/// every access, so a handle kept past its
+/// [`release`](BufferPool::release) panics instead of aliasing a
+/// recycled buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufHandle {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    generation: u32,
+    live: bool,
+    buf: Vec<u8>,
+}
+
+/// A pool of `Vec<u8>` buffers that retain their capacity across
+/// reuse. See the [module docs](self) for the two usage shapes.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    /// Free detached buffers.
+    free: Vec<Vec<u8>>,
+    /// Slot storage for checked-out buffers.
+    slots: Vec<Slot>,
+    /// Indices of released slots available for re-acquisition.
+    free_slots: Vec<u32>,
+    /// Buffers created fresh because the pool was dry.
+    misses: u64,
+    /// Buffers served from the free lists.
+    hits: u64,
+    /// Times a returned buffer raised the largest capacity seen.
+    grows: u64,
+    /// Largest buffer capacity that has passed through the pool.
+    max_capacity: usize,
+}
+
+impl BufferPool {
+    /// Creates an empty pool; buffers are created on demand and
+    /// retained forever after.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Takes a cleared detached buffer out of the pool (allocating one
+    /// only if the pool is dry).
+    pub fn take(&mut self) -> Vec<u8> {
+        if let Some(buf) = self.free.pop() {
+            self.hits += 1;
+            debug_assert!(buf.is_empty());
+            buf
+        } else {
+            self.misses += 1;
+            Vec::new()
+        }
+    }
+
+    /// Returns a detached buffer to the pool, retaining its capacity.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.note_capacity(buf.capacity());
+        self.free.push(buf);
+    }
+
+    /// Tracks capacity escalation: each time a returned buffer exceeds
+    /// every capacity seen before, the pool's working set grew.
+    fn note_capacity(&mut self, capacity: usize) {
+        if capacity > self.max_capacity {
+            self.max_capacity = capacity;
+            self.grows += 1;
+        }
+    }
+
+    /// Checks out an empty in-pool buffer and returns its handle.
+    pub fn acquire(&mut self) -> BufHandle {
+        if let Some(index) = self.free_slots.pop() {
+            self.hits += 1;
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(!slot.live && slot.buf.is_empty());
+            slot.live = true;
+            BufHandle {
+                index,
+                generation: slot.generation,
+            }
+        } else {
+            self.misses += 1;
+            let index = u32::try_from(self.slots.len()).expect("pool slot count fits u32");
+            self.slots.push(Slot {
+                generation: 0,
+                live: true,
+                buf: Vec::new(),
+            });
+            BufHandle {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    fn slot(&self, handle: BufHandle) -> &Slot {
+        let slot = &self.slots[handle.index as usize];
+        assert!(
+            slot.live && slot.generation == handle.generation,
+            "stale buffer handle: slot {} generation {} vs live generation {}",
+            handle.index,
+            handle.generation,
+            slot.generation,
+        );
+        slot
+    }
+
+    /// The buffer behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was released (stale generation).
+    #[must_use]
+    pub fn get(&self, handle: BufHandle) -> &[u8] {
+        &self.slot(handle).buf
+    }
+
+    /// Mutable access to the buffer behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was released (stale generation).
+    pub fn get_mut(&mut self, handle: BufHandle) -> &mut Vec<u8> {
+        self.slot(handle); // generation check
+        &mut self.slots[handle.index as usize].buf
+    }
+
+    /// Releases a checked-out buffer back to its slot, invalidating
+    /// every copy of `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was already released (stale generation).
+    pub fn release(&mut self, handle: BufHandle) {
+        self.slot(handle); // generation check
+        let slot = &mut self.slots[handle.index as usize];
+        slot.live = false;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.buf.clear();
+        let capacity = slot.buf.capacity();
+        self.note_capacity(capacity);
+        self.free_slots.push(handle.index);
+    }
+
+    /// Buffers created fresh because no pooled buffer was available.
+    /// Flat after warmup ⇔ the data path is allocation-free.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Buffers served from the pool without allocating.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Detached buffers currently parked in the pool.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Times a returned buffer raised the largest capacity the pool had
+    /// seen. Flat after warmup ⇔ the working set stopped growing.
+    #[must_use]
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// The largest buffer capacity that has passed through the pool.
+    #[must_use]
+    pub fn max_capacity(&self) -> usize {
+        self.max_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_round_trip_retains_capacity() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take();
+        assert_eq!(pool.misses(), 1);
+        a.extend_from_slice(&[0u8; 1500]);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.take();
+        assert_eq!(pool.hits(), 1);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn handles_round_trip() {
+        let mut pool = BufferPool::new();
+        let h1 = pool.acquire();
+        let h2 = pool.acquire();
+        assert_ne!(h1, h2);
+        pool.get_mut(h1).push(1);
+        pool.get_mut(h2).push(2);
+        assert_eq!(pool.get(h1), &[1]);
+        assert_eq!(pool.get(h2), &[2]);
+        pool.release(h1);
+        let h3 = pool.acquire(); // recycles h1's slot, new generation
+        assert_eq!(pool.get(h3), &[] as &[u8]);
+        assert_eq!(pool.get(h2), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale buffer handle")]
+    fn stale_handle_read_panics() {
+        let mut pool = BufferPool::new();
+        let h = pool.acquire();
+        pool.release(h);
+        let _ = pool.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale buffer handle")]
+    fn double_release_panics() {
+        let mut pool = BufferPool::new();
+        let h = pool.acquire();
+        pool.release(h);
+        pool.release(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale buffer handle")]
+    fn recycled_slot_rejects_old_handle() {
+        let mut pool = BufferPool::new();
+        let old = pool.acquire();
+        pool.release(old);
+        let _new = pool.acquire(); // same slot, bumped generation
+        let _ = pool.get(old);
+    }
+
+    #[test]
+    fn steady_state_is_miss_free() {
+        let mut pool = BufferPool::new();
+        for _ in 0..4 {
+            let b = pool.take();
+            pool.put(b);
+            let h = pool.acquire();
+            pool.release(h);
+        }
+        assert_eq!(pool.misses(), 2); // one detached, one slot
+        assert_eq!(pool.hits(), 6);
+    }
+
+    #[test]
+    fn grows_flat_once_working_set_stabilizes() {
+        let mut pool = BufferPool::new();
+        // Warmup: capacity climbs to 4096.
+        for size in [64usize, 512, 4096] {
+            let mut b = pool.take();
+            b.resize(size, 0);
+            pool.put(b);
+        }
+        assert_eq!(pool.grows(), 3);
+        assert!(pool.max_capacity() >= 4096);
+        // Steady state at or below the high-water mark: no new grows.
+        for _ in 0..16 {
+            let mut b = pool.take();
+            b.resize(1500, 0);
+            pool.put(b);
+        }
+        assert_eq!(pool.grows(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Measurement helpers: throughput, loss, and delay meters used by the
+//! benchmark harnesses (the simulator-side equivalents of what `iperf`
+//! reports).
+
+use crate::time::SimTime;
+
+/// Measures achieved throughput over a window of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_base::{SimTime, stats::ThroughputMeter};
+///
+/// let mut m = ThroughputMeter::new();
+/// m.record(SimTime::from_millis(1), 1_000_000);
+/// m.record(SimTime::from_millis(2), 1_000_000);
+/// // 2 Mbit over 1 second window.
+/// assert_eq!(m.rate_bps(SimTime::from_secs(1)), 2e6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThroughputMeter {
+    bits: u64,
+    first: Option<SimTime>,
+    last: SimTime,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Records `bits` delivered at time `at`.
+    pub fn record(&mut self, at: SimTime, bits: u64) {
+        self.bits += bits;
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.last = self.last.max(at);
+    }
+
+    /// Total bits recorded.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Time of the first and last recorded delivery.
+    #[must_use]
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        self.first.map(|f| (f, self.last))
+    }
+
+    /// Throughput in bits per second over an externally supplied window
+    /// (e.g. the benchmark duration), which is how `iperf` reports.
+    /// A zero-length window yields 0.0 rather than a NaN/∞ rate.
+    #[must_use]
+    pub fn rate_bps(&self, window: SimTime) -> f64 {
+        if window == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bits as f64 / window.as_secs_f64()
+    }
+
+    /// Throughput in bits per second over the *recorded* span (first to
+    /// last delivery), for callers that did not track the window
+    /// themselves. An empty meter, or one holding a single instant
+    /// (first == last, a degenerate zero-length span), yields 0.0 —
+    /// never NaN or infinity from the 0/0 division.
+    #[must_use]
+    pub fn span_rate_bps(&self) -> f64 {
+        match self.span() {
+            Some((first, last)) if last > first => self.bits as f64 / (last - first).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Loss accounting for sequenced datagram streams, as `iperf` does for
+/// UDP: loss = (highest sequence seen + 1 − received) / (highest + 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequenceLossMeter {
+    received: u64,
+    highest: Option<u64>,
+}
+
+impl SequenceLossMeter {
+    /// An empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        SequenceLossMeter::default()
+    }
+
+    /// Records receipt of sequence number `seq`.
+    pub fn record(&mut self, seq: u64) {
+        self.received += 1;
+        self.highest = Some(self.highest.map_or(seq, |h| h.max(seq)));
+    }
+
+    /// Number of datagrams received.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Datagrams presumed sent: highest sequence seen + 1.
+    #[must_use]
+    pub fn presumed_sent(&self) -> u64 {
+        self.highest.map_or(0, |h| h + 1)
+    }
+
+    /// Estimated loss fraction.
+    #[must_use]
+    pub fn loss_fraction(&self) -> f64 {
+        let sent = self.presumed_sent();
+        if sent == 0 {
+            0.0
+        } else {
+            1.0 - self.received as f64 / sent as f64
+        }
+    }
+}
+
+/// Running summary of a delay (or any duration) sample stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelaySummary {
+    count: u64,
+    total: SimTime,
+    min: Option<SimTime>,
+    max: SimTime,
+}
+
+impl DelaySummary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        DelaySummary::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, sample: SimTime) {
+        self.count += 1;
+        self.total += sample;
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or `None` with no samples.
+    #[must_use]
+    pub fn mean(&self) -> Option<SimTime> {
+        (self.count > 0).then(|| SimTime::from_nanos(self.total.as_nanos() / self.count))
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> Option<SimTime> {
+        self.min
+    }
+
+    /// Largest sample, or `None` with no samples.
+    #[must_use]
+    pub fn max(&self) -> Option<SimTime> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.rate_bps(SimTime::from_secs(1)), 0.0);
+        assert_eq!(m.rate_bps(SimTime::ZERO), 0.0);
+        m.record(SimTime::from_millis(10), 500);
+        m.record(SimTime::from_millis(20), 500);
+        assert_eq!(m.total_bits(), 1000);
+        assert_eq!(
+            m.span(),
+            Some((SimTime::from_millis(10), SimTime::from_millis(20)))
+        );
+        assert_eq!(m.rate_bps(SimTime::from_millis(500)), 2000.0);
+    }
+
+    #[test]
+    fn span_rate_empty_meter_is_zero() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.span_rate_bps(), 0.0);
+    }
+
+    #[test]
+    fn span_rate_single_instant_is_zero_not_nan() {
+        // All deliveries at one instant: the recorded span is zero-length
+        // and the rate must be 0.0, not NaN or infinity.
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(5), 1_000);
+        m.record(SimTime::from_millis(5), 1_000);
+        assert_eq!(
+            m.span(),
+            Some((SimTime::from_millis(5), SimTime::from_millis(5)))
+        );
+        let rate = m.span_rate_bps();
+        assert!(rate.is_finite());
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn span_rate_over_recorded_span() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(0), 500);
+        m.record(SimTime::from_millis(500), 500);
+        // 1000 bits over 0.5 s.
+        assert_eq!(m.span_rate_bps(), 2000.0);
+    }
+
+    #[test]
+    fn sequence_loss_meter() {
+        let mut m = SequenceLossMeter::new();
+        assert_eq!(m.loss_fraction(), 0.0);
+        m.record(0);
+        m.record(1);
+        m.record(3); // 2 missing
+        assert_eq!(m.received(), 3);
+        assert_eq!(m.presumed_sent(), 4);
+        assert!((m.loss_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_loss_out_of_order() {
+        let mut m = SequenceLossMeter::new();
+        m.record(5);
+        m.record(0);
+        assert_eq!(m.presumed_sent(), 6);
+        assert!((m.loss_fraction() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_summary() {
+        let mut s = DelaySummary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        s.record(SimTime::from_millis(2));
+        s.record(SimTime::from_millis(4));
+        s.record(SimTime::from_millis(9));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(SimTime::from_millis(5)));
+        assert_eq!(s.min(), Some(SimTime::from_millis(2)));
+        assert_eq!(s.max(), Some(SimTime::from_millis(9)));
+    }
+}

@@ -10,34 +10,7 @@ use crate::time::SimTime;
 /// Index of a channel within the [`Network`].
 pub type ChannelId = usize;
 
-/// One of the two hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Endpoint {
-    /// The first host (the paper's sender in all experiments).
-    A,
-    /// The second host.
-    B,
-}
-
-impl Endpoint {
-    /// The other endpoint.
-    #[must_use]
-    pub const fn peer(self) -> Endpoint {
-        match self {
-            Endpoint::A => Endpoint::B,
-            Endpoint::B => Endpoint::A,
-        }
-    }
-}
-
-impl core::fmt::Display for Endpoint {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            Endpoint::A => write!(f, "A"),
-            Endpoint::B => write!(f, "B"),
-        }
-    }
-}
+pub use mcss_base::Endpoint;
 
 /// A full-duplex channel: an independent shaped link in each direction.
 #[derive(Debug, Clone)]

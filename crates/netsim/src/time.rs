@@ -1,201 +1,4 @@
-//! Simulated time as integer nanoseconds.
+//! Simulated time, re-exported from [`mcss_base`] where it now lives so
+//! the sans-I/O protocol engine can use it without the simulator.
 
-/// A point in simulated time (also used for durations), in nanoseconds.
-///
-/// Integer time keeps the event heap total-ordered and the simulation
-/// bit-for-bit reproducible; `f64` seconds are converted at the edges.
-///
-/// # Examples
-///
-/// ```
-/// use mcss_netsim::SimTime;
-///
-/// let t = SimTime::from_millis(2) + SimTime::from_micros(500);
-/// assert_eq!(t.as_nanos(), 2_500_000);
-/// assert!((t.as_secs_f64() - 0.0025).abs() < 1e-12);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimTime(u64);
-
-impl SimTime {
-    /// Time zero.
-    pub const ZERO: SimTime = SimTime(0);
-    /// The maximum representable time.
-    pub const MAX: SimTime = SimTime(u64::MAX);
-
-    /// Constructs from nanoseconds.
-    #[must_use]
-    pub const fn from_nanos(ns: u64) -> Self {
-        SimTime(ns)
-    }
-
-    /// Constructs from microseconds.
-    #[must_use]
-    pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
-    }
-
-    /// Constructs from milliseconds.
-    #[must_use]
-    pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
-    }
-
-    /// Constructs from whole seconds.
-    #[must_use]
-    pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
-    }
-
-    /// Constructs from fractional seconds, rounding to the nearest
-    /// nanosecond and saturating at the representable range.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `secs` is negative or NaN.
-    #[must_use]
-    pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0, "simulated time cannot be negative");
-        let ns = (secs * 1e9).round();
-        if ns >= u64::MAX as f64 {
-            SimTime::MAX
-        } else {
-            SimTime(ns as u64)
-        }
-    }
-
-    /// The value in nanoseconds.
-    #[must_use]
-    pub const fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// The value in fractional seconds.
-    #[must_use]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Saturating subtraction.
-    #[must_use]
-    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.saturating_sub(rhs.0))
-    }
-
-    /// Saturating addition.
-    #[must_use]
-    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.saturating_add(rhs.0))
-    }
-}
-
-impl core::ops::Add for SimTime {
-    type Output = SimTime;
-
-    /// # Panics
-    ///
-    /// Panics on overflow in debug builds.
-    fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
-    }
-}
-
-impl core::ops::AddAssign for SimTime {
-    fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
-    }
-}
-
-impl core::ops::Sub for SimTime {
-    type Output = SimTime;
-
-    /// # Panics
-    ///
-    /// Panics on underflow in debug builds.
-    fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 - rhs.0)
-    }
-}
-
-impl core::ops::SubAssign for SimTime {
-    fn sub_assign(&mut self, rhs: SimTime) {
-        self.0 -= rhs.0;
-    }
-}
-
-impl core::ops::Mul<u64> for SimTime {
-    type Output = SimTime;
-
-    fn mul(self, rhs: u64) -> SimTime {
-        SimTime(self.0 * rhs)
-    }
-}
-
-impl core::fmt::Display for SimTime {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        if self.0 >= 1_000_000_000 {
-            write!(f, "{:.6}s", self.as_secs_f64())
-        } else if self.0 >= 1_000_000 {
-            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
-        } else if self.0 >= 1_000 {
-            write!(f, "{:.3}us", self.0 as f64 / 1e3)
-        } else {
-            write!(f, "{}ns", self.0)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn constructors_consistent() {
-        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
-        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
-        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
-    }
-
-    #[test]
-    fn float_round_trip() {
-        let t = SimTime::from_secs_f64(1.2345);
-        assert!((t.as_secs_f64() - 1.2345).abs() < 1e-9);
-        assert_eq!(SimTime::from_secs_f64(0.0), SimTime::ZERO);
-        assert_eq!(SimTime::from_secs_f64(1e30), SimTime::MAX);
-    }
-
-    #[test]
-    #[should_panic(expected = "negative")]
-    fn negative_seconds_panic() {
-        let _ = SimTime::from_secs_f64(-1.0);
-    }
-
-    #[test]
-    fn arithmetic() {
-        let a = SimTime::from_nanos(10);
-        let b = SimTime::from_nanos(4);
-        assert_eq!(a + b, SimTime::from_nanos(14));
-        assert_eq!(a - b, SimTime::from_nanos(6));
-        assert_eq!(b * 3, SimTime::from_nanos(12));
-        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
-        let mut c = a;
-        c += b;
-        c -= b;
-        assert_eq!(c, a);
-    }
-
-    #[test]
-    fn ordering() {
-        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
-        assert!(SimTime::ZERO < SimTime::MAX);
-    }
-
-    #[test]
-    fn display_units() {
-        assert_eq!(SimTime::from_nanos(5).to_string(), "5ns");
-        assert_eq!(SimTime::from_micros(5).to_string(), "5.000us");
-        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
-        assert_eq!(SimTime::from_secs(5).to_string(), "5.000000s");
-    }
-}
+pub use mcss_base::SimTime;

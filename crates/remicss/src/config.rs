@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
+use mcss_base::SimTime;
 use mcss_core::{ModelError, ShareSchedule};
-use mcss_netsim::SimTime;
 
 use crate::cpu::CpuModel;
 
@@ -29,7 +29,7 @@ pub enum SchedulerKind {
 ///
 /// ```
 /// use mcss_remicss::config::ProtocolConfig;
-/// use mcss_netsim::SimTime;
+/// use mcss_base::SimTime;
 ///
 /// let cfg = ProtocolConfig::new(1.5, 3.0)?
 ///     .with_symbol_bytes(512)

@@ -18,7 +18,7 @@
 //! push the horizon past a small buffering window are dropped, exactly
 //! like a socket overrun on a saturated host.
 
-use mcss_netsim::SimTime;
+use mcss_base::SimTime;
 
 /// Cost coefficients for endpoint processing.
 ///

@@ -1,0 +1,893 @@
+//! The sans-I/O ReMICSS protocol core.
+//!
+//! [`Engine`] contains every protocol decision — scheduling, Shamir
+//! splitting, reassembly, adaptive feedback, pacing, metrics — but
+//! performs no I/O, reads no clock, and owns no randomness. A *driver*
+//! (the simulator [`Session`](crate::session::Session) or the real
+//! socket [`UdpDriver`](crate::udp::UdpDriver)) feeds it
+//! [`Event`]s with explicit timestamps and an explicit RNG, then drains
+//! the queued [`Action`]s and performs them against its transport.
+//!
+//! Because the engine is a pure function of `(event stream, RNG seed)`,
+//! the same inputs always yield the same action stream: a recorded
+//! simulator trace replays bit-identically outside the simulator, and
+//! the protocol runs unchanged over real UDP sockets.
+//!
+//! Two source modes cover the drivers' needs:
+//!
+//! * [`SourceMode::Paced`] — the engine generates its own patterned
+//!   symbols from a drift-free [`Pacer`] timer, verifying them at the
+//!   receiver; this is the measurement workload the simulator runs.
+//! * [`SourceMode::External`] — the driver offers real payloads via
+//!   [`Event::SymbolReady`] and receives reconstructions back as
+//!   [`Action::DeliverSymbol`]; this is what a file transfer uses.
+
+use std::collections::VecDeque;
+use std::mem;
+use std::sync::Arc;
+
+use mcss_base::stats::{DelaySummary, ThroughputMeter};
+use mcss_base::{BufferPool, Endpoint, Pacer, SimTime};
+use mcss_shamir::{split_into, BatchScratch, Params};
+use rand::rngs::StdRng;
+
+use mcss_obs::MetricsSnapshot;
+
+use crate::actions::{Action, Event, TIMER_FEEDBACK, TIMER_SOURCE, TIMER_SWEEP};
+use crate::adaptive::AdaptiveController;
+use crate::config::{ProtocolConfig, SchedulerKind};
+use crate::cpu::CpuClock;
+use crate::metrics::SessionMetrics;
+use crate::reassembly::{AcceptOutcome, ReassemblyStats, ReassemblyTable};
+use crate::scheduler::{
+    ChannelState, Choice, DynamicScheduler, RoundRobinScheduler, Scheduler as _, SessionScheduler,
+    StaticScheduler,
+};
+use crate::wire::{self, ControlFrame, MessageRef, ShareRef, WireError};
+
+/// How often the receiver reports its delivery count back to the sender
+/// when adaptation is enabled.
+pub(crate) const FEEDBACK_PERIOD: SimTime = SimTime::from_millis(50);
+
+/// The traffic pattern a session runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Constant symbol rate from A to B for `duration`.
+    Cbr {
+        /// Offered source symbols per second.
+        symbol_rate: f64,
+        /// Sending window.
+        duration: SimTime,
+    },
+    /// Constant symbol rate from A, echoed back by B through the
+    /// protocol; A records round-trip times.
+    Echo {
+        /// Offered source symbols per second.
+        symbol_rate: f64,
+        /// Sending window.
+        duration: SimTime,
+    },
+}
+
+impl Workload {
+    /// A CBR workload.
+    #[must_use]
+    pub fn cbr(symbol_rate: f64, duration: SimTime) -> Self {
+        Workload::Cbr {
+            symbol_rate,
+            duration,
+        }
+    }
+
+    /// An echo workload.
+    #[must_use]
+    pub fn echo(symbol_rate: f64, duration: SimTime) -> Self {
+        Workload::Echo {
+            symbol_rate,
+            duration,
+        }
+    }
+
+    /// The offered source symbol rate.
+    #[must_use]
+    pub fn symbol_rate(&self) -> f64 {
+        match *self {
+            Workload::Cbr { symbol_rate, .. } | Workload::Echo { symbol_rate, .. } => symbol_rate,
+        }
+    }
+
+    /// The sending window.
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
+        match *self {
+            Workload::Cbr { duration, .. } | Workload::Echo { duration, .. } => duration,
+        }
+    }
+}
+
+/// Where the engine's symbols come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceMode {
+    /// The engine paces its own patterned symbols (simulator
+    /// measurement workloads); reconstructions are verified internally
+    /// and never surfaced as actions.
+    Paced(Workload),
+    /// The driver offers payloads with [`Event::SymbolReady`] and takes
+    /// reconstructions back via [`Action::DeliverSymbol`]. The sending
+    /// window never closes.
+    External,
+}
+
+/// Everything a finished session reports — the numbers the paper's
+/// figures are made of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionReport {
+    /// Symbols the source offered.
+    pub offered_symbols: u64,
+    /// Symbols actually split and transmitted.
+    pub sent_symbols: u64,
+    /// Symbols reconstructed at the receiver within the window.
+    pub delivered_symbols: u64,
+    /// Reconstructed symbols whose payload failed verification
+    /// (must be zero: Shamir reconstruction is exact).
+    pub corrupted_symbols: u64,
+    /// Achieved payload throughput, bits per second over the window.
+    pub achieved_payload_bps: f64,
+    /// Achieved symbol rate over the window.
+    pub achieved_symbol_rate: f64,
+    /// Symbol loss fraction: `1 − (eventually delivered) / sent`.
+    /// Counted against *all* deliveries (even after the measurement
+    /// window) so that in-flight symbols at window end do not read as
+    /// lost; run the simulation past the window before reporting.
+    pub loss_fraction: f64,
+    /// Mean one-way symbol latency (send to reconstruction).
+    pub mean_one_way_delay: Option<SimTime>,
+    /// Mean protocol round-trip time (echo workload only).
+    pub mean_rtt: Option<SimTime>,
+    /// Mean threshold over sent symbols (should approach κ).
+    pub mean_k: f64,
+    /// Mean multiplicity over sent symbols (should approach μ).
+    pub mean_m: f64,
+    /// Share frames rejected by local channel queues.
+    pub send_queue_drops: u64,
+    /// Symbols shed by the sender CPU model.
+    pub sender_cpu_shed: u64,
+    /// Symbols shed by the receiver CPU model.
+    pub receiver_cpu_shed: u64,
+    /// Undecodable frames received (must be zero in the simulator).
+    pub wire_errors: u64,
+    /// Receiver reassembly-table counters.
+    pub reassembly: ReassemblyStats,
+    /// Final operating `μ` of the adaptive controller, if enabled.
+    pub adaptive_final_mu: Option<f64>,
+    /// Number of `μ` adjustments the adaptive controller made.
+    pub adaptive_adjustments: u64,
+}
+
+fn build_scheduler(
+    kind: &SchedulerKind,
+    kappa: f64,
+    mu: f64,
+    n: usize,
+) -> Result<SessionScheduler, mcss_core::ModelError> {
+    Ok(match kind {
+        SchedulerKind::Dynamic => SessionScheduler::Dynamic(DynamicScheduler::new(kappa, mu, n)?),
+        SchedulerKind::Static(schedule) => {
+            // Shares the schedule; the deep copy lives only in the config.
+            SessionScheduler::Static(StaticScheduler::new(Arc::clone(schedule)))
+        }
+        SchedulerKind::RoundRobin => {
+            SessionScheduler::RoundRobin(RoundRobinScheduler::new(kappa, mu, n)?)
+        }
+    })
+}
+
+/// Deterministic payload pattern, verified at the receiver.
+#[inline]
+fn pattern_byte(seq: u64, i: usize) -> u8 {
+    (seq.wrapping_mul(31).wrapping_add(i as u64) & 0xff) as u8
+}
+
+fn pattern_into(seq: u64, len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend((0..len).map(|i| pattern_byte(seq, i)));
+}
+
+fn pattern_matches(seq: u64, payload: &[u8]) -> bool {
+    payload
+        .iter()
+        .enumerate()
+        .all(|(i, &b)| b == pattern_byte(seq, i))
+}
+
+/// The sans-I/O protocol state machine for one A↔B session over `n`
+/// channels.
+///
+/// Drive it with [`handle`](Engine::handle) (or
+/// [`handle_frame`](Engine::handle_frame) for raw wire bytes), drain
+/// [`poll_action`](Engine::poll_action), and report each
+/// [`Action::SendShare`] outcome via
+/// [`share_send_ok`](Engine::share_send_ok) /
+/// [`share_send_rejected`](Engine::share_send_rejected) so queue-drop
+/// accounting and buffer recycling stay exact.
+pub struct Engine {
+    config: Arc<ProtocolConfig>,
+    n: usize,
+    source: SourceMode,
+    scheduler_a: SessionScheduler,
+    scheduler_b: SessionScheduler,
+    table_a: ReassemblyTable,
+    table_b: ReassemblyTable,
+    pacer: Option<Pacer>,
+    next_seq: u64,
+    offered: u64,
+    sent: u64,
+    sum_k: u64,
+    sum_m: u64,
+    meter: ThroughputMeter,
+    delivered_window: u64,
+    delivered_total: u64,
+    delay: DelaySummary,
+    rtt: DelaySummary,
+    corrupted: u64,
+    send_queue_drops: u64,
+    wire_errors: u64,
+    cpu_a: CpuClock,
+    cpu_b: CpuClock,
+    metrics: SessionMetrics,
+    adaptive: Option<AdaptiveController>,
+    feedback_epoch: u32,
+    last_epoch_seen: Option<u32>,
+    last_feedback_delivered: u64,
+    last_feedback_sent: u64,
+    // Channel readiness as last reported by the driver via
+    // `Event::ChannelWritable`.
+    backlogs_a: Vec<SimTime>,
+    backlogs_b: Vec<SimTime>,
+    // Steady-state scratch: these persistent buffers make the per-symbol
+    // data path allocation-free once warm (see `transmit`).
+    choice: Choice,
+    split_scratch: BatchScratch,
+    tx_bufs: Vec<Vec<u8>>,
+    frames: BufferPool,
+    payload_buf: Vec<u8>,
+    rx_buf: Vec<u8>,
+    actions: VecDeque<Action>,
+}
+
+impl core::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("n", &self.n)
+            .field("source", &self.source)
+            .field("sent", &self.sent)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine for `n` channels.
+    ///
+    /// # Errors
+    ///
+    /// [`mcss_core::ModelError::InvalidParameters`] if the config's
+    /// `(κ, μ)` are invalid for `n` channels.
+    pub fn new(
+        config: impl Into<Arc<ProtocolConfig>>,
+        n: usize,
+        source: SourceMode,
+    ) -> Result<Self, mcss_core::ModelError> {
+        let config: Arc<ProtocolConfig> = config.into();
+        let scheduler_a = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
+        let scheduler_b = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
+        let adaptive = match config.adaptive_target() {
+            None => None,
+            Some(target) => {
+                if !matches!(config.scheduler(), SchedulerKind::Dynamic) {
+                    // Adaptation rewrites the dynamic sampler's mu; it is
+                    // meaningless for externally fixed schedules.
+                    return Err(mcss_core::ModelError::InvalidParameters {
+                        kappa: config.kappa(),
+                        mu: config.mu(),
+                        n,
+                    });
+                }
+                Some(AdaptiveController::new(
+                    config.kappa(),
+                    config.mu(),
+                    n,
+                    target,
+                )?)
+            }
+        };
+        let table = || {
+            ReassemblyTable::new(
+                config.reassembly_timeout(),
+                config.reassembly_capacity_bytes(),
+            )
+            .with_resolved_cap(config.reassembly_resolved_cap())
+        };
+        let pacer = match source {
+            SourceMode::Paced(workload) => Some(Pacer::new(workload.symbol_rate(), 1)),
+            SourceMode::External => None,
+        };
+        Ok(Engine {
+            scheduler_a,
+            scheduler_b,
+            table_a: table(),
+            table_b: table(),
+            pacer,
+            next_seq: 0,
+            offered: 0,
+            sent: 0,
+            sum_k: 0,
+            sum_m: 0,
+            meter: ThroughputMeter::new(),
+            delivered_window: 0,
+            delivered_total: 0,
+            delay: DelaySummary::new(),
+            rtt: DelaySummary::new(),
+            corrupted: 0,
+            send_queue_drops: 0,
+            wire_errors: 0,
+            cpu_a: CpuClock::new(),
+            cpu_b: CpuClock::new(),
+            metrics: SessionMetrics::new(n),
+            adaptive,
+            feedback_epoch: 0,
+            last_epoch_seen: None,
+            last_feedback_delivered: 0,
+            last_feedback_sent: 0,
+            backlogs_a: vec![SimTime::ZERO; n],
+            backlogs_b: vec![SimTime::ZERO; n],
+            choice: Choice::default(),
+            split_scratch: BatchScratch::new(),
+            tx_bufs: Vec::with_capacity(n),
+            frames: BufferPool::new(),
+            payload_buf: Vec::new(),
+            rx_buf: Vec::new(),
+            actions: VecDeque::new(),
+            config,
+            n,
+            source,
+        })
+    }
+
+    /// The number of channels the engine schedules over.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.n
+    }
+
+    /// The protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> &Arc<ProtocolConfig> {
+        &self.config
+    }
+
+    /// The engine's source mode.
+    #[must_use]
+    pub fn source(&self) -> SourceMode {
+        self.source
+    }
+
+    /// End of the sending window ([`SimTime::MAX`] for
+    /// [`SourceMode::External`]).
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
+        match self.source {
+            SourceMode::Paced(workload) => workload.duration(),
+            SourceMode::External => SimTime::MAX,
+        }
+    }
+
+    /// The engine's report over a measurement `window` (typically the
+    /// workload duration).
+    #[must_use]
+    pub fn report(&self, window: SimTime) -> SessionReport {
+        let delivered = self.delivered_window;
+        SessionReport {
+            offered_symbols: self.offered,
+            sent_symbols: self.sent,
+            delivered_symbols: delivered,
+            corrupted_symbols: self.corrupted,
+            achieved_payload_bps: self.meter.rate_bps(window),
+            achieved_symbol_rate: delivered as f64 / window.as_secs_f64(),
+            loss_fraction: if self.sent == 0 {
+                0.0
+            } else {
+                1.0 - self.delivered_total as f64 / self.sent as f64
+            },
+            mean_one_way_delay: self.delay.mean(),
+            mean_rtt: self.rtt.mean(),
+            mean_k: if self.sent == 0 {
+                0.0
+            } else {
+                self.sum_k as f64 / self.sent as f64
+            },
+            mean_m: if self.sent == 0 {
+                0.0
+            } else {
+                self.sum_m as f64 / self.sent as f64
+            },
+            send_queue_drops: self.send_queue_drops,
+            sender_cpu_shed: self.cpu_a.shed(),
+            receiver_cpu_shed: self.cpu_b.shed(),
+            wire_errors: self.wire_errors,
+            reassembly: self.table_b.stats(),
+            adaptive_final_mu: self.adaptive.as_ref().map(AdaptiveController::mu),
+            adaptive_adjustments: self
+                .adaptive
+                .as_ref()
+                .map_or(0, AdaptiveController::adjustments),
+        }
+    }
+
+    /// The adaptive controller's state, if adaptation is enabled.
+    #[must_use]
+    pub fn adaptive(&self) -> Option<&AdaptiveController> {
+        self.adaptive.as_ref()
+    }
+
+    /// The engine's protocol metrics (per-channel share traffic, delay
+    /// and gap histograms, realized `(k, m)` frequencies).
+    #[must_use]
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// The frame buffer pool (for hit/miss/grow telemetry).
+    #[must_use]
+    pub fn frame_pool(&self) -> &BufferPool {
+        &self.frames
+    }
+
+    /// Serializable snapshot of the engine's metrics plus the buffer
+    /// pool and reassembly counters, under `remicss.*` names. Empty with
+    /// the `telemetry` feature off.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut snap = self.metrics.snapshot();
+        #[cfg(feature = "telemetry")]
+        {
+            let stats = self.table_b.stats();
+            for (name, value) in [
+                ("remicss.pool.hits", self.frames.hits()),
+                ("remicss.pool.misses", self.frames.misses()),
+                ("remicss.pool.grows", self.frames.grows()),
+                ("remicss.reassembly.pool_hits", self.table_b.pool_hits()),
+                ("remicss.reassembly.pool_misses", self.table_b.pool_misses()),
+                ("remicss.symbols.resolved", stats.completed),
+                (
+                    "remicss.symbols.expired",
+                    stats.timeout_evictions + stats.memory_evictions,
+                ),
+            ] {
+                snap.counters.push(mcss_obs::CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                });
+            }
+            snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        }
+        snap
+    }
+
+    /// Takes the next queued [`Action`], if any. Drain after every
+    /// [`handle`](Engine::handle) / [`handle_frame`](Engine::handle_frame)
+    /// call and perform the actions in order — the order reproduces the
+    /// reference simulator's transmit/timer interleaving exactly.
+    pub fn poll_action(&mut self) -> Option<Action> {
+        self.actions.pop_front()
+    }
+
+    /// The driver transmitted an [`Action::SendShare`] frame (it is now
+    /// in flight or queued on the channel).
+    pub fn share_send_ok(&mut self, channel: usize) {
+        self.metrics.record_send(channel);
+    }
+
+    /// The driver's local queue rejected an [`Action::SendShare`] frame;
+    /// `frame` returns to the pool and the drop is counted.
+    pub fn share_send_rejected(&mut self, channel: usize, frame: Vec<u8>) {
+        self.send_queue_drops += 1;
+        self.metrics.record_drop(channel);
+        self.frames.put(frame);
+    }
+
+    /// The driver's local queue rejected an [`Action::SendControl`]
+    /// frame. Control drops are deliberate (loss-resilient duplicates,
+    /// not counted), but the buffer still comes back to the pool.
+    pub fn control_send_rejected(&mut self, frame: Vec<u8>) {
+        self.frames.put(frame);
+    }
+
+    /// Returns a buffer to the engine's pool: received wire frames after
+    /// [`handle_frame`](Engine::handle_frame), and
+    /// [`Action::DeliverSymbol`] payloads after the application consumed
+    /// them. Keeps the steady state allocation-free.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.frames.put(buf);
+    }
+
+    /// Feeds one event into the state machine, then queues the resulting
+    /// actions for [`poll_action`](Engine::poll_action).
+    ///
+    /// `now` must be monotonically non-decreasing across calls; `rng` is
+    /// the session's only randomness source (scheduler draws and Shamir
+    /// coefficients), so seeding it identically replays identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Event::Started`] if the config's `μ` exceeds the
+    /// channel count, and on a [`Event::TimerFired`] token the engine
+    /// never set.
+    pub fn handle(&mut self, now: SimTime, event: Event<'_>, rng: &mut StdRng) {
+        match event {
+            Event::Started => self.on_start(),
+            Event::TimerFired { token } => self.on_timer(now, token, rng),
+            Event::SymbolReady { payload } => {
+                self.offer_symbol(now, payload, rng);
+            }
+            Event::ShareReceived { channel, to, share } => {
+                let now_ns = now.as_nanos();
+                self.metrics.record_receive(
+                    channel,
+                    now_ns,
+                    now_ns.saturating_sub(share.sent_at_nanos()),
+                );
+                match to {
+                    Endpoint::B => self.on_share_at_b(now, &share, rng),
+                    Endpoint::A => self.on_share_at_a(now, &share),
+                }
+            }
+            Event::ControlReceived { to, control, .. } => {
+                if to == Endpoint::A {
+                    self.on_control_at_a(control);
+                }
+                // Control frames arriving at B (echo of our own order)
+                // cannot occur: B only ever sends them.
+            }
+            Event::ChannelWritable {
+                channel,
+                from,
+                backlog,
+            } => {
+                let backlogs = match from {
+                    Endpoint::A => &mut self.backlogs_a,
+                    Endpoint::B => &mut self.backlogs_b,
+                };
+                backlogs[channel] = backlog;
+            }
+        }
+    }
+
+    /// Decodes one received wire frame and feeds it to
+    /// [`handle`](Engine::handle) as the matching
+    /// [`Event::ShareReceived`] / [`Event::ControlReceived`].
+    ///
+    /// The caller keeps ownership of `bytes` (the engine copies what it
+    /// retains); hand the buffer back with [`recycle`](Engine::recycle)
+    /// once the queued actions are applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error for an undecodable frame; the engine
+    /// counts it in `wire_errors` and changes no other state.
+    pub fn handle_frame(
+        &mut self,
+        now: SimTime,
+        channel: usize,
+        to: Endpoint,
+        bytes: &[u8],
+        rng: &mut StdRng,
+    ) -> Result<(), WireError> {
+        match wire::decode_message_ref(bytes) {
+            Err(err) => {
+                self.wire_errors += 1;
+                Err(err)
+            }
+            Ok(MessageRef::Share(share)) => {
+                self.handle(now, Event::ShareReceived { channel, to, share }, rng);
+                Ok(())
+            }
+            Ok(MessageRef::Control(control)) => {
+                self.handle(
+                    now,
+                    Event::ControlReceived {
+                        channel,
+                        to,
+                        control,
+                    },
+                    rng,
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn on_start(&mut self) {
+        assert!(
+            self.config.mu() <= self.n as f64,
+            "config mu exceeds channel count"
+        );
+        if let Some(pacer) = self.pacer.as_mut() {
+            let first = pacer.next_tick();
+            self.actions.push_back(Action::SetTimer {
+                token: TIMER_SOURCE,
+                at: first,
+            });
+        }
+        let sweep = self.sweep_period();
+        self.actions.push_back(Action::SetTimer {
+            token: TIMER_SWEEP,
+            at: sweep,
+        });
+        if self.adaptive.is_some() {
+            self.actions.push_back(Action::SetTimer {
+                token: TIMER_FEEDBACK,
+                at: FEEDBACK_PERIOD,
+            });
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, rng: &mut StdRng) {
+        match token {
+            TIMER_SOURCE => self.on_source_tick(now, rng),
+            TIMER_FEEDBACK => {
+                self.send_feedback();
+                if now < self.duration() {
+                    self.actions.push_back(Action::SetTimer {
+                        token: TIMER_FEEDBACK,
+                        at: now + FEEDBACK_PERIOD,
+                    });
+                }
+            }
+            TIMER_SWEEP => {
+                self.table_a.sweep(now);
+                self.table_b.sweep(now);
+                // Keep sweeping a while after sending stops so stragglers
+                // are evicted, then let the driver drain. (Saturating: the
+                // external-source window never closes.)
+                let horizon = self
+                    .duration()
+                    .saturating_add(self.config.reassembly_timeout() * 4);
+                if now < horizon {
+                    self.actions.push_back(Action::SetTimer {
+                        token: TIMER_SWEEP,
+                        at: now + self.sweep_period(),
+                    });
+                }
+            }
+            other => panic!("unknown timer token {other}"),
+        }
+    }
+
+    fn sweep_period(&self) -> SimTime {
+        SimTime::from_nanos((self.config.reassembly_timeout().as_nanos() / 4).max(1_000_000))
+    }
+
+    /// Offers one symbol payload from host A: counts it, splits it, and
+    /// queues the share transmissions. Returns `false` if the CPU model
+    /// shed it.
+    fn offer_symbol(&mut self, now: SimTime, payload: &[u8], rng: &mut StdRng) -> bool {
+        self.offered += 1;
+        let seq = self.next_seq;
+        let stamp = now.as_nanos();
+        if self.transmit(now, Endpoint::A, seq, stamp, payload, rng) {
+            self.next_seq += 1;
+            self.sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_source_tick(&mut self, now: SimTime, rng: &mut StdRng) {
+        if now >= self.duration() {
+            return;
+        }
+        let mut payload = mem::take(&mut self.payload_buf);
+        pattern_into(self.next_seq, self.config.symbol_bytes(), &mut payload);
+        self.offer_symbol(now, &payload, rng);
+        self.payload_buf = payload;
+        let pacer = self.pacer.as_mut().expect("paced source has a pacer");
+        let next = pacer.next_tick();
+        self.actions.push_back(Action::SetTimer {
+            token: TIMER_SOURCE,
+            at: next,
+        });
+    }
+
+    /// Splits and queues one symbol's shares from `from`. Returns `false`
+    /// if the symbol was shed by the CPU model before transmission.
+    ///
+    /// Steady-state allocation-free: the scheduler writes into a reused
+    /// [`Choice`], shares are Horner-evaluated by [`split_into`] directly
+    /// into pooled wire buffers (header already written), and buffers
+    /// come back to the pool from the driver's send-outcome and recycle
+    /// calls.
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        seq: u64,
+        stamp: u64,
+        payload: &[u8],
+        rng: &mut StdRng,
+    ) -> bool {
+        let mut choice = mem::take(&mut self.choice);
+        {
+            let backlogs = match from {
+                Endpoint::A => &self.backlogs_a,
+                Endpoint::B => &self.backlogs_b,
+            };
+            let state = ChannelState::new(backlogs, self.config.readiness_threshold());
+            let scheduler = match from {
+                Endpoint::A => &mut self.scheduler_a,
+                Endpoint::B => &mut self.scheduler_b,
+            };
+            scheduler.choose_into(&state, rng, &mut choice);
+        }
+        let m = choice.channels.len();
+        if let Some(cpu) = self.config.cpu() {
+            let cost = cpu.send_cost(m, payload.len());
+            let clock = match from {
+                Endpoint::A => &mut self.cpu_a,
+                Endpoint::B => &mut self.cpu_b,
+            };
+            if !clock.try_charge(now, cost, cpu) {
+                self.choice = choice;
+                return false;
+            }
+        }
+        let params = Params::new(choice.k, m as u8).expect("scheduler guarantees k <= m");
+        let mut outs = mem::take(&mut self.tx_bufs);
+        for j in 0..m {
+            // Share j of a split carries abscissa j + 1.
+            let mut buf = self.frames.take();
+            wire::put_share_header(
+                &mut buf,
+                seq,
+                choice.k,
+                m as u8,
+                j as u8 + 1,
+                stamp,
+                payload.len(),
+            )
+            .expect("share parameters validated");
+            outs.push(buf);
+        }
+        split_into(payload, params, rng, &mut self.split_scratch, &mut outs)
+            .expect("split cannot fail");
+        if from == Endpoint::A {
+            self.sum_k += u64::from(choice.k);
+            self.sum_m += m as u64;
+            self.metrics.record_choice(choice.k, m);
+        }
+        for (buf, &channel) in outs.drain(..).zip(&choice.channels) {
+            self.actions.push_back(Action::SendShare {
+                channel,
+                from,
+                frame: buf,
+            });
+        }
+        self.tx_bufs = outs;
+        self.choice = choice;
+        true
+    }
+
+    fn on_share_at_b(&mut self, now: SimTime, share: &ShareRef<'_>, rng: &mut StdRng) {
+        let seq = share.seq();
+        let k = share.k() as usize;
+        let stamp = share.sent_at_nanos();
+        let mut out = mem::take(&mut self.rx_buf);
+        if self.table_b.accept_into(share, now, &mut out) == AcceptOutcome::Completed {
+            self.metrics
+                .record_residency(self.table_b.last_completed_residency().as_nanos());
+            let charged = match self.config.cpu() {
+                Some(cpu) => {
+                    let cost = cpu.recv_cost(k, out.len());
+                    // On failure the receiver is saturated: symbol dropped.
+                    self.cpu_b.try_charge(now, cost, cpu)
+                }
+                None => true,
+            };
+            if charged {
+                match self.source {
+                    SourceMode::Paced(workload) => {
+                        if pattern_matches(seq, &out) {
+                            self.delivered_total += 1;
+                            let window = workload.duration();
+                            if now <= window {
+                                self.delivered_window += 1;
+                                self.meter.record(now, (out.len() * 8) as u64);
+                                self.delay.record(now - SimTime::from_nanos(stamp));
+                            }
+                            if matches!(workload, Workload::Echo { .. }) {
+                                // Bounce the symbol back through the protocol,
+                                // keeping the original timestamp so A measures
+                                // full protocol RTT.
+                                self.transmit(now, Endpoint::B, seq, stamp, &out, rng);
+                            }
+                        } else {
+                            self.corrupted += 1;
+                        }
+                    }
+                    SourceMode::External => {
+                        self.delivered_total += 1;
+                        self.delivered_window += 1;
+                        self.meter.record(now, (out.len() * 8) as u64);
+                        self.delay.record(now - SimTime::from_nanos(stamp));
+                        // Surface the reconstruction; swap a pooled buffer
+                        // into the scratch slot so the path stays warm.
+                        let payload = mem::replace(&mut out, self.frames.take());
+                        self.actions
+                            .push_back(Action::DeliverSymbol { seq, payload });
+                    }
+                }
+            }
+        }
+        self.rx_buf = out;
+    }
+
+    fn on_share_at_a(&mut self, now: SimTime, share: &ShareRef<'_>) {
+        let k = share.k() as usize;
+        let stamp = share.sent_at_nanos();
+        let mut out = mem::take(&mut self.rx_buf);
+        if self.table_a.accept_into(share, now, &mut out) == AcceptOutcome::Completed {
+            let charged = match self.config.cpu() {
+                Some(cpu) => {
+                    let cost = cpu.recv_cost(k, out.len());
+                    self.cpu_a.try_charge(now, cost, cpu)
+                }
+                None => true,
+            };
+            if charged {
+                self.rtt.record(now - SimTime::from_nanos(stamp));
+            }
+        }
+        self.rx_buf = out;
+    }
+
+    fn send_feedback(&mut self) {
+        self.feedback_epoch += 1;
+        let frame = ControlFrame::new(self.feedback_epoch, self.delivered_total);
+        // Tiny frame, sent on every channel for loss resilience.
+        for ch in 0..self.n {
+            let mut buf = self.frames.take();
+            frame.encode_into(&mut buf);
+            self.actions.push_back(Action::SendControl {
+                channel: ch,
+                from: Endpoint::B,
+                frame: buf,
+            });
+        }
+    }
+
+    fn on_control_at_a(&mut self, frame: ControlFrame) {
+        if self.last_epoch_seen.is_some_and(|e| frame.epoch() <= e) {
+            return; // duplicate copy from another channel
+        }
+        self.last_epoch_seen = Some(frame.epoch());
+        let delivered = frame
+            .delivered()
+            .saturating_sub(self.last_feedback_delivered);
+        let sent = self.sent.saturating_sub(self.last_feedback_sent);
+        self.last_feedback_delivered = frame.delivered();
+        self.last_feedback_sent = self.sent;
+        let Some(ctl) = self.adaptive.as_mut() else {
+            return;
+        };
+        let old_mu = ctl.mu();
+        let new_mu = ctl.observe(delivered, sent);
+        if (new_mu - old_mu).abs() > 1e-12 {
+            self.scheduler_a = SessionScheduler::Dynamic(
+                DynamicScheduler::new(self.config.kappa(), new_mu, self.n)
+                    .expect("controller keeps mu within [kappa, n]"),
+            );
+        }
+    }
+}

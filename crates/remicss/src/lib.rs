@@ -1,5 +1,5 @@
 //! ReMICSS: the reference multichannel secret sharing protocol of §V,
-//! runnable over the [`mcss_netsim`] simulator.
+//! built as a sans-I/O core with pluggable drivers.
 //!
 //! ReMICSS is a **best-effort** protocol: each source symbol is split
 //! into `m` Shamir shares with threshold `k`, one share is transmitted
@@ -7,7 +7,7 @@
 //! as any `k` shares arrive. Lost shares are never retransmitted — up to
 //! `m − k` losses per symbol are absorbed by the threshold scheme itself.
 //!
-//! The crate provides the protocol pieces and an end-to-end driver:
+//! The crate provides the protocol pieces, a pure engine, and drivers:
 //!
 //! * [`wire`] — the share frame codec (what travels on each channel);
 //! * [`scheduler`] — per-symbol `(k, M)` selection: the paper's *dynamic
@@ -16,9 +16,15 @@
 //!   and a round-robin baseline;
 //! * [`reassembly`] — the receiver's share table with timeout eviction
 //!   and a memory cap, borrowed from IP fragment reassembly;
-//! * [`session`] — a [`mcss_netsim::Application`] wiring a paced symbol
-//!   source, the sender, and the receiver together, reporting achieved
-//!   rate, loss, and delay;
+//! * [`engine`] — the sans-I/O protocol core: typed [`actions::Event`]s
+//!   in (explicit timestamps, explicit RNG), [`actions::Action`]s out,
+//!   no clock, no sockets, no allocation in steady state;
+//! * [`session`] *(feature `sim`, default)* — the discrete-event
+//!   simulator driver: a thin [`mcss_netsim::Application`] adapter over
+//!   the engine, reporting achieved rate, loss, and delay;
+//! * [`udp`] *(feature `udp`)* — the real-socket driver: one
+//!   non-blocking UDP socket pair per channel on loopback, a
+//!   monotonic-clock timer queue, and the same engine unchanged;
 //! * [`cpu`] — an optional endpoint processing-cost model used to
 //!   reproduce the paper's high-bandwidth saturation experiments
 //!   (Figures 6 and 7);
@@ -58,17 +64,28 @@
 //! # }
 //! ```
 
+pub mod actions;
 pub mod adaptive;
 pub mod config;
 pub mod cpu;
+pub mod engine;
 pub mod metrics;
 pub mod reassembly;
 pub mod scheduler;
+#[cfg(feature = "sim")]
 pub mod session;
+#[cfg(feature = "sim")]
 pub mod testbed;
+#[cfg(feature = "udp")]
+pub mod udp;
 pub mod wire;
 
+pub use actions::{Action, Event};
 pub use config::{ProtocolConfig, SchedulerKind};
+pub use engine::{Engine, SessionReport, SourceMode, Workload};
 pub use metrics::SessionMetrics;
-pub use session::{Session, SessionReport, Workload};
+#[cfg(feature = "sim")]
+pub use session::Session;
+#[cfg(feature = "udp")]
+pub use udp::UdpDriver;
 pub use wire::ShareFrame;

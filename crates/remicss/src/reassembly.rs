@@ -23,8 +23,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use mcss_base::{BufHandle, BufferPool, SimTime};
 use mcss_gf256::slice as gf_slice;
-use mcss_netsim::{BufHandle, BufferPool, SimTime};
 use mcss_shamir::lagrange_weight_xs;
 
 use crate::wire::{ShareFrame, ShareRef};
@@ -102,7 +102,7 @@ pub const DEFAULT_RESOLVED_CAP: usize = 1 << 20;
 ///
 /// ```
 /// use mcss_remicss::{reassembly::{Accept, ReassemblyTable}, wire::ShareFrame};
-/// use mcss_netsim::SimTime;
+/// use mcss_base::SimTime;
 /// use mcss_shamir::{split, Params};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
+use mcss_base::SimTime;
 use mcss_core::ShareSchedule;
-use mcss_netsim::SimTime;
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 

@@ -1,5 +1,10 @@
-//! The end-to-end protocol session: a [`mcss_netsim::Application`]
-//! joining a paced symbol source, the ReMICSS sender, and the receiver.
+//! The simulator driver: a thin [`mcss_netsim::Application`] adapter
+//! that feeds the sans-I/O [`Engine`] from the discrete-event simulator.
+//!
+//! All protocol behaviour lives in [`crate::engine`]; this module only
+//! translates simulator callbacks into [`Event`]s (with channel-backlog
+//! refreshes before any event that may transmit) and performs the
+//! drained [`Action`]s against the simulator's channels and timer queue.
 //!
 //! Two workloads mirror the paper's measurements:
 //!
@@ -9,227 +14,90 @@
 //! * [`Workload::Echo`] — the RTT utility: completed symbols are sent
 //!   back *through the protocol* and host A records round-trip times;
 //!   one-way delay is RTT/2 (Figure 4).
+//!
+//! With [`Session::record_trace`] enabled, the driver logs every event
+//! it feeds and every action it drains; replaying the event log into a
+//! fresh [`Engine`] with the same seed reproduces the exact action
+//! stream (see `tests/engine_trace.rs`), which is the property that
+//! pins the refactor to the pre-sans-I/O behaviour.
 
-use std::mem;
 use std::sync::Arc;
 
-use mcss_netsim::stats::{DelaySummary, ThroughputMeter};
-use mcss_netsim::traffic::Pacer;
 use mcss_netsim::{Application, BufferPool, ChannelId, Context, Endpoint, Frame, SimTime};
-use mcss_shamir::{split_into, BatchScratch, Params};
 
 use mcss_obs::MetricsSnapshot;
 
+use crate::actions::{Action, Event, TIMER_SOURCE};
 use crate::adaptive::AdaptiveController;
-use crate::config::{ProtocolConfig, SchedulerKind};
-use crate::cpu::CpuClock;
+use crate::config::ProtocolConfig;
+use crate::engine::{Engine, SourceMode};
 use crate::metrics::SessionMetrics;
-use crate::reassembly::{AcceptOutcome, ReassemblyStats, ReassemblyTable};
-use crate::scheduler::{
-    ChannelState, Choice, DynamicScheduler, RoundRobinScheduler, Scheduler as _, SessionScheduler,
-    StaticScheduler,
-};
-use crate::wire::{self, ControlFrame, MessageRef, ShareRef};
 
-const TIMER_SOURCE: u64 = 0;
-const TIMER_SWEEP: u64 = 1;
-const TIMER_FEEDBACK: u64 = 2;
+pub use crate::engine::{SessionReport, Workload};
 
-/// How often the receiver reports its delivery count back to the sender
-/// when adaptation is enabled.
-const FEEDBACK_PERIOD: SimTime = SimTime::from_millis(50);
-
-/// The traffic pattern a session runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Workload {
-    /// Constant symbol rate from A to B for `duration`.
-    Cbr {
-        /// Offered source symbols per second.
-        symbol_rate: f64,
-        /// Sending window.
-        duration: SimTime,
+/// One entry of a recorded session trace: an event fed to the engine
+/// (with its timestamp) or an action drained from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceStep {
+    /// An event the driver fed to the engine at `now`.
+    Event {
+        /// The simulator clock when the event was handled.
+        now: SimTime,
+        /// The event, with owned frame bytes.
+        event: TraceEvent,
     },
-    /// Constant symbol rate from A, echoed back by B through the
-    /// protocol; A records round-trip times.
-    Echo {
-        /// Offered source symbols per second.
-        symbol_rate: f64,
-        /// Sending window.
-        duration: SimTime,
+    /// An action drained from the engine (in drain order).
+    Action(Action),
+}
+
+/// An owned (replayable) form of the driver-fed [`Event`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// [`Event::Started`].
+    Started,
+    /// [`Event::TimerFired`].
+    Timer {
+        /// The timer token.
+        token: u64,
+    },
+    /// A batch of [`Event::ChannelWritable`] updates: `backlogs[i]` is
+    /// channel `i`'s send backlog at `from`.
+    Backlogs {
+        /// The sending endpoint the backlogs belong to.
+        from: Endpoint,
+        /// Per-channel send backlogs, indexed by channel.
+        backlogs: Vec<SimTime>,
+    },
+    /// A received wire frame, fed via
+    /// [`Engine::handle_frame`](crate::engine::Engine::handle_frame).
+    Frame {
+        /// Channel the frame arrived on.
+        channel: usize,
+        /// Receiving endpoint.
+        to: Endpoint,
+        /// The raw wire bytes.
+        bytes: Vec<u8>,
     },
 }
 
-impl Workload {
-    /// A CBR workload.
-    #[must_use]
-    pub fn cbr(symbol_rate: f64, duration: SimTime) -> Self {
-        Workload::Cbr {
-            symbol_rate,
-            duration,
-        }
-    }
-
-    /// An echo workload.
-    #[must_use]
-    pub fn echo(symbol_rate: f64, duration: SimTime) -> Self {
-        Workload::Echo {
-            symbol_rate,
-            duration,
-        }
-    }
-
-    /// The offered source symbol rate.
-    #[must_use]
-    pub fn symbol_rate(&self) -> f64 {
-        match *self {
-            Workload::Cbr { symbol_rate, .. } | Workload::Echo { symbol_rate, .. } => symbol_rate,
-        }
-    }
-
-    /// The sending window.
-    #[must_use]
-    pub fn duration(&self) -> SimTime {
-        match *self {
-            Workload::Cbr { duration, .. } | Workload::Echo { duration, .. } => duration,
-        }
-    }
-}
-
-/// Everything a finished session reports — the numbers the paper's
-/// figures are made of.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SessionReport {
-    /// Symbols the source offered.
-    pub offered_symbols: u64,
-    /// Symbols actually split and transmitted.
-    pub sent_symbols: u64,
-    /// Symbols reconstructed at the receiver within the window.
-    pub delivered_symbols: u64,
-    /// Reconstructed symbols whose payload failed verification
-    /// (must be zero: Shamir reconstruction is exact).
-    pub corrupted_symbols: u64,
-    /// Achieved payload throughput, bits per second over the window.
-    pub achieved_payload_bps: f64,
-    /// Achieved symbol rate over the window.
-    pub achieved_symbol_rate: f64,
-    /// Symbol loss fraction: `1 − (eventually delivered) / sent`.
-    /// Counted against *all* deliveries (even after the measurement
-    /// window) so that in-flight symbols at window end do not read as
-    /// lost; run the simulation past the window before reporting.
-    pub loss_fraction: f64,
-    /// Mean one-way symbol latency (send to reconstruction).
-    pub mean_one_way_delay: Option<SimTime>,
-    /// Mean protocol round-trip time (echo workload only).
-    pub mean_rtt: Option<SimTime>,
-    /// Mean threshold over sent symbols (should approach κ).
-    pub mean_k: f64,
-    /// Mean multiplicity over sent symbols (should approach μ).
-    pub mean_m: f64,
-    /// Share frames rejected by local channel queues.
-    pub send_queue_drops: u64,
-    /// Symbols shed by the sender CPU model.
-    pub sender_cpu_shed: u64,
-    /// Symbols shed by the receiver CPU model.
-    pub receiver_cpu_shed: u64,
-    /// Undecodable frames received (must be zero in the simulator).
-    pub wire_errors: u64,
-    /// Receiver reassembly-table counters.
-    pub reassembly: ReassemblyStats,
-    /// Final operating `μ` of the adaptive controller, if enabled.
-    pub adaptive_final_mu: Option<f64>,
-    /// Number of `μ` adjustments the adaptive controller made.
-    pub adaptive_adjustments: u64,
-}
-
-/// A running protocol session between hosts A and B.
+/// A running protocol session between hosts A and B: the [`Engine`]
+/// driven by the discrete-event simulator.
 ///
 /// See the [crate docs](crate) for a complete example.
 pub struct Session {
-    config: Arc<ProtocolConfig>,
+    engine: Engine,
     n: usize,
-    workload: Workload,
-    scheduler_a: SessionScheduler,
-    scheduler_b: SessionScheduler,
-    table_a: ReassemblyTable,
-    table_b: ReassemblyTable,
-    pacer: Pacer,
-    next_seq: u64,
-    offered: u64,
-    sent: u64,
-    sum_k: u64,
-    sum_m: u64,
-    meter: ThroughputMeter,
-    delivered_window: u64,
-    delivered_total: u64,
-    delay: DelaySummary,
-    rtt: DelaySummary,
-    corrupted: u64,
-    send_queue_drops: u64,
-    wire_errors: u64,
-    cpu_a: CpuClock,
-    cpu_b: CpuClock,
-    metrics: SessionMetrics,
-    adaptive: Option<AdaptiveController>,
-    feedback_epoch: u32,
-    last_epoch_seen: Option<u32>,
-    last_feedback_delivered: u64,
-    last_feedback_sent: u64,
-    // Steady-state scratch: these persistent buffers make the per-symbol
-    // data path allocation-free once warm (see `transmit`).
-    backlogs: Vec<SimTime>,
-    choice: Choice,
-    split_scratch: BatchScratch,
-    tx_bufs: Vec<Vec<u8>>,
-    frames: BufferPool,
-    payload_buf: Vec<u8>,
-    rx_buf: Vec<u8>,
+    echo: bool,
+    trace: Option<Vec<TraceStep>>,
 }
 
 impl core::fmt::Debug for Session {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Session")
-            .field("config", &self.config)
-            .field("n", &self.n)
-            .field("workload", &self.workload)
-            .field("sent", &self.sent)
+            .field("engine", &self.engine)
+            .field("echo", &self.echo)
             .finish_non_exhaustive()
     }
-}
-
-fn build_scheduler(
-    kind: &SchedulerKind,
-    kappa: f64,
-    mu: f64,
-    n: usize,
-) -> Result<SessionScheduler, mcss_core::ModelError> {
-    Ok(match kind {
-        SchedulerKind::Dynamic => SessionScheduler::Dynamic(DynamicScheduler::new(kappa, mu, n)?),
-        SchedulerKind::Static(schedule) => {
-            // Shares the schedule; the deep copy lives only in the config.
-            SessionScheduler::Static(StaticScheduler::new(Arc::clone(schedule)))
-        }
-        SchedulerKind::RoundRobin => {
-            SessionScheduler::RoundRobin(RoundRobinScheduler::new(kappa, mu, n)?)
-        }
-    })
-}
-
-/// Deterministic payload pattern, verified at the receiver.
-#[inline]
-fn pattern_byte(seq: u64, i: usize) -> u8 {
-    (seq.wrapping_mul(31).wrapping_add(i as u64) & 0xff) as u8
-}
-
-fn pattern_into(seq: u64, len: usize, out: &mut Vec<u8>) {
-    out.clear();
-    out.extend((0..len).map(|i| pattern_byte(seq, i)));
-}
-
-fn pattern_matches(seq: u64, payload: &[u8]) -> bool {
-    payload
-        .iter()
-        .enumerate()
-        .all(|(i, &b)| b == pattern_byte(seq, i))
 }
 
 impl Session {
@@ -244,135 +112,57 @@ impl Session {
         n: usize,
         workload: Workload,
     ) -> Result<Self, mcss_core::ModelError> {
-        let config: Arc<ProtocolConfig> = config.into();
-        let scheduler_a = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
-        let scheduler_b = build_scheduler(config.scheduler(), config.kappa(), config.mu(), n)?;
-        let adaptive = match config.adaptive_target() {
-            None => None,
-            Some(target) => {
-                if !matches!(config.scheduler(), SchedulerKind::Dynamic) {
-                    // Adaptation rewrites the dynamic sampler's mu; it is
-                    // meaningless for externally fixed schedules.
-                    return Err(mcss_core::ModelError::InvalidParameters {
-                        kappa: config.kappa(),
-                        mu: config.mu(),
-                        n,
-                    });
-                }
-                Some(AdaptiveController::new(
-                    config.kappa(),
-                    config.mu(),
-                    n,
-                    target,
-                )?)
-            }
-        };
-        let table = || {
-            ReassemblyTable::new(
-                config.reassembly_timeout(),
-                config.reassembly_capacity_bytes(),
-            )
-            .with_resolved_cap(config.reassembly_resolved_cap())
-        };
+        let engine = Engine::new(config, n, SourceMode::Paced(workload))?;
         Ok(Session {
-            scheduler_a,
-            scheduler_b,
-            table_a: table(),
-            table_b: table(),
-            pacer: Pacer::new(workload.symbol_rate(), 1),
-            next_seq: 0,
-            offered: 0,
-            sent: 0,
-            sum_k: 0,
-            sum_m: 0,
-            meter: ThroughputMeter::new(),
-            delivered_window: 0,
-            delivered_total: 0,
-            delay: DelaySummary::new(),
-            rtt: DelaySummary::new(),
-            corrupted: 0,
-            send_queue_drops: 0,
-            wire_errors: 0,
-            cpu_a: CpuClock::new(),
-            cpu_b: CpuClock::new(),
-            metrics: SessionMetrics::new(n),
-            adaptive,
-            feedback_epoch: 0,
-            last_epoch_seen: None,
-            last_feedback_delivered: 0,
-            last_feedback_sent: 0,
-            backlogs: Vec::with_capacity(n),
-            choice: Choice::default(),
-            split_scratch: BatchScratch::new(),
-            tx_bufs: Vec::with_capacity(n),
-            frames: BufferPool::new(),
-            payload_buf: Vec::new(),
-            rx_buf: Vec::new(),
-            config,
+            engine,
             n,
-            workload,
+            echo: matches!(workload, Workload::Echo { .. }),
+            trace: None,
         })
+    }
+
+    /// Starts recording every event fed to the engine and every action
+    /// drained from it. Intended for replay tests; costs one frame-bytes
+    /// clone per delivery.
+    pub fn record_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace (empty if recording was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceStep> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// The driven sans-I/O engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The session's report over a measurement `window` (typically the
     /// workload duration).
     #[must_use]
     pub fn report(&self, window: SimTime) -> SessionReport {
-        let delivered = self.delivered_window;
-        SessionReport {
-            offered_symbols: self.offered,
-            sent_symbols: self.sent,
-            delivered_symbols: delivered,
-            corrupted_symbols: self.corrupted,
-            achieved_payload_bps: self.meter.rate_bps(window),
-            achieved_symbol_rate: delivered as f64 / window.as_secs_f64(),
-            loss_fraction: if self.sent == 0 {
-                0.0
-            } else {
-                1.0 - self.delivered_total as f64 / self.sent as f64
-            },
-            mean_one_way_delay: self.delay.mean(),
-            mean_rtt: self.rtt.mean(),
-            mean_k: if self.sent == 0 {
-                0.0
-            } else {
-                self.sum_k as f64 / self.sent as f64
-            },
-            mean_m: if self.sent == 0 {
-                0.0
-            } else {
-                self.sum_m as f64 / self.sent as f64
-            },
-            send_queue_drops: self.send_queue_drops,
-            sender_cpu_shed: self.cpu_a.shed(),
-            receiver_cpu_shed: self.cpu_b.shed(),
-            wire_errors: self.wire_errors,
-            reassembly: self.table_b.stats(),
-            adaptive_final_mu: self.adaptive.as_ref().map(AdaptiveController::mu),
-            adaptive_adjustments: self
-                .adaptive
-                .as_ref()
-                .map_or(0, AdaptiveController::adjustments),
-        }
+        self.engine.report(window)
     }
 
     /// The adaptive controller's state, if adaptation is enabled.
     #[must_use]
     pub fn adaptive(&self) -> Option<&AdaptiveController> {
-        self.adaptive.as_ref()
+        self.engine.adaptive()
     }
 
     /// The session's protocol metrics (per-channel share traffic, delay
     /// and gap histograms, realized `(k, m)` frequencies).
     #[must_use]
     pub fn metrics(&self) -> &SessionMetrics {
-        &self.metrics
+        self.engine.metrics()
     }
 
     /// The sender-side frame buffer pool (for hit/miss/grow telemetry).
     #[must_use]
     pub fn frame_pool(&self) -> &BufferPool {
-        &self.frames
+        self.engine.frame_pool()
     }
 
     /// Serializable snapshot of the session's metrics plus the buffer
@@ -380,274 +170,104 @@ impl Session {
     /// the `telemetry` feature off.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
-        let mut snap = self.metrics.snapshot();
-        #[cfg(feature = "telemetry")]
-        {
-            let stats = self.table_b.stats();
-            for (name, value) in [
-                ("remicss.pool.hits", self.frames.hits()),
-                ("remicss.pool.misses", self.frames.misses()),
-                ("remicss.pool.grows", self.frames.grows()),
-                ("remicss.reassembly.pool_hits", self.table_b.pool_hits()),
-                ("remicss.reassembly.pool_misses", self.table_b.pool_misses()),
-                ("remicss.symbols.resolved", stats.completed),
-                (
-                    "remicss.symbols.expired",
-                    stats.timeout_evictions + stats.memory_evictions,
-                ),
-            ] {
-                snap.counters.push(mcss_obs::CounterSnapshot {
-                    name: name.to_string(),
-                    value,
-                });
-            }
-            snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
-        }
-        snap
+        self.engine.metrics_snapshot()
     }
 
-    /// Splits and transmits one symbol from `from`. Returns `false` if
-    /// the symbol was shed by the CPU model before transmission.
-    ///
-    /// Steady-state allocation-free: the scheduler writes into a reused
-    /// [`Choice`], shares are Horner-evaluated by [`split_into`] directly
-    /// into pooled wire buffers (header already written), and buffers
-    /// come back to the pool from the delivery path and from local queue
-    /// drops.
-    fn transmit(
-        &mut self,
-        ctx: &mut Context<'_>,
-        from: Endpoint,
-        seq: u64,
-        stamp: u64,
-        payload: &[u8],
-    ) -> bool {
-        self.backlogs.clear();
-        self.backlogs
-            .extend((0..self.n).map(|i| ctx.backlog(i, from)));
-        let mut choice = mem::take(&mut self.choice);
-        let state = ChannelState::new(&self.backlogs, self.config.readiness_threshold());
-        let scheduler = match from {
-            Endpoint::A => &mut self.scheduler_a,
-            Endpoint::B => &mut self.scheduler_b,
-        };
-        scheduler.choose_into(&state, ctx.rng(), &mut choice);
-        let m = choice.channels.len();
-        if let Some(cpu) = self.config.cpu() {
-            let cost = cpu.send_cost(m, payload.len());
-            let clock = match from {
-                Endpoint::A => &mut self.cpu_a,
-                Endpoint::B => &mut self.cpu_b,
-            };
-            if !clock.try_charge(ctx.now(), cost, cpu) {
-                self.choice = choice;
-                return false;
-            }
+    /// Refreshes the engine's view of `from`'s per-channel send backlogs
+    /// from the simulator. Done before any event that may transmit, so
+    /// the scheduler sees exactly what `ctx.backlog` would have said.
+    fn feed_backlogs(&mut self, ctx: &mut Context<'_>, from: Endpoint) {
+        let now = ctx.now();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceStep::Event {
+                now,
+                event: TraceEvent::Backlogs {
+                    from,
+                    backlogs: (0..self.n).map(|i| ctx.backlog(i, from)).collect(),
+                },
+            });
         }
-        let params = Params::new(choice.k, m as u8).expect("scheduler guarantees k <= m");
-        let mut outs = mem::take(&mut self.tx_bufs);
-        for j in 0..m {
-            // Share j of a split carries abscissa j + 1.
-            let mut buf = self.frames.take();
-            wire::put_share_header(
-                &mut buf,
-                seq,
-                choice.k,
-                m as u8,
-                j as u8 + 1,
-                stamp,
-                payload.len(),
-            )
-            .expect("share parameters validated");
-            outs.push(buf);
-        }
-        split_into(
-            payload,
-            params,
-            ctx.rng(),
-            &mut self.split_scratch,
-            &mut outs,
-        )
-        .expect("split cannot fail");
-        if from == Endpoint::A {
-            self.sum_k += u64::from(choice.k);
-            self.sum_m += m as u64;
-            self.metrics.record_choice(choice.k, m);
-        }
-        for (buf, &channel) in outs.drain(..).zip(&choice.channels) {
-            if let Err(frame) = ctx.try_send(channel, from, Frame::from_vec(buf)) {
-                self.send_queue_drops += 1;
-                self.metrics.record_drop(channel);
-                self.frames.put(frame.into_vec());
-            } else {
-                self.metrics.record_send(channel);
-            }
-        }
-        self.tx_bufs = outs;
-        self.choice = choice;
-        true
-    }
-
-    fn on_source_tick(&mut self, ctx: &mut Context<'_>) {
-        if ctx.now() >= self.workload.duration() {
-            return;
-        }
-        self.offered += 1;
-        let seq = self.next_seq;
-        let mut payload = mem::take(&mut self.payload_buf);
-        pattern_into(seq, self.config.symbol_bytes(), &mut payload);
-        let stamp = ctx.now().as_nanos();
-        if self.transmit(ctx, Endpoint::A, seq, stamp, &payload) {
-            self.next_seq += 1;
-            self.sent += 1;
-        }
-        self.payload_buf = payload;
-        let next = self.pacer.next_tick();
-        ctx.set_timer(next, TIMER_SOURCE);
-    }
-
-    fn sweep_period(&self) -> SimTime {
-        SimTime::from_nanos((self.config.reassembly_timeout().as_nanos() / 4).max(1_000_000))
-    }
-
-    fn on_deliver_at_b(&mut self, ctx: &mut Context<'_>, share: &ShareRef<'_>) {
-        let seq = share.seq();
-        let k = share.k() as usize;
-        let stamp = share.sent_at_nanos();
-        let mut out = mem::take(&mut self.rx_buf);
-        if self.table_b.accept_into(share, ctx.now(), &mut out) == AcceptOutcome::Completed {
-            self.metrics
-                .record_residency(self.table_b.last_completed_residency().as_nanos());
-            let charged = match self.config.cpu() {
-                Some(cpu) => {
-                    let cost = cpu.recv_cost(k, out.len());
-                    // On failure the receiver is saturated: symbol dropped.
-                    self.cpu_b.try_charge(ctx.now(), cost, cpu)
-                }
-                None => true,
-            };
-            if charged {
-                if pattern_matches(seq, &out) {
-                    self.delivered_total += 1;
-                    let window = self.workload.duration();
-                    if ctx.now() <= window {
-                        self.delivered_window += 1;
-                        self.meter.record(ctx.now(), (out.len() * 8) as u64);
-                        self.delay.record(ctx.now() - SimTime::from_nanos(stamp));
-                    }
-                    if matches!(self.workload, Workload::Echo { .. }) {
-                        // Bounce the symbol back through the protocol, keeping
-                        // the original timestamp so A measures full protocol RTT.
-                        self.transmit(ctx, Endpoint::B, seq, stamp, &out);
-                    }
-                } else {
-                    self.corrupted += 1;
-                }
-            }
-        }
-        self.rx_buf = out;
-    }
-
-    fn on_deliver_at_a(&mut self, ctx: &mut Context<'_>, share: &ShareRef<'_>) {
-        let k = share.k() as usize;
-        let stamp = share.sent_at_nanos();
-        let mut out = mem::take(&mut self.rx_buf);
-        if self.table_a.accept_into(share, ctx.now(), &mut out) == AcceptOutcome::Completed {
-            let charged = match self.config.cpu() {
-                Some(cpu) => {
-                    let cost = cpu.recv_cost(k, out.len());
-                    self.cpu_a.try_charge(ctx.now(), cost, cpu)
-                }
-                None => true,
-            };
-            if charged {
-                self.rtt.record(ctx.now() - SimTime::from_nanos(stamp));
-            }
-        }
-        self.rx_buf = out;
-    }
-}
-
-impl Session {
-    fn send_feedback(&mut self, ctx: &mut Context<'_>) {
-        self.feedback_epoch += 1;
-        let frame = ControlFrame::new(self.feedback_epoch, self.delivered_total);
-        // Tiny frame, sent on every channel for loss resilience. Local
-        // queue drops are deliberate (not counted), but the buffer still
-        // comes back to the pool.
-        for ch in 0..self.n {
-            let mut buf = self.frames.take();
-            frame.encode_into(&mut buf);
-            if let Err(dropped) = ctx.try_send(ch, Endpoint::B, Frame::from_vec(buf)) {
-                self.frames.put(dropped.into_vec());
-            }
-        }
-    }
-
-    fn on_control_at_a(&mut self, ctx: &mut Context<'_>, frame: ControlFrame) {
-        if self.last_epoch_seen.is_some_and(|e| frame.epoch() <= e) {
-            return; // duplicate copy from another channel
-        }
-        self.last_epoch_seen = Some(frame.epoch());
-        let delivered = frame
-            .delivered()
-            .saturating_sub(self.last_feedback_delivered);
-        let sent = self.sent.saturating_sub(self.last_feedback_sent);
-        self.last_feedback_delivered = frame.delivered();
-        self.last_feedback_sent = self.sent;
-        let Some(ctl) = self.adaptive.as_mut() else {
-            return;
-        };
-        let old_mu = ctl.mu();
-        let new_mu = ctl.observe(delivered, sent);
-        if (new_mu - old_mu).abs() > 1e-12 {
-            self.scheduler_a = SessionScheduler::Dynamic(
-                DynamicScheduler::new(self.config.kappa(), new_mu, self.n)
-                    .expect("controller keeps mu within [kappa, n]"),
+        for channel in 0..self.n {
+            let backlog = ctx.backlog(channel, from);
+            self.engine.handle(
+                now,
+                Event::ChannelWritable {
+                    channel,
+                    from,
+                    backlog,
+                },
+                ctx.rng(),
             );
         }
-        let _ = ctx;
+    }
+
+    /// Drains the engine's action queue against the simulator, in order:
+    /// transmissions first report their queue outcome back to the
+    /// engine, timers go to the event queue. The in-order drain keeps
+    /// the simulator's event/RNG interleaving identical to the
+    /// pre-sans-I/O session.
+    fn apply_actions(&mut self, ctx: &mut Context<'_>) {
+        while let Some(action) = self.engine.poll_action() {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(TraceStep::Action(action.clone()));
+            }
+            match action {
+                Action::SendShare {
+                    channel,
+                    from,
+                    frame,
+                } => match ctx.try_send(channel, from, Frame::from_vec(frame)) {
+                    Ok(()) => self.engine.share_send_ok(channel),
+                    Err(rejected) => self
+                        .engine
+                        .share_send_rejected(channel, rejected.into_vec()),
+                },
+                Action::SendControl {
+                    channel,
+                    from,
+                    frame,
+                } => {
+                    if let Err(rejected) = ctx.try_send(channel, from, Frame::from_vec(frame)) {
+                        self.engine.control_send_rejected(rejected.into_vec());
+                    }
+                }
+                Action::SetTimer { token, at } => ctx.set_timer(at, token),
+                Action::DeliverSymbol { .. } => {
+                    unreachable!("paced sessions deliver internally")
+                }
+            }
+        }
     }
 }
 
 impl Application for Session {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        assert!(
-            self.config.mu() <= self.n as f64,
-            "config mu exceeds channel count"
-        );
-        let first = self.pacer.next_tick();
-        ctx.set_timer(first, TIMER_SOURCE);
-        let sweep = self.sweep_period();
-        ctx.set_timer(sweep, TIMER_SWEEP);
-        if self.adaptive.is_some() {
-            ctx.set_timer(FEEDBACK_PERIOD, TIMER_FEEDBACK);
+        let now = ctx.now();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceStep::Event {
+                now,
+                event: TraceEvent::Started,
+            });
         }
+        self.engine.handle(now, Event::Started, ctx.rng());
+        self.apply_actions(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
-        match token {
-            TIMER_SOURCE => self.on_source_tick(ctx),
-            TIMER_FEEDBACK => {
-                self.send_feedback(ctx);
-                if ctx.now() < self.workload.duration() {
-                    let next = ctx.now() + FEEDBACK_PERIOD;
-                    ctx.set_timer(next, TIMER_FEEDBACK);
-                }
-            }
-            TIMER_SWEEP => {
-                self.table_a.sweep(ctx.now());
-                self.table_b.sweep(ctx.now());
-                // Keep sweeping a while after sending stops so stragglers
-                // are evicted, then let the simulation drain.
-                if ctx.now() < self.workload.duration() + self.config.reassembly_timeout() * 4 {
-                    let next = ctx.now() + self.sweep_period();
-                    ctx.set_timer(next, TIMER_SWEEP);
-                }
-            }
-            other => panic!("unknown timer token {other}"),
+        if token == TIMER_SOURCE {
+            // The source tick transmits from A; refresh A's readiness.
+            self.feed_backlogs(ctx, Endpoint::A);
         }
+        let now = ctx.now();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceStep::Event {
+                now,
+                event: TraceEvent::Timer { token },
+            });
+        }
+        self.engine
+            .handle(now, Event::TimerFired { token }, ctx.rng());
+        self.apply_actions(ctx);
     }
 
     fn on_deliver(
@@ -658,31 +278,27 @@ impl Application for Session {
         frame: Frame,
     ) {
         // Reclaim the wire buffer (frames we sent carry owned buffers),
-        // decode borrowing from it, and recycle it for the next send.
+        // let the engine decode borrowing from it, and recycle it for
+        // the next send.
         let buf = frame.into_vec();
-        match wire::decode_message_ref(&buf) {
-            Err(_) => self.wire_errors += 1,
-            Ok(MessageRef::Share(share)) => {
-                let now = ctx.now().as_nanos();
-                self.metrics.record_receive(
-                    channel,
-                    now,
-                    now.saturating_sub(share.sent_at_nanos()),
-                );
-                match to {
-                    Endpoint::B => self.on_deliver_at_b(ctx, &share),
-                    Endpoint::A => self.on_deliver_at_a(ctx, &share),
-                }
-            }
-            Ok(MessageRef::Control(control)) => {
-                if to == Endpoint::A {
-                    self.on_control_at_a(ctx, control);
-                }
-                // Control frames arriving at B (echo of our own order)
-                // cannot occur: B only ever sends them.
-            }
+        if self.echo && to == Endpoint::B {
+            // A completed symbol at B echoes back: refresh B's readiness.
+            self.feed_backlogs(ctx, Endpoint::B);
         }
-        self.frames.put(buf);
+        let now = ctx.now();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceStep::Event {
+                now,
+                event: TraceEvent::Frame {
+                    channel,
+                    to,
+                    bytes: buf.clone(),
+                },
+            });
+        }
+        let _ = self.engine.handle_frame(now, channel, to, &buf, ctx.rng());
+        self.apply_actions(ctx);
+        self.engine.recycle(buf);
     }
 }
 
@@ -823,7 +439,9 @@ mod tests {
             mcss_core::lp_schedule::Objective::Privacy,
         )
         .unwrap();
-        let config = Arc::new(config.with_scheduler(SchedulerKind::Static(Arc::new(schedule))));
+        let config = Arc::new(
+            config.with_scheduler(crate::config::SchedulerKind::Static(Arc::new(schedule))),
+        );
         let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
             &channels,
@@ -842,7 +460,7 @@ mod tests {
         let config = Arc::new(
             ProtocolConfig::new(2.0, 2.0)
                 .unwrap()
-                .with_scheduler(SchedulerKind::RoundRobin),
+                .with_scheduler(crate::config::SchedulerKind::RoundRobin),
         );
         let offered = 0.5 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(
@@ -859,7 +477,7 @@ mod tests {
     fn max_privacy_static_schedule_runs() {
         let channels = setups::diverse();
         let config = Arc::new(ProtocolConfig::new(5.0, 5.0).unwrap().with_scheduler(
-            SchedulerKind::Static(Arc::new(ShareSchedule::max_privacy(5))),
+            crate::config::SchedulerKind::Static(Arc::new(ShareSchedule::max_privacy(5))),
         ));
         let offered = 0.8 * testbed::optimal_symbol_rate(&channels, &config).unwrap();
         let r = run(

@@ -2,6 +2,8 @@
 //! the feedback frames, and the controller acting together over the
 //! simulated testbed.
 
+#![cfg(feature = "sim")]
+
 use mcss_core::{setups, Channel, ChannelSet};
 use mcss_netsim::{Endpoint, LinkConfig, SimTime, Simulator};
 use mcss_remicss::config::{ProtocolConfig, SchedulerKind};

@@ -8,6 +8,8 @@
 //! pop order (see `mcss_netsim::queue`), so the two runs consume the
 //! same RNG stream and visit the same states.
 
+#![cfg(feature = "sim")]
+
 use std::sync::Arc;
 
 use mcss_core::setups;

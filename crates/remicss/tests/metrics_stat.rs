@@ -3,6 +3,7 @@
 //! to the configured protocol parameters — the telemetry layer reports
 //! what the scheduler actually does.
 
+#![cfg(feature = "sim")]
 #![cfg(feature = "telemetry")]
 
 use mcss_netsim::SimTime;

@@ -4,6 +4,8 @@
 //! prune — a session that never swept (or swept rarely against a fast
 //! sender) grew without bound.
 
+#![cfg(feature = "sim")]
+
 use mcss_netsim::SimTime;
 use mcss_remicss::reassembly::{AcceptOutcome, ReassemblyTable};
 use mcss_remicss::wire::{put_share_header, ShareRef};

@@ -1,6 +1,8 @@
 //! Property tests for the reassembly table: arbitrary interleavings,
 //! duplications, and losses of shares must preserve its invariants.
 
+#![cfg(feature = "sim")]
+
 use mcss_netsim::SimTime;
 use mcss_remicss::reassembly::{Accept, ReassemblyTable};
 use mcss_remicss::wire::ShareFrame;

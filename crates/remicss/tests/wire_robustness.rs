@@ -7,6 +7,7 @@
 use bytes::Bytes;
 use mcss_remicss::wire::{
     decode_message, decode_message_ref, ControlFrame, Message, MessageRef, ShareFrame, ShareRef,
+    CONTROL_BYTES,
 };
 use proptest::prelude::*;
 
@@ -141,6 +142,70 @@ proptest! {
         );
         if let (Ok(Message::Control(o)), Ok(MessageRef::Control(r))) = (&owned_msg, &ref_msg) {
             prop_assert_eq!(o, r);
+        }
+    }
+
+    #[test]
+    fn control_truncations_error_cleanly(
+        epoch in any::<u32>(),
+        delivered in any::<u64>(),
+        cut in 0usize..CONTROL_BYTES,
+    ) {
+        let enc = ControlFrame::new(epoch, delivered).encode();
+        prop_assert_eq!(enc.len(), CONTROL_BYTES);
+        prop_assert!(ControlFrame::decode(&enc[..cut]).is_err());
+        prop_assert!(decode_message(&enc[..cut]).is_err());
+        prop_assert!(decode_message_ref(&enc[..cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_never_decode(
+        epoch in any::<u32>(),
+        delivered in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        extra in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // The decoders must consume exactly the declared frame — any
+        // trailing bytes are an error, never a silent over-read.
+        let mut share = ShareFrame::new(3, 1, 2, 1, 9, payload).unwrap().encode().to_vec();
+        share.extend_from_slice(&extra);
+        prop_assert!(ShareFrame::decode(&share).is_err());
+        prop_assert!(ShareRef::decode(&share).is_err());
+        prop_assert!(decode_message(&share).is_err());
+        prop_assert!(decode_message_ref(&share).is_err());
+
+        let mut control = ControlFrame::new(epoch, delivered).encode().to_vec();
+        control.extend_from_slice(&extra);
+        prop_assert!(ControlFrame::decode(&control).is_err());
+        prop_assert!(decode_message(&control).is_err());
+        prop_assert!(decode_message_ref(&control).is_err());
+    }
+
+    #[test]
+    fn control_decoders_agree_on_mutations(
+        epoch in any::<u32>(),
+        delivered in any::<u64>(),
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+        cut in 0usize..=CONTROL_BYTES,
+    ) {
+        // Mutate, then truncate: the owning and borrowing message
+        // decoders must agree byte-for-byte on what they accept.
+        let mut enc = ControlFrame::new(epoch, delivered).encode().to_vec();
+        for &(idx, byte) in &mutations {
+            let len = enc.len();
+            enc[idx % len] = byte;
+        }
+        enc.truncate(cut);
+        let owned = decode_message(&Bytes::copy_from_slice(&enc));
+        let by_ref = decode_message_ref(&enc);
+        match (&owned, &by_ref) {
+            (Ok(Message::Control(o)), Ok(MessageRef::Control(r))) => prop_assert_eq!(o, r),
+            (Ok(Message::Share(o)), Ok(MessageRef::Share(r))) => {
+                prop_assert_eq!(o.payload().as_ref(), r.payload());
+                prop_assert_eq!((o.seq(), o.k(), o.m(), o.x()), (r.seq(), r.k(), r.m(), r.x()));
+            }
+            (Err(oe), Err(re)) => prop_assert_eq!(oe, re),
+            other => prop_assert!(false, "decoders disagree: {:?}", other),
         }
     }
 

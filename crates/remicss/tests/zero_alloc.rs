@@ -25,6 +25,8 @@
 //! registration (span-site resolution, histogram bucket storage) happens
 //! at session build and during the warmup window, never after.
 
+#![cfg(feature = "sim")]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,6 +92,7 @@ fn steady_state_symbol_path_is_allocation_free() {
     gf256_kernels_phase();
     split_into_phase();
     session_phase();
+    engine_external_phase();
 }
 
 /// The GF(2⁸) kernels themselves — including the SIMD path and its
@@ -163,6 +166,83 @@ fn split_into_phase() {
         0,
         "{during} allocations over 1000 split_into symbols on backend {}",
         Backend::active().name()
+    );
+}
+
+/// The sans-I/O engine in [`SourceMode::External`] — the configuration
+/// the UDP driver runs — is also allocation-free in steady state: the
+/// action queue, frame pool, and reassembly scratch all reach their
+/// high-water capacity during warmup, and offering symbols, draining
+/// `SendShare` actions, looping frames back to host B, and taking
+/// `DeliverSymbol` reconstructions allocate nothing after that.
+fn engine_external_phase() {
+    use mcss_base::{Endpoint, SimTime as T};
+    use mcss_remicss::actions::{Action, Event};
+    use mcss_remicss::engine::{Engine, SourceMode};
+    use rand::SeedableRng;
+
+    const N: usize = 5;
+    let config = Arc::new(
+        ProtocolConfig::new(2.0, 3.0)
+            .unwrap()
+            .with_symbol_bytes(512)
+            .with_reassembly_timeout(T::from_millis(20)),
+    );
+    let mut engine = Engine::new(Arc::clone(&config), N, SourceMode::External).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut now = T::ZERO;
+    let mut timers: Vec<(T, u64)> = Vec::with_capacity(8);
+    let payload = vec![0x5au8; 512];
+
+    engine.handle(now, Event::Started, &mut rng);
+
+    // Loop every share straight back to host B and recycle all buffers,
+    // exactly as a loopback driver would.
+    fn pump(engine: &mut Engine, now: T, timers: &mut Vec<(T, u64)>, rng: &mut rand::rngs::StdRng) {
+        while let Some(action) = engine.poll_action() {
+            match action {
+                Action::SendShare { channel, frame, .. } => {
+                    engine.share_send_ok(channel);
+                    let _ = engine.handle_frame(now, channel, Endpoint::B, &frame, rng);
+                    engine.recycle(frame);
+                }
+                Action::SendControl { frame, .. } => engine.recycle(frame),
+                Action::SetTimer { token, at } => timers.push((at, token)),
+                Action::DeliverSymbol { payload, .. } => engine.recycle(payload),
+            }
+        }
+    }
+
+    fn step(
+        engine: &mut Engine,
+        now: &mut T,
+        timers: &mut Vec<(T, u64)>,
+        payload: &[u8],
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        *now += T::from_micros(100);
+        while let Some(idx) = timers.iter().position(|&(at, _)| at <= *now) {
+            let (_, token) = timers.swap_remove(idx);
+            engine.handle(*now, Event::TimerFired { token }, rng);
+            pump(engine, *now, timers, rng);
+        }
+        engine.handle(*now, Event::SymbolReady { payload }, rng);
+        pump(engine, *now, timers, rng);
+    }
+
+    for _ in 0..500 {
+        step(&mut engine, &mut now, &mut timers, &payload, &mut rng);
+    }
+    let before = allocations();
+    for _ in 0..2_000 {
+        step(&mut engine, &mut now, &mut timers, &payload, &mut rng);
+    }
+    let during = allocations() - before;
+    let report = engine.report(now);
+    assert_eq!(report.delivered_symbols, 2_500, "loopback lost symbols");
+    assert_eq!(
+        during, 0,
+        "external-source engine: {during} allocations in steady state"
     );
 }
 

@@ -1,93 +1,110 @@
-//! Self-tuning stream over a degrading network.
+//! Self-tuning stream over a degrading network — on real sockets.
 //!
-//! A long-running CBR stream starts on five clean channels with minimal
-//! redundancy (`μ ≈ κ = 1`, maximum rate). Two seconds in, the network
-//! degrades badly: every channel starts dropping 25% of its frames. The
-//! adaptive controller notices through receiver feedback and walks `μ`
-//! up until the loss target holds again — trading rate for reliability
-//! exactly along the tradeoff curve the model describes, with no
-//! operator in the loop.
+//! A long-running stream starts on five clean loopback UDP channels
+//! with minimal redundancy (`μ = κ = 1`, maximum rate). Partway in, the
+//! network degrades badly: every channel starts dropping 25% of its
+//! datagrams. The adaptive controller notices through receiver feedback
+//! (control frames riding the same sockets) and walks `μ` up until the
+//! loss target holds again — trading rate for reliability exactly along
+//! the tradeoff curve the model describes, with no operator in the
+//! loop. This is the same controller the simulator exercises; only the
+//! driver changed.
 //!
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p mcss --release --example resilient_stream
+//! cargo run -p mcss-remicss --release --features udp --example resilient_stream
 //! ```
 
-use mcss::netsim::{Endpoint, LinkConfig, SimTime, Simulator};
-use mcss::prelude::*;
+use std::time::{Duration, Instant};
 
+use mcss_remicss::config::ProtocolConfig;
+use mcss_remicss::udp::UdpDriver;
+
+const CHANNELS: usize = 5;
+const SYMBOL_BYTES: usize = 256;
 const TARGET_LOSS: f64 = 0.01;
-const DEGRADE_AT: u64 = 2; // seconds
-const END_AT: u64 = 10;
+const LOSS: f64 = 0.25;
+const CLEAN_MILLIS: u64 = 1_000;
+const DEGRADED_MILLIS: u64 = 3_000;
+const TICK: Duration = Duration::from_millis(100);
+const SYMBOLS_PER_TICK: usize = 40;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let channels = setups::identical(50.0);
-    let config = ProtocolConfig::new(1.0, 1.0)?.with_adaptive(TARGET_LOSS);
-    let offered = 0.2 * testbed::optimal_symbol_rate(&channels, &config)?;
-    let window = SimTime::from_secs(END_AT);
+    let config = ProtocolConfig::new(1.0, 1.0)?
+        .with_symbol_bytes(SYMBOL_BYTES)
+        .with_adaptive(TARGET_LOSS);
+    let mut driver = UdpDriver::new(config, CHANNELS, 2026)?;
 
-    println!("adaptive stream: 5 x 50 Mbit/s channels, target loss {TARGET_LOSS}");
-    println!("offering {offered:.0} symbols/s; degradation strikes at t = {DEGRADE_AT}s\n");
-
-    let session = Session::new(
-        config.clone(),
-        channels.len(),
-        Workload::cbr(offered, window),
-    )?;
-    let net = testbed::network_for(&channels, &config);
-    let mut sim = Simulator::new(net, session, 2026);
-
+    println!("adaptive stream: {CHANNELS} loopback UDP channels, target loss {TARGET_LOSS}");
     println!(
-        "{:>6} {:>8} {:>12} {:>14}",
-        "t (s)", "mu", "est. loss", "adjustments"
+        "degradation strikes at t = {:.1}s: every channel drops {:.0}% of datagrams\n",
+        CLEAN_MILLIS as f64 / 1e3,
+        LOSS * 100.0
     );
-    for sec in 1..=END_AT {
-        if sec == DEGRADE_AT {
-            for ch in 0..5 {
-                for ep in [Endpoint::A, Endpoint::B] {
-                    sim.network_mut()
-                        .reconfigure(ch, ep, LinkConfig::new(50e6).with_loss(0.25));
-                }
-            }
-            println!("  -- all channels degraded to 25% loss --");
-        }
-        sim.run_until(SimTime::from_secs(sec));
-        let ctl = sim.app().adaptive().expect("adaptation enabled");
-        println!(
-            "{sec:>6} {:>8.2} {:>12.4} {:>14}",
-            ctl.mu(),
-            ctl.estimated_loss().unwrap_or(0.0),
-            ctl.adjustments()
-        );
-    }
-    sim.run_until(window + SimTime::from_secs(1));
+    println!(
+        "{:>8} {:>8} {:>12} {:>14}",
+        "t (ms)", "mu", "est. loss", "adjustments"
+    );
 
-    let report = sim.app().report(window);
+    let start = Instant::now();
+    let total = Duration::from_millis(CLEAN_MILLIS + DEGRADED_MILLIS);
+    let mut degraded = false;
+    let mut next_print = Duration::from_millis(500);
+    let mut sent = 0usize;
+    while start.elapsed() < total {
+        if !degraded && start.elapsed() >= Duration::from_millis(CLEAN_MILLIS) {
+            for ch in 0..CHANNELS {
+                driver.set_loss(ch, LOSS);
+            }
+            degraded = true;
+            println!("  -- all channels degraded to {:.0}% loss --", LOSS * 100.0);
+        }
+        for i in 0..SYMBOLS_PER_TICK {
+            let payload = vec![(sent + i) as u8; SYMBOL_BYTES];
+            driver.send_symbol(&payload)?;
+        }
+        sent += SYMBOLS_PER_TICK;
+        driver.drive(TICK)?;
+        while driver.next_symbol().is_some() {}
+
+        if start.elapsed() >= next_print {
+            let ctl = driver.engine().adaptive().expect("adaptation enabled");
+            println!(
+                "{:>8} {:>8.2} {:>12.4} {:>14}",
+                next_print.as_millis(),
+                ctl.mu(),
+                ctl.estimated_loss().unwrap_or(0.0),
+                ctl.adjustments()
+            );
+            next_print += Duration::from_millis(500);
+        }
+    }
+    // Let the tail of the stream and the last feedback epochs land.
+    driver.drive(Duration::from_millis(200))?;
+    while driver.next_symbol().is_some() {}
+
+    let report = driver.report(driver.now());
     println!("\nfinal report:");
     println!(
         "  sent {} symbols, delivered (eventually) {:.2}%",
         report.sent_symbols,
         100.0 * (1.0 - report.loss_fraction)
     );
+    let final_mu = report.adaptive_final_mu.expect("adaptation enabled");
     println!(
-        "  final mu = {:.2} (started at 1.0)",
-        report.adaptive_final_mu.unwrap()
-    );
-    println!(
-        "  mean one-way delay: {:?}",
-        report.mean_one_way_delay.map(|d| d.to_string())
+        "  final mu = {final_mu:.2} (started at 1.00, {} adjustments)",
+        report.adaptive_adjustments
     );
 
     // What the model says the controller should have found: with 25%
     // loss per channel and kappa = 1, the loss target needs mu where
     // 0.25^mu <= 0.01, i.e. mu >= log(0.01)/log(0.25) ~ 3.3.
-    let needed = (TARGET_LOSS.ln() / 0.25f64.ln()).ceil();
-    println!("  model check: 0.25^mu <= {TARGET_LOSS} needs mu >= {needed}");
-    let final_mu = report.adaptive_final_mu.unwrap();
+    let needed = TARGET_LOSS.ln() / LOSS.ln();
+    println!("  model check: {LOSS}^mu <= {TARGET_LOSS} needs mu >= {needed:.1}");
     assert!(
-        final_mu >= needed - 0.75,
-        "controller settled too low: {final_mu} vs needed ~{needed}"
+        final_mu >= needed - 1.0,
+        "controller settled too low: {final_mu:.2} vs needed ~{needed:.1}"
     );
     println!("  controller settled consistently with the model's prediction");
     Ok(())

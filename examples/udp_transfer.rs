@@ -1,0 +1,102 @@
+//! Move a file across real UDP sockets with the sans-I/O engine.
+//!
+//! The exact protocol core the simulator exercises — scheduler, Shamir
+//! split, reassembly, metrics — here drives four loopback UDP socket
+//! pairs through [`UdpDriver`]. A 1 MiB pseudo-file is chopped into
+//! 1024-byte symbols, each split `(κ = 2, μ = 3)` across the channels,
+//! reconstructed on the receiving side, and verified bit-exact. The run
+//! finishes by printing the engine's telemetry snapshot and writing it
+//! to `METRICS_udp_transfer.json` for dashboards or CI artifacts.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run -p mcss-remicss --release --features udp --example udp_transfer
+//! ```
+//!
+//! (Also builds with `--no-default-features --features udp,telemetry`:
+//! the driver never touches the simulator.)
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mcss_remicss::config::ProtocolConfig;
+use mcss_remicss::udp::UdpDriver;
+
+const CHANNELS: usize = 4;
+const SYMBOL_BYTES: usize = 1024;
+const KAPPA: f64 = 2.0;
+const MU: f64 = 3.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Deterministic pseudo-file.
+    let file: Vec<u8> = (0..1_048_576u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    let symbols = file.len() / SYMBOL_BYTES;
+    println!(
+        "transferring {} KiB over {CHANNELS} loopback UDP channels (kappa={KAPPA}, mu={MU})",
+        file.len() / 1024
+    );
+
+    let config = ProtocolConfig::new(KAPPA, MU)?.with_symbol_bytes(SYMBOL_BYTES);
+    let mut driver = UdpDriver::new(config, CHANNELS, 2024)?;
+
+    let start = Instant::now();
+    let mut received: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for chunk in file.chunks(SYMBOL_BYTES) {
+        driver.send_symbol(chunk)?;
+        // Drain sockets as we go so kernel buffers never overflow.
+        driver.poll()?;
+        while let Some((seq, payload)) = driver.next_symbol() {
+            received.insert(seq, payload);
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while received.len() < symbols && Instant::now() < deadline {
+        driver.drive(Duration::from_millis(5))?;
+        while let Some((seq, payload)) = driver.next_symbol() {
+            received.insert(seq, payload);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Stitch the file back together and verify integrity.
+    let mut rebuilt = Vec::with_capacity(file.len());
+    for (expect, (seq, data)) in received.iter().enumerate() {
+        assert_eq!(*seq, expect as u64, "missing symbol {expect}");
+        rebuilt.extend_from_slice(data);
+    }
+    assert_eq!(rebuilt, file, "file corrupted in transit");
+
+    let report = driver.report(driver.now());
+    println!(
+        "reconstructed {}/{symbols} symbols in {elapsed:.2?} ({:.1} MiB/s)",
+        received.len(),
+        file.len() as f64 / (1 << 20) as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "sent {} symbols (mean k = {:.2}, mean m = {:.2}); \
+         reassembly: {} completed, {} timed out, {} wire errors",
+        report.sent_symbols,
+        report.mean_k,
+        report.mean_m,
+        report.reassembly.completed,
+        report.reassembly.timeout_evictions,
+        report.wire_errors
+    );
+    println!("integrity check passed: transfer is bit-exact over real sockets");
+
+    // Export the engine's telemetry snapshot: Prometheus text to stdout,
+    // JSON to disk for CI artifact upload.
+    let snapshot = driver.engine().metrics_snapshot();
+    println!(
+        "\ntelemetry snapshot ({} counters):",
+        snapshot.counters.len()
+    );
+    print!("{}", snapshot.to_prometheus());
+    let json = serde_json::to_string_pretty(&snapshot)?;
+    std::fs::write("METRICS_udp_transfer.json", &json)?;
+    println!("\nwrote METRICS_udp_transfer.json ({} bytes)", json.len());
+    Ok(())
+}
