@@ -16,6 +16,9 @@
 //! * [`BufferPool`] / [`BufHandle`] — capacity-recycling byte buffers,
 //!   the backbone of the zero-allocation data path.
 //! * [`Pacer`] — drift-free constant-rate tick scheduling.
+//! * [`queue`] — pending-event storage: a reference binary heap and a
+//!   bit-identical hierarchical timer wheel, shared by the simulator's
+//!   event loop and each server shard's session timer multiplexer.
 //! * [`stats`] — throughput, sequence-loss, and delay meters.
 //!
 //! `mcss-netsim` re-exports all of these under their historical paths
@@ -25,10 +28,12 @@
 pub mod endpoint;
 mod pace;
 pub mod pool;
+pub mod queue;
 pub mod stats;
 mod time;
 
 pub use endpoint::Endpoint;
 pub use pace::Pacer;
 pub use pool::{BufHandle, BufferPool};
+pub use queue::{EventQueue, QueueKind};
 pub use time::SimTime;

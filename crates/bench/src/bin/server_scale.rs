@@ -1,0 +1,142 @@
+//! Server scaling benchmark: one sharded [`UdpServer`] multiplexing an
+//! increasing number of concurrent sessions over shared loopback
+//! sockets, measuring aggregate reconstructed-symbol throughput and the
+//! cost of the demux/handoff machinery as the session count grows four
+//! orders of magnitude.
+//!
+//! Each point registers `sessions` CBR sources behind one server (shard
+//! count capped at the host's parallelism), runs a fixed wall-clock
+//! window, and reports delivered-symbol throughput plus the server's
+//! own counters (handoffs between shards, kernel-refused sends). The
+//! per-session offered rate shrinks as the fleet grows so the aggregate
+//! offered load stays within what loopback sockets sustain — the point
+//! of the sweep is multiplexing scale, not socket saturation.
+//!
+//! Human-readable table on stdout; `BENCH_server_scale.json` with the
+//! full point series (the binary enables emission itself, like every
+//! figure binary). Session counts:
+//!
+//! * default: 10, 100, 1k, 10k
+//! * `MCSS_SERVER_SCALE=smoke`: 10, 100, 1k (the CI smoke job)
+//! * `MCSS_SERVER_SCALE=full`: default plus 100k
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcss::netsim::SimTime;
+use mcss::remicss::config::ProtocolConfig;
+use mcss::remicss::engine::Workload;
+use mcss::server::{ServerConfig, UdpServer};
+use serde::Serialize;
+
+/// Aggregate offered symbol rate across all sessions, symbols/sec.
+/// Split evenly per session (floored at 2/s so small fleets still show
+/// per-session pacing and huge fleets still make progress per window).
+const AGGREGATE_OFFERED: f64 = 20_000.0;
+/// Wall-clock measurement window per point.
+const WINDOW: Duration = Duration::from_millis(500);
+const SYMBOL_BYTES: usize = 64;
+const CHANNELS: usize = 5;
+
+#[derive(Serialize)]
+struct ScalePoint {
+    sessions: usize,
+    shards: usize,
+    offered_per_session: f64,
+    wall_millis: f64,
+    sent_symbols: u64,
+    delivered_symbols: u64,
+    delivered_per_sec: f64,
+    datagrams_received: u64,
+    handoffs: u64,
+    handoff_rejected: u64,
+    send_drops: u64,
+}
+
+#[derive(Serialize)]
+struct ScaleReport {
+    id: String,
+    aggregate_offered: f64,
+    window_millis: f64,
+    points: Vec<ScalePoint>,
+}
+
+fn shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+fn run_point(sessions: usize, shards: usize) -> ScalePoint {
+    let protocol = Arc::new(
+        ProtocolConfig::new(2.0, 3.0)
+            .expect("valid config")
+            .with_symbol_bytes(SYMBOL_BYTES),
+    );
+    let mut server = UdpServer::new(ServerConfig::with_shards(shards), protocol, CHANNELS)
+        .expect("loopback sockets bind");
+    let offered_per_session = (AGGREGATE_OFFERED / sessions as f64).max(2.0);
+    for cid in 0..sessions as u32 {
+        let workload = Workload::cbr(offered_per_session, SimTime::from_secs(3_600));
+        server
+            .add_session(cid, workload, 1 + u64::from(cid))
+            .expect("session registers");
+    }
+    let summary = server.run_for(WINDOW).expect("run completes");
+    let totals = server.shards().totals();
+    ScalePoint {
+        sessions,
+        shards,
+        offered_per_session,
+        wall_millis: summary.elapsed.as_secs_f64() * 1e3,
+        sent_symbols: summary.sent_symbols,
+        delivered_symbols: summary.delivered_symbols,
+        delivered_per_sec: summary.delivered_per_sec(),
+        datagrams_received: summary.datagrams_received,
+        handoffs: summary.handoffs,
+        handoff_rejected: totals.handoff_rejected,
+        send_drops: summary.send_drops,
+    }
+}
+
+fn session_counts() -> Vec<usize> {
+    match std::env::var("MCSS_SERVER_SCALE").as_deref() {
+        Ok("smoke") => vec![10, 100, 1_000],
+        Ok("full") => vec![10, 100, 1_000, 10_000, 100_000],
+        _ => vec![10, 100, 1_000, 10_000],
+    }
+}
+
+fn main() {
+    mcss_bench::report::enable_emission();
+    let shards = shard_count();
+    println!(
+        "server scaling: {shards} shards, {CHANNELS} channels, \
+         {AGGREGATE_OFFERED:.0} sym/s aggregate offered, {:.0} ms window\n",
+        WINDOW.as_secs_f64() * 1e3
+    );
+    let mut points = Vec::new();
+    for sessions in session_counts() {
+        let p = run_point(sessions, shards);
+        println!(
+            "{:>7} sessions: {:>8.0} sym/s delivered  ({} of {} sent)  \
+             {:>8} datagrams  {:>7} handoffs  {:>5} send drops",
+            p.sessions,
+            p.delivered_per_sec,
+            p.delivered_symbols,
+            p.sent_symbols,
+            p.datagrams_received,
+            p.handoffs,
+            p.send_drops
+        );
+        points.push(p);
+    }
+    let report = ScaleReport {
+        id: "server_scale".to_string(),
+        aggregate_offered: AGGREGATE_OFFERED,
+        window_millis: WINDOW.as_secs_f64() * 1e3,
+        points,
+    };
+    mcss_bench::report::emit_value(&report.id, &report);
+}

@@ -13,6 +13,7 @@
 //! | [`model`] | `mcss-core` | channels, subset formulas, schedules, Theorems 1–5, LP schedules |
 //! | [`netsim`] | `mcss-netsim` | deterministic discrete-event network simulator |
 //! | [`remicss`] | `mcss-remicss` | the best-effort reference protocol |
+//! | [`server`] | `mcss-server` | sharded multi-session server over the sans-I/O engine |
 //! | [`obs`] | `mcss-obs` | telemetry: counters, histograms, span timers, snapshots |
 //!
 //! Telemetry is on by default and compiles to nothing under
@@ -45,6 +46,7 @@ pub use mcss_lp as lp;
 pub use mcss_netsim as netsim;
 pub use mcss_obs as obs;
 pub use mcss_remicss as remicss;
+pub use mcss_server as server;
 pub use mcss_shamir as shamir;
 
 /// The most common imports, for examples and quick experiments.

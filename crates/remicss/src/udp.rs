@@ -30,14 +30,13 @@
 //! # }
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::io;
 use std::net::UdpSocket;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mcss_base::{Endpoint, SimTime};
+use mcss_base::{Endpoint, EventQueue, QueueKind, SimTime};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng as _};
 
@@ -88,9 +87,9 @@ pub struct UdpDriver {
     fault_rng: StdRng,
     loss: Vec<f64>,
     channels: Vec<ChannelSockets>,
-    // Min-heap of (due, insertion seq, token): netsim timer semantics —
-    // earliest first, FIFO among equal due times.
-    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    // Hierarchical timer wheel with netsim timer semantics — earliest
+    // due time first, FIFO among equal due times.
+    timers: EventQueue<u64>,
     timer_seq: u64,
     epoch: Instant,
     recv_buf: Vec<u8>,
@@ -118,7 +117,7 @@ impl UdpDriver {
             fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_MIX),
             loss: vec![0.0; n],
             channels,
-            timers: BinaryHeap::new(),
+            timers: EventQueue::new(QueueKind::Wheel),
             timer_seq: 0,
             epoch: Instant::now(),
             recv_buf: vec![0u8; MAX_DATAGRAM],
@@ -249,11 +248,11 @@ impl UdpDriver {
     fn fire_due_timers(&mut self) -> io::Result<()> {
         loop {
             let now = self.now();
-            match self.timers.peek() {
-                Some(Reverse((at, _, _))) if *at <= now => {}
+            match self.timers.next_at() {
+                Some(at) if at <= now => {}
                 _ => return Ok(()),
             }
-            let Reverse((_, _, token)) = self.timers.pop().expect("peeked entry exists");
+            let (_, _, token) = self.timers.pop().expect("peeked entry exists");
             self.engine
                 .handle(now, Event::TimerFired { token }, &mut self.rng);
             self.apply_actions()?;
@@ -301,7 +300,7 @@ impl UdpDriver {
                 },
                 Action::SetTimer { token, at } => {
                     self.timer_seq += 1;
-                    self.timers.push(Reverse((at, self.timer_seq, token)));
+                    self.timers.push(at, self.timer_seq, token);
                 }
                 Action::DeliverSymbol { seq, payload } => {
                     self.delivered.push_back((seq, payload));

@@ -12,6 +12,23 @@
 //! The timestamp carries the sender's clock at symbol transmission and
 //! lets the receiver compute one-way latency without a side channel
 //! (both hosts share the simulated clock).
+//!
+//! # Connection-ID demux prefix
+//!
+//! When many sessions share one UDP socket (the `mcss-server` shards),
+//! frames carry a 7-byte demux prefix ahead of the inner share/control
+//! frame:
+//!
+//! ```text
+//!  0      2    3            7
+//!  +------+----+------------+------------------------------+
+//!  | "RX" | ver| conn id    | inner frame ("RM"/"RC" …)    |
+//!  +------+----+------------+------------------------------+
+//! ```
+//!
+//! [`demux_frame`] strips the prefix; bare `"RM"`/`"RC"` frames are
+//! still accepted as [`DemuxFrame::Legacy`], the versioned fallback for
+//! single-session peers that predate the prefix.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -405,6 +422,79 @@ impl ControlFrame {
     }
 }
 
+/// Magic bytes of the connection-ID demux prefix, `b"RX"`.
+pub const CID_MAGIC: [u8; 2] = *b"RX";
+
+/// Version of the demux prefix this implementation speaks.
+pub const CID_VERSION: u8 = 1;
+
+/// Size of the demux prefix: magic, version, and a 32-bit connection ID.
+pub const CID_PREFIX_BYTES: usize = 2 + 1 + 4;
+
+/// Appends a connection-ID demux prefix to `buf`; the caller writes the
+/// inner share/control frame right after, so prefix and frame share one
+/// pooled buffer just like [`put_share_header`].
+pub fn put_cid_prefix(buf: &mut Vec<u8>, cid: u32) {
+    buf.extend_from_slice(&CID_MAGIC);
+    buf.push(CID_VERSION);
+    buf.extend_from_slice(&cid.to_be_bytes());
+}
+
+/// A datagram classified by its demux framing, inner bytes borrowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemuxFrame<'a> {
+    /// A prefixed frame: route `inner` to the session owning `cid`.
+    Cid {
+        /// The 32-bit connection ID.
+        cid: u32,
+        /// The inner share/control frame, prefix stripped.
+        inner: &'a [u8],
+    },
+    /// A bare pre-prefix frame (`b"RM"` / `b"RC"`): the versioned
+    /// legacy fallback for peers that speak one session per socket.
+    Legacy(&'a [u8]),
+}
+
+/// Classifies a datagram by its leading magic: strips a `b"RX"` demux
+/// prefix, passes bare `b"RM"`/`b"RC"` frames through as
+/// [`DemuxFrame::Legacy`]. The inner frame is *not* validated here —
+/// that stays with the owning session's decoder, so a corrupt inner
+/// frame is charged to the right session's counters.
+///
+/// # Errors
+///
+/// - [`WireError::Truncated`] if a prefixed datagram ends inside the
+///   prefix or carries no inner bytes.
+/// - [`WireError::BadVersion`] for an unknown prefix version.
+/// - [`WireError::BadMagic`] if no known magic leads the datagram.
+pub fn demux_frame(buf: &[u8]) -> Result<DemuxFrame<'_>, WireError> {
+    if buf.len() >= 2 && buf[0..2] == CID_MAGIC {
+        if buf.len() <= CID_PREFIX_BYTES {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: CID_PREFIX_BYTES + 1,
+            });
+        }
+        if buf[2] != CID_VERSION {
+            return Err(WireError::BadVersion { found: buf[2] });
+        }
+        let cid = u32::from_be_bytes(buf[3..7].try_into().expect("4 bytes"));
+        return Ok(DemuxFrame::Cid {
+            cid,
+            inner: &buf[CID_PREFIX_BYTES..],
+        });
+    }
+    if buf.len() >= 2 && (buf[0..2] == MAGIC || buf[0..2] == CONTROL_MAGIC) {
+        return Ok(DemuxFrame::Legacy(buf));
+    }
+    Err(WireError::BadMagic {
+        found: [
+            buf.first().copied().unwrap_or(0),
+            buf.get(1).copied().unwrap_or(0),
+        ],
+    })
+}
+
 /// Any frame the protocol puts on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -729,6 +819,75 @@ mod tests {
             MessageRef::Share(_) => panic!("expected control"),
         }
         assert!(decode_message_ref(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn cid_prefix_round_trips() {
+        let share = sample();
+        let mut buf = Vec::new();
+        put_cid_prefix(&mut buf, 0xdead_cafe);
+        buf.extend_from_slice(&share.encode());
+        match demux_frame(&buf).unwrap() {
+            DemuxFrame::Cid { cid, inner } => {
+                assert_eq!(cid, 0xdead_cafe);
+                assert_eq!(ShareFrame::decode(inner).unwrap(), share);
+                // Borrowed, not copied.
+                assert_eq!(inner.as_ptr(), buf[CID_PREFIX_BYTES..].as_ptr());
+            }
+            DemuxFrame::Legacy(_) => panic!("expected prefixed frame"),
+        }
+        let mut ctl = Vec::new();
+        put_cid_prefix(&mut ctl, 7);
+        ControlFrame::new(1, 2).encode_into(&mut ctl);
+        assert!(matches!(
+            demux_frame(&ctl).unwrap(),
+            DemuxFrame::Cid { cid: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn demux_passes_legacy_frames_through() {
+        let share_enc = sample().encode();
+        assert_eq!(
+            demux_frame(&share_enc).unwrap(),
+            DemuxFrame::Legacy(&share_enc[..])
+        );
+        let ctl_enc = ControlFrame::new(1, 2).encode();
+        assert_eq!(
+            demux_frame(&ctl_enc).unwrap(),
+            DemuxFrame::Legacy(&ctl_enc[..])
+        );
+    }
+
+    #[test]
+    fn demux_rejects_truncated_and_mutated_prefixes() {
+        let mut buf = Vec::new();
+        put_cid_prefix(&mut buf, 42);
+        buf.extend_from_slice(&sample().encode());
+        // Cut anywhere inside the prefix, or right at its end (an empty
+        // inner frame routes nowhere), is truncated.
+        for cut in [2, 3, CID_PREFIX_BYTES - 1, CID_PREFIX_BYTES] {
+            assert!(matches!(
+                demux_frame(&buf[..cut]).unwrap_err(),
+                WireError::Truncated { .. }
+            ));
+        }
+        let mut bad_ver = buf.clone();
+        bad_ver[2] = 9;
+        assert_eq!(
+            demux_frame(&bad_ver).unwrap_err(),
+            WireError::BadVersion { found: 9 }
+        );
+        let mut bad_magic = buf.clone();
+        bad_magic[1] = b'Z';
+        assert_eq!(
+            demux_frame(&bad_magic).unwrap_err(),
+            WireError::BadMagic {
+                found: [b'R', b'Z']
+            }
+        );
+        assert!(demux_frame(&[]).is_err());
+        assert!(demux_frame(b"R").is_err());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Bounded MPSC queues for cross-shard traffic.
+//!
+//! Two queue instances exist per shard: an **inbox** of handed-off
+//! frames owned by this shard but received on another shard's socket
+//! read, and a **return ring** carrying pooled buffers back to the
+//! shard whose [`BufferPool`](mcss_base::BufferPool) they came from.
+//! Both are bounded: a full inbox sheds load (the frame is dropped and
+//! counted, UDP semantics), a full return ring migrates the buffer into
+//! the consumer's local pool instead — backpressure never blocks a
+//! shard thread.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded multi-producer single-consumer queue. `push` never
+/// blocks: over capacity it hands the item back to the caller, which
+/// decides between dropping (inbox) and local adoption (return ring).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items, storage
+    /// preallocated so steady-state push/pop never touches the
+    /// allocator.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity,
+            items: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Enqueues `item`, or returns it if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when `len() == capacity()`; ownership returns to the
+    /// caller.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut items = self.items.lock().expect("queue lock poisoned");
+        if items.len() >= self.capacity {
+            return Err(item);
+        }
+        items.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().expect("queue lock poisoned").pop_front()
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("queue lock poisoned").len()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound passed at construction.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        assert_eq!(q.push("c"), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        q.push("c").unwrap();
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_never_exceed_capacity() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let _ = q.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.len(), 64);
+    }
+}

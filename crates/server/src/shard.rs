@@ -1,0 +1,748 @@
+//! The sharded session multiplexer: [`Shard`] owns a partition of the
+//! connection-ID space, [`ShardSet`] drives every shard from one thread
+//! with deterministic sequencing.
+//!
+//! Routing is static: connection `cid` lives on shard
+//! `cid % num_shards`. A shard that reads a datagram it does not own
+//! copies the inner frame into a buffer from its *own*
+//! [`BufferPool`] and pushes it onto the owner's bounded inbox; after
+//! processing, the owner sends the buffer home through the origin
+//! shard's return ring, so every pool's working set stays closed under
+//! cross-shard traffic (the steady state allocates nothing — see the
+//! `pool_handoff` regression test).
+//!
+//! [`ShardSet`] is the sans-I/O core of the server: events carry
+//! explicit [`SimTime`] stamps and each session draws from its own
+//! seeded RNG, so the same event sequence replays bit-identically —
+//! the determinism pin replays recorded single-session traces through
+//! this demux path and compares action streams. The socket-facing
+//! [`UdpServer`](crate::udp::UdpServer) wraps the same shards in
+//! threads.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use mcss_base::{BufferPool, Endpoint, EventQueue, QueueKind, SimTime};
+use mcss_obs::{GaugeSnapshot, MetricsSnapshot};
+use mcss_remicss::actions::{Action, Event};
+use mcss_remicss::config::ProtocolConfig;
+use mcss_remicss::engine::{Engine, SessionReport, SourceMode};
+use mcss_remicss::wire::{demux_frame, put_cid_prefix, DemuxFrame};
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+use crate::queue::BoundedQueue;
+use crate::stats::{ShardStats, ShardStatsSnapshot};
+
+/// Largest datagram the server will read: far above any frame the
+/// protocol emits (24-byte header + 16-bit payload length + 7-byte
+/// demux prefix).
+pub const MAX_DATAGRAM: usize = 65_535;
+
+/// Sizing knobs for a shard set.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shards (worker partitions). Clamped to at least 1.
+    pub shards: usize,
+    /// Bound on each shard's handoff inbox and return ring.
+    pub handoff_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 1,
+            handoff_capacity: 4096,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config with `shards` shards and default queue bounds.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        ServerConfig {
+            shards,
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// Errors from session registration.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The connection ID is already registered.
+    DuplicateCid(u32),
+    /// The engine rejected the protocol parameters.
+    Protocol(mcss_core::ModelError),
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::DuplicateCid(cid) => write!(f, "connection id {cid} already registered"),
+            ServerError::Protocol(e) => write!(f, "invalid protocol parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<mcss_core::ModelError> for ServerError {
+    fn from(e: mcss_core::ModelError) -> Self {
+        ServerError::Protocol(e)
+    }
+}
+
+/// One encoded datagram a shard wants on the wire, demux prefix
+/// included. `bytes` comes from the shard's pool and must go back via
+/// [`Shard::recycle_outbound`] (or [`Shard::drain_outbound`], which
+/// recycles automatically).
+#[derive(Debug)]
+pub struct OutboundDatagram {
+    /// The sending session's connection ID.
+    pub cid: u32,
+    /// Channel to transmit on.
+    pub channel: usize,
+    /// Sending endpoint.
+    pub from: Endpoint,
+    /// The full datagram: `"RX"` prefix + inner frame.
+    pub bytes: Vec<u8>,
+}
+
+/// A frame owned by another shard, in flight between shard threads.
+#[derive(Debug)]
+struct Handoff {
+    cid: u32,
+    channel: usize,
+    to: Endpoint,
+    /// Shard whose pool `buf` came from (and returns to).
+    origin: usize,
+    /// The inner frame, demux prefix already stripped.
+    buf: Vec<u8>,
+}
+
+/// One multiplexed session: the sans-I/O engine plus the per-session
+/// state a driver owns (RNG, delivery queue, optional action log).
+#[derive(Debug)]
+struct SessionSlot {
+    engine: Engine,
+    rng: StdRng,
+    record: bool,
+    action_log: Vec<Action>,
+    delivered: VecDeque<(u64, Vec<u8>)>,
+}
+
+/// One worker partition: the sessions it owns, their shared buffer
+/// pool and timer wheel, and the queues linking it to its peers.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    num_shards: usize,
+    sessions: HashMap<u32, SessionSlot>,
+    pool: BufferPool,
+    timers: EventQueue<(u32, u64)>,
+    timer_seq: u64,
+    outbound: VecDeque<OutboundDatagram>,
+    legacy_cid: Option<u32>,
+    stats: Arc<ShardStats>,
+    inbox: Arc<BoundedQueue<Handoff>>,
+    inboxes: Vec<Arc<BoundedQueue<Handoff>>>,
+    returns: Vec<Arc<BoundedQueue<Vec<u8>>>>,
+}
+
+impl Shard {
+    fn new(
+        index: usize,
+        inboxes: Vec<Arc<BoundedQueue<Handoff>>>,
+        returns: Vec<Arc<BoundedQueue<Vec<u8>>>>,
+        stats: Arc<ShardStats>,
+    ) -> Self {
+        Shard {
+            index,
+            num_shards: inboxes.len(),
+            sessions: HashMap::new(),
+            pool: BufferPool::new(),
+            timers: EventQueue::new(QueueKind::Wheel),
+            timer_seq: 0,
+            outbound: VecDeque::new(),
+            legacy_cid: None,
+            stats: Arc::clone(&stats),
+            inbox: Arc::clone(&inboxes[index]),
+            inboxes,
+            returns,
+        }
+    }
+
+    /// This shard's position in the set.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Sessions this shard owns.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Live counters (shared with metric aggregators).
+    #[must_use]
+    pub fn stats(&self) -> &Arc<ShardStats> {
+        &self.stats
+    }
+
+    /// The shard's buffer pool (its hit/miss/grow counters witness the
+    /// zero-allocation steady state).
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Connection IDs owned by this shard, unordered.
+    pub fn cids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sessions.keys().copied()
+    }
+
+    fn slot_mut(&mut self, cid: u32) -> &mut SessionSlot {
+        self.sessions
+            .get_mut(&cid)
+            .unwrap_or_else(|| panic!("no session with connection id {cid}"))
+    }
+
+    fn add_session(&mut self, cid: u32, engine: Engine, seed: u64) -> Result<(), ServerError> {
+        if self.sessions.contains_key(&cid) {
+            return Err(ServerError::DuplicateCid(cid));
+        }
+        self.sessions.insert(
+            cid,
+            SessionSlot {
+                engine,
+                rng: StdRng::seed_from_u64(seed),
+                record: false,
+                action_log: Vec::new(),
+                delivered: VecDeque::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Delivers [`Event::Started`] to `cid` at `now`, arming its
+    /// initial timers.
+    pub fn start_session(&mut self, now: SimTime, cid: u32) {
+        let slot = self.slot_mut(cid);
+        slot.engine.handle(now, Event::Started, &mut slot.rng);
+        self.drain_engine(now, cid);
+    }
+
+    /// Fires one timer event directly, bypassing the shard wheel.
+    ///
+    /// This is the trace-replay hook: recorded runs carry the exact
+    /// timer firing order, and replaying it verbatim keeps the session
+    /// bit-identical regardless of how the wheel would batch the same
+    /// due times.
+    pub fn fire_timer(&mut self, now: SimTime, cid: u32, token: u64) {
+        let slot = self.slot_mut(cid);
+        slot.engine
+            .handle(now, Event::TimerFired { token }, &mut slot.rng);
+        ShardStats::bump(&self.stats.timers_fired);
+        self.drain_engine(now, cid);
+    }
+
+    /// Updates `cid`'s view of `from`'s send backlog on `channel`.
+    pub fn channel_writable(
+        &mut self,
+        now: SimTime,
+        cid: u32,
+        channel: usize,
+        from: Endpoint,
+        backlog: SimTime,
+    ) {
+        let slot = self.slot_mut(cid);
+        slot.engine.handle(
+            now,
+            Event::ChannelWritable {
+                channel,
+                from,
+                backlog,
+            },
+            &mut slot.rng,
+        );
+        self.drain_engine(now, cid);
+    }
+
+    /// Offers one symbol payload to an external-source session.
+    pub fn offer_symbol(&mut self, now: SimTime, cid: u32, payload: &[u8]) {
+        let slot = self.slot_mut(cid);
+        slot.engine
+            .handle(now, Event::SymbolReady { payload }, &mut slot.rng);
+        self.drain_engine(now, cid);
+    }
+
+    /// Handles one datagram read by **this** shard. Own frames are
+    /// processed in place; frames owned elsewhere are copied into a
+    /// pooled buffer and pushed to the owner's inbox. Returns the owner
+    /// index when a handoff was enqueued (so a synchronous driver can
+    /// pump it immediately).
+    pub fn route_datagram(
+        &mut self,
+        now: SimTime,
+        channel: usize,
+        to: Endpoint,
+        datagram: &[u8],
+    ) -> Option<usize> {
+        ShardStats::bump(&self.stats.datagrams_received);
+        let (cid, inner) = match demux_frame(datagram) {
+            Ok(DemuxFrame::Cid { cid, inner }) => (cid, inner),
+            Ok(DemuxFrame::Legacy(frame)) => match self.legacy_cid {
+                Some(cid) => {
+                    ShardStats::bump(&self.stats.legacy_frames);
+                    (cid, frame)
+                }
+                None => {
+                    ShardStats::bump(&self.stats.dropped_legacy);
+                    return None;
+                }
+            },
+            Err(_) => {
+                ShardStats::bump(&self.stats.dropped_malformed);
+                return None;
+            }
+        };
+        let owner = cid as usize % self.num_shards;
+        if owner == self.index {
+            self.deliver_inner(now, cid, channel, to, inner);
+            return None;
+        }
+        let mut buf = self.pool.take();
+        buf.extend_from_slice(inner);
+        let handoff = Handoff {
+            cid,
+            channel,
+            to,
+            origin: self.index,
+            buf,
+        };
+        match self.inboxes[owner].push(handoff) {
+            Ok(()) => {
+                ShardStats::bump(&self.stats.handoff_out);
+                Some(owner)
+            }
+            Err(rejected) => {
+                // Inbox full: shed the frame (UDP semantics) but keep
+                // the buffer — it is ours.
+                ShardStats::bump(&self.stats.handoff_rejected);
+                self.pool.put(rejected.buf);
+                None
+            }
+        }
+    }
+
+    /// Feeds one demuxed inner frame to the owning session.
+    fn deliver_inner(
+        &mut self,
+        now: SimTime,
+        cid: u32,
+        channel: usize,
+        to: Endpoint,
+        inner: &[u8],
+    ) {
+        let Some(slot) = self.sessions.get_mut(&cid) else {
+            ShardStats::bump(&self.stats.dropped_unknown_cid);
+            return;
+        };
+        if slot
+            .engine
+            .handle_frame(now, channel, to, inner, &mut slot.rng)
+            .is_err()
+        {
+            ShardStats::bump(&self.stats.dropped_bad_frame);
+        }
+        self.drain_engine(now, cid);
+    }
+
+    /// Processes every frame handed off by other shards, then sends
+    /// each buffer home through its origin's return ring. A full ring
+    /// migrates the buffer into this shard's pool instead — never a
+    /// drop, never an allocation.
+    pub fn drain_inbox(&mut self, now: SimTime) {
+        let inbox = Arc::clone(&self.inbox);
+        while let Some(handoff) = inbox.pop() {
+            ShardStats::bump(&self.stats.handoff_in);
+            self.deliver_inner(now, handoff.cid, handoff.channel, handoff.to, &handoff.buf);
+            if handoff.origin == self.index {
+                self.pool.put(handoff.buf);
+                continue;
+            }
+            match self.returns[handoff.origin].push(handoff.buf) {
+                Ok(()) => {}
+                Err(buf) => {
+                    ShardStats::bump(&self.stats.returns_migrated);
+                    self.pool.put(buf);
+                }
+            }
+        }
+    }
+
+    /// Reclaims buffers other shards finished with into this shard's
+    /// pool.
+    pub fn drain_returns(&mut self) {
+        let ring = Arc::clone(&self.returns[self.index]);
+        while let Some(buf) = ring.pop() {
+            self.pool.put(buf);
+        }
+    }
+
+    /// Fires every timer due at or before `now` from the shard wheel.
+    pub fn poll_timers(&mut self, now: SimTime) {
+        while matches!(self.timers.next_at(), Some(at) if at <= now) {
+            let (_, _, (cid, token)) = self.timers.pop().expect("peeked entry exists");
+            if !self.sessions.contains_key(&cid) {
+                continue;
+            }
+            self.fire_timer(now, cid, token);
+        }
+    }
+
+    /// Drains the session's action queue: shares and control frames
+    /// are prefixed with the connection ID into pooled buffers and
+    /// queued outbound, timers go onto the shard wheel, reconstructed
+    /// symbols park in the session's delivery queue.
+    fn drain_engine(&mut self, _now: SimTime, cid: u32) {
+        let Some(slot) = self.sessions.get_mut(&cid) else {
+            return;
+        };
+        while let Some(action) = slot.engine.poll_action() {
+            if slot.record {
+                slot.action_log.push(action.clone());
+            }
+            match action {
+                Action::SendShare {
+                    channel,
+                    from,
+                    frame,
+                } => {
+                    let mut bytes = self.pool.take();
+                    put_cid_prefix(&mut bytes, cid);
+                    bytes.extend_from_slice(&frame);
+                    // The frame left the session: enqueueing outbound is
+                    // this driver's send. Transport-level drops are
+                    // shard-level counters, not session rejections.
+                    slot.engine.share_send_ok(channel);
+                    slot.engine.recycle(frame);
+                    self.outbound.push_back(OutboundDatagram {
+                        cid,
+                        channel,
+                        from,
+                        bytes,
+                    });
+                    ShardStats::bump(&self.stats.shares_sent);
+                }
+                Action::SendControl {
+                    channel,
+                    from,
+                    frame,
+                } => {
+                    let mut bytes = self.pool.take();
+                    put_cid_prefix(&mut bytes, cid);
+                    bytes.extend_from_slice(&frame);
+                    slot.engine.recycle(frame);
+                    self.outbound.push_back(OutboundDatagram {
+                        cid,
+                        channel,
+                        from,
+                        bytes,
+                    });
+                    ShardStats::bump(&self.stats.controls_sent);
+                }
+                Action::SetTimer { token, at } => {
+                    self.timer_seq += 1;
+                    self.timers.push(at, self.timer_seq, (cid, token));
+                }
+                Action::DeliverSymbol { seq, payload } => {
+                    ShardStats::bump(&self.stats.symbols_delivered);
+                    slot.delivered.push_back((seq, payload));
+                }
+            }
+        }
+    }
+
+    /// Takes the oldest queued outbound datagram. Pass `bytes` back via
+    /// [`recycle_outbound`](Shard::recycle_outbound) once sent.
+    pub fn pop_outbound(&mut self) -> Option<OutboundDatagram> {
+        self.outbound.pop_front()
+    }
+
+    /// Returns an outbound datagram's buffer to the shard pool.
+    pub fn recycle_outbound(&mut self, bytes: Vec<u8>) {
+        self.pool.put(bytes);
+    }
+
+    /// Visits every queued outbound datagram and recycles each buffer
+    /// afterwards, counting them as sent.
+    pub fn drain_outbound(&mut self, mut visit: impl FnMut(&OutboundDatagram)) {
+        while let Some(datagram) = self.outbound.pop_front() {
+            ShardStats::bump(&self.stats.datagrams_sent);
+            visit(&datagram);
+            self.pool.put(datagram.bytes);
+        }
+    }
+
+    /// Takes every symbol `cid`'s session has reconstructed. Buffers
+    /// may be handed back with
+    /// [`recycle_delivered`](Shard::recycle_delivered) to keep the
+    /// session's pool warm.
+    pub fn take_delivered(&mut self, cid: u32) -> Vec<(u64, Vec<u8>)> {
+        self.slot_mut(cid).delivered.drain(..).collect()
+    }
+
+    /// Takes the oldest reconstructed symbol from `cid`'s delivery
+    /// queue without allocating (unlike
+    /// [`take_delivered`](Shard::take_delivered), which collects).
+    pub fn pop_delivered(&mut self, cid: u32) -> Option<(u64, Vec<u8>)> {
+        self.slot_mut(cid).delivered.pop_front()
+    }
+
+    /// Returns a delivered payload buffer to `cid`'s engine pool.
+    pub fn recycle_delivered(&mut self, cid: u32, payload: Vec<u8>) {
+        self.slot_mut(cid).engine.recycle(payload);
+    }
+
+    /// Starts logging every action `cid`'s engine emits (for replay
+    /// pinning; cloning frames is test-only overhead, off by default).
+    pub fn record_actions(&mut self, cid: u32) {
+        self.slot_mut(cid).record = true;
+    }
+
+    /// Takes the recorded action log.
+    pub fn take_action_log(&mut self, cid: u32) -> Vec<Action> {
+        std::mem::take(&mut self.slot_mut(cid).action_log)
+    }
+
+    /// The session's report over a measurement `window`.
+    #[must_use]
+    pub fn report(&self, cid: u32, window: SimTime) -> SessionReport {
+        self.sessions
+            .get(&cid)
+            .unwrap_or_else(|| panic!("no session with connection id {cid}"))
+            .engine
+            .report(window)
+    }
+}
+
+/// Every shard of the server, driven synchronously from one thread.
+///
+/// All sequencing is explicit — time comes from the caller, handoffs
+/// are pumped to completion inside
+/// [`deliver_datagram`](ShardSet::deliver_datagram) — so a given call
+/// sequence produces bit-identical session behaviour on any shard
+/// count.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<Shard>,
+}
+
+impl ShardSet {
+    /// Builds `config.shards` empty shards with their cross-shard
+    /// queues wired up.
+    #[must_use]
+    pub fn new(config: &ServerConfig) -> Self {
+        let n = config.shards.max(1);
+        let inboxes: Vec<_> = (0..n)
+            .map(|_| Arc::new(BoundedQueue::new(config.handoff_capacity)))
+            .collect();
+        let returns: Vec<_> = (0..n)
+            .map(|_| Arc::new(BoundedQueue::new(config.handoff_capacity)))
+            .collect();
+        let shards = (0..n)
+            .map(|i| {
+                Shard::new(
+                    i,
+                    inboxes.clone(),
+                    returns.clone(),
+                    Arc::new(ShardStats::default()),
+                )
+            })
+            .collect();
+        ShardSet { shards }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning connection `cid`.
+    #[must_use]
+    pub fn shard_of(&self, cid: u32) -> usize {
+        cid as usize % self.shards.len()
+    }
+
+    /// Read access to one shard.
+    #[must_use]
+    pub fn shard(&self, index: usize) -> &Shard {
+        &self.shards[index]
+    }
+
+    /// Mutable access to one shard (the threaded driver moves these
+    /// into worker threads instead).
+    pub fn shard_mut(&mut self, index: usize) -> &mut Shard {
+        &mut self.shards[index]
+    }
+
+    pub(crate) fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    /// Sessions across all shards.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(Shard::session_count).sum()
+    }
+
+    /// Registers a session under `cid` on its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateCid`] if `cid` is taken,
+    /// [`ServerError::Protocol`] if the engine rejects the config.
+    pub fn add_session(
+        &mut self,
+        cid: u32,
+        config: impl Into<Arc<ProtocolConfig>>,
+        channels: usize,
+        source: SourceMode,
+        seed: u64,
+    ) -> Result<(), ServerError> {
+        let engine = Engine::new(config, channels, source)?;
+        let owner = self.shard_of(cid);
+        self.shards[owner].add_session(cid, engine, seed)
+    }
+
+    /// Routes bare pre-prefix (`"RM"`/`"RC"`) frames to the session
+    /// registered under `cid` — the compatibility path for
+    /// single-session peers that predate the demux prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no session is registered under `cid`.
+    pub fn set_legacy_session(&mut self, cid: u32) {
+        let owner = self.shard_of(cid);
+        assert!(
+            self.shards[owner].sessions.contains_key(&cid),
+            "no session with connection id {cid}"
+        );
+        for shard in &mut self.shards {
+            shard.legacy_cid = Some(cid);
+        }
+    }
+
+    /// Starts session `cid` at `now`.
+    pub fn start(&mut self, now: SimTime, cid: u32) {
+        let owner = self.shard_of(cid);
+        self.shards[owner].start_session(now, cid);
+    }
+
+    /// Replay hook: fires `cid`'s timer `token` at `now` directly.
+    pub fn fire_timer(&mut self, now: SimTime, cid: u32, token: u64) {
+        let owner = self.shard_of(cid);
+        self.shards[owner].fire_timer(now, cid, token);
+    }
+
+    /// Updates `cid`'s channel-backlog view.
+    pub fn channel_writable(
+        &mut self,
+        now: SimTime,
+        cid: u32,
+        channel: usize,
+        from: Endpoint,
+        backlog: SimTime,
+    ) {
+        let owner = self.shard_of(cid);
+        self.shards[owner].channel_writable(now, cid, channel, from, backlog);
+    }
+
+    /// Offers a symbol payload to external-source session `cid`.
+    pub fn offer_symbol(&mut self, now: SimTime, cid: u32, payload: &[u8]) {
+        let owner = self.shard_of(cid);
+        self.shards[owner].offer_symbol(now, cid, payload);
+    }
+
+    /// Delivers one datagram as read by shard `received_on`, pumping
+    /// any cross-shard handoff (and the buffer's trip home) to
+    /// completion before returning.
+    pub fn deliver_datagram(
+        &mut self,
+        now: SimTime,
+        channel: usize,
+        to: Endpoint,
+        datagram: &[u8],
+        received_on: usize,
+    ) {
+        if let Some(owner) = self.shards[received_on].route_datagram(now, channel, to, datagram) {
+            self.shards[owner].drain_inbox(now);
+            self.shards[received_on].drain_returns();
+        }
+    }
+
+    /// One duty cycle over every shard: drain handoffs, fire due
+    /// timers, reclaim returned buffers.
+    pub fn poll(&mut self, now: SimTime) {
+        for shard in &mut self.shards {
+            shard.drain_inbox(now);
+            shard.poll_timers(now);
+        }
+        for shard in &mut self.shards {
+            shard.drain_returns();
+        }
+    }
+
+    /// Frozen counters for one shard.
+    #[must_use]
+    pub fn stats(&self, index: usize) -> ShardStatsSnapshot {
+        self.shards[index].stats.get()
+    }
+
+    /// Counter totals across all shards.
+    #[must_use]
+    pub fn totals(&self) -> ShardStatsSnapshot {
+        let mut total = ShardStatsSnapshot::default();
+        for shard in &self.shards {
+            total.add(&shard.stats.get());
+        }
+        total
+    }
+
+    /// The snapshot endpoint: per-shard counters under
+    /// `server.shard{i}.*`, totals under `server.total.*`, plus a
+    /// session-count gauge — ready to merge with engine metrics or
+    /// export as Prometheus text.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        let mut total = ShardStatsSnapshot::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let stats = shard.stats.get();
+            stats.extend_snapshot(&format!("server.shard{i}"), &mut snapshot);
+            snapshot.gauges.push(GaugeSnapshot {
+                name: format!("server.shard{i}.sessions"),
+                value: shard.session_count() as i64,
+            });
+            total.add(&stats);
+        }
+        total.extend_snapshot("server.total", &mut snapshot);
+        snapshot.gauges.push(GaugeSnapshot {
+            name: "server.total.sessions".to_string(),
+            value: self.session_count() as i64,
+        });
+        snapshot
+    }
+
+    /// The report of session `cid` over `window`.
+    #[must_use]
+    pub fn report(&self, cid: u32, window: SimTime) -> SessionReport {
+        let owner = self.shard_of(cid);
+        self.shards[owner].report(cid, window)
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-shard operational counters.
+//!
+//! These are plain [`AtomicU64`]s rather than `mcss-obs` counters so
+//! the demux/handoff invariants they witness stay observable in every
+//! build — the proptests assert on them with telemetry compiled out.
+//! [`ShardStats::snapshot`] bridges them into the `mcss-obs` world as
+//! an always-available [`MetricsSnapshot`] fragment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcss_obs::{CounterSnapshot, MetricsSnapshot};
+
+/// Declares the atomic counter struct, its plain-data snapshot twin,
+/// and the name table the metrics export walks — one source of truth
+/// for the field list.
+macro_rules! shard_stats {
+    ($($(#[doc = $doc:literal])+ $field:ident),+ $(,)?) => {
+        /// Live per-shard counters, shared between the owning shard
+        /// thread and metric aggregators.
+        #[derive(Debug, Default)]
+        pub struct ShardStats {
+            $($(#[doc = $doc])+ pub $field: AtomicU64,)+
+        }
+
+        /// A [`ShardStats`] value frozen at one instant.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct ShardStatsSnapshot {
+            $($(#[doc = $doc])+ pub $field: u64,)+
+        }
+
+        impl ShardStats {
+            /// Freezes the current counter values.
+            #[must_use]
+            pub fn get(&self) -> ShardStatsSnapshot {
+                ShardStatsSnapshot {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl ShardStatsSnapshot {
+            /// Adds another snapshot's counts (for cross-shard totals).
+            pub fn add(&mut self, other: &ShardStatsSnapshot) {
+                $(self.$field += other.$field;)+
+            }
+
+            /// Appends one counter per field, named
+            /// `{prefix}.{field}`, onto `snapshot`.
+            pub fn extend_snapshot(&self, prefix: &str, snapshot: &mut MetricsSnapshot) {
+                $(snapshot.counters.push(CounterSnapshot {
+                    name: format!("{prefix}.{}", stringify!($field)),
+                    value: self.$field,
+                });)+
+            }
+        }
+    };
+}
+
+shard_stats! {
+    /// Datagrams read off the wire by this shard.
+    datagrams_received,
+    /// Datagrams this shard put on the wire.
+    datagrams_sent,
+    /// Encoded share frames queued outbound.
+    shares_sent,
+    /// Encoded control frames queued outbound.
+    controls_sent,
+    /// Symbols reconstructed by this shard's sessions.
+    symbols_delivered,
+    /// Session timers fired from the shard wheel.
+    timers_fired,
+    /// Frames received here but owned elsewhere, handed off.
+    handoff_out,
+    /// Frames processed here that another shard received.
+    handoff_in,
+    /// Handoffs dropped because the owner's inbox was full.
+    handoff_rejected,
+    /// Handoff buffers adopted locally because the origin's
+    /// return ring was full.
+    returns_migrated,
+    /// Prefixed frames whose connection ID matched no session.
+    dropped_unknown_cid,
+    /// Datagrams with no recognizable framing (bad demux magic,
+    /// truncated or mutated prefix).
+    dropped_malformed,
+    /// Frames routed to a session but undecodable as share/control.
+    dropped_bad_frame,
+    /// Bare pre-prefix frames routed to the legacy session.
+    legacy_frames,
+    /// Bare pre-prefix frames with no legacy session registered.
+    dropped_legacy,
+    /// Outbound datagrams the transport refused (socket backpressure).
+    send_drops,
+}
+
+impl ShardStats {
+    /// Relaxed increment; counters are monotonic and independently
+    /// read, so no ordering beyond atomicity is needed.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_add_and_export() {
+        let stats = ShardStats::default();
+        ShardStats::bump(&stats.datagrams_received);
+        ShardStats::bump(&stats.datagrams_received);
+        ShardStats::bump(&stats.handoff_out);
+        let mut total = stats.get();
+        assert_eq!(total.datagrams_received, 2);
+        assert_eq!(total.handoff_out, 1);
+        total.add(&stats.get());
+        assert_eq!(total.datagrams_received, 4);
+
+        let mut snap = MetricsSnapshot::default();
+        total.extend_snapshot("server.shard0", &mut snap);
+        let got = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "server.shard0.datagrams_received")
+            .expect("exported");
+        assert_eq!(got.value, 4);
+    }
+}

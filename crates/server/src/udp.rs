@@ -1,0 +1,338 @@
+//! The socket-facing server: every shard runs on its own thread,
+//! reading the *same* nonblocking UDP sockets.
+//!
+//! One cross-connected loopback socket pair exists per protocol
+//! channel, shared by every session: outbound frames carry the 7-byte
+//! connection-ID prefix, and whichever shard thread the kernel hands a
+//! datagram to either owns the session (processed in place) or pushes
+//! it onto the owner's bounded inbox — the same
+//! [`Shard`](crate::shard::Shard) code the deterministic
+//! [`ShardSet`](crate::shard::ShardSet) drives synchronously, now under
+//! real scheduling races. Session behaviour stays deterministic *per
+//! session* because each session's events still arrive in order on its
+//! owning shard.
+
+use std::io;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mcss_base::{Endpoint, SimTime};
+use mcss_obs::MetricsSnapshot;
+use mcss_remicss::config::ProtocolConfig;
+use mcss_remicss::engine::{SessionReport, SourceMode, Workload};
+
+use crate::shard::{ServerConfig, ShardSet, MAX_DATAGRAM};
+use crate::stats::ShardStats;
+
+/// One channel's socket pair: `a` is host A's end, `b` is host B's
+/// end, cross-connected on loopback.
+#[derive(Debug)]
+struct ChannelSockets {
+    a: UdpSocket,
+    b: UdpSocket,
+}
+
+impl ChannelSockets {
+    fn loopback_pair() -> io::Result<Self> {
+        let a = UdpSocket::bind("127.0.0.1:0")?;
+        let b = UdpSocket::bind("127.0.0.1:0")?;
+        a.connect(b.local_addr()?)?;
+        b.connect(a.local_addr()?)?;
+        a.set_nonblocking(true)?;
+        b.set_nonblocking(true)?;
+        Ok(ChannelSockets { a, b })
+    }
+
+    fn try_clone(&self) -> io::Result<Self> {
+        Ok(ChannelSockets {
+            a: self.a.try_clone()?,
+            b: self.b.try_clone()?,
+        })
+    }
+
+    /// `endpoint`'s own socket: transmit on it as `from`, receive on it
+    /// as `to` (the pair is cross-connected).
+    fn sock(&self, endpoint: Endpoint) -> &UdpSocket {
+        match endpoint {
+            Endpoint::A => &self.a,
+            Endpoint::B => &self.b,
+        }
+    }
+}
+
+/// Aggregate outcome of one [`UdpServer::run_for`] window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerSummary {
+    /// Wall-clock time the shard threads ran.
+    pub elapsed: Duration,
+    /// Sessions served.
+    pub sessions: usize,
+    /// Symbols sent across all sessions (from engine reports).
+    pub sent_symbols: u64,
+    /// Symbols reconstructed across all sessions.
+    pub delivered_symbols: u64,
+    /// Share datagrams queued outbound across all shards.
+    pub shares_sent: u64,
+    /// Datagrams read off the sockets across all shards.
+    pub datagrams_received: u64,
+    /// Frames handed off between shards.
+    pub handoffs: u64,
+    /// Outbound datagrams the kernel refused (socket backpressure).
+    pub send_drops: u64,
+}
+
+impl ServerSummary {
+    /// Aggregate reconstructed-symbol throughput.
+    #[must_use]
+    pub fn delivered_per_sec(&self) -> f64 {
+        self.delivered_symbols as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The sharded server over real loopback sockets: construct, register
+/// paced sessions, then [`run_for`](UdpServer::run_for) a wall-clock
+/// window.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use mcss_base::SimTime;
+/// use mcss_remicss::config::ProtocolConfig;
+/// use mcss_remicss::engine::Workload;
+/// use mcss_server::{ServerConfig, UdpServer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let protocol = Arc::new(ProtocolConfig::new(2.0, 3.0)?.with_symbol_bytes(64));
+/// let mut server = UdpServer::new(ServerConfig::with_shards(4), protocol, 5)?;
+/// for cid in 0..100u32 {
+///     let workload = Workload::cbr(50.0, SimTime::from_secs(10));
+///     server.add_session(cid, workload, u64::from(cid))?;
+/// }
+/// let summary = server.run_for(Duration::from_millis(500))?;
+/// println!("{} symbols/s", summary.delivered_per_sec());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct UdpServer {
+    set: ShardSet,
+    protocol: Arc<ProtocolConfig>,
+    channels: Vec<ChannelSockets>,
+    /// Wall→engine time origin; reset at each run so `Started` lands
+    /// near time zero, where the engines arm their initial timers.
+    epoch: Instant,
+}
+
+impl UdpServer {
+    /// Binds one loopback socket pair per channel and builds the shard
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if socket setup fails.
+    pub fn new(
+        config: ServerConfig,
+        protocol: impl Into<Arc<ProtocolConfig>>,
+        channels: usize,
+    ) -> io::Result<Self> {
+        let pairs = (0..channels)
+            .map(|_| ChannelSockets::loopback_pair())
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(UdpServer {
+            set: ShardSet::new(&config),
+            protocol: protocol.into(),
+            channels: pairs,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Registers a paced session under `cid`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] for a duplicate `cid` or
+    /// protocol parameters the engine rejects.
+    pub fn add_session(&mut self, cid: u32, workload: Workload, seed: u64) -> io::Result<()> {
+        let n = self.channels.len();
+        self.set
+            .add_session(
+                cid,
+                Arc::clone(&self.protocol),
+                n,
+                SourceMode::Paced(workload),
+                seed,
+            )
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
+    }
+
+    /// Sessions registered.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.set.session_count()
+    }
+
+    /// The deterministic core (per-shard stats, pools, reports).
+    #[must_use]
+    pub fn shards(&self) -> &ShardSet {
+        &self.set
+    }
+
+    /// Aggregated per-shard metrics (`server.shard{i}.*` plus
+    /// `server.total.*`).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.set.metrics_snapshot()
+    }
+
+    /// Per-session engine reports over `window`.
+    #[must_use]
+    pub fn session_reports(&self, window: SimTime) -> Vec<(u32, SessionReport)> {
+        let mut reports = Vec::new();
+        for i in 0..self.set.num_shards() {
+            let shard = self.set.shard(i);
+            for cid in shard.cids() {
+                reports.push((cid, shard.report(cid, window)));
+            }
+        }
+        reports.sort_by_key(|(cid, _)| *cid);
+        reports
+    }
+
+    /// Starts every session and runs one shard thread per shard for
+    /// `wall` of wall-clock time, multiplexing all sessions over the
+    /// shared sockets.
+    ///
+    /// # Errors
+    ///
+    /// The first socket error any shard thread hit (`WouldBlock` and
+    /// kernel-refused sends are handled internally, never surfaced).
+    pub fn run_for(&mut self, wall: Duration) -> io::Result<ServerSummary> {
+        self.epoch = Instant::now();
+        let epoch = self.epoch;
+        let started = Instant::now();
+        // Start sessions before the threads exist: Started arms timers
+        // near t=0 and the wheels fire them once the threads spin up.
+        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+        for i in 0..self.set.num_shards() {
+            let shard = self.set.shard_mut(i);
+            let cids: Vec<u32> = shard.cids().collect();
+            for cid in cids {
+                shard.start_session(now, cid);
+            }
+        }
+
+        let stop = AtomicBool::new(false);
+        let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let deadline = Instant::now() + wall;
+        std::thread::scope(|scope| -> io::Result<()> {
+            let mut handles = Vec::new();
+            for shard in self.set.shards_mut() {
+                let sockets = self
+                    .channels
+                    .iter()
+                    .map(ChannelSockets::try_clone)
+                    .collect::<io::Result<Vec<_>>>()?;
+                let stop = &stop;
+                let first_error = &first_error;
+                handles.push(scope.spawn(move || {
+                    let mut recv_buf = vec![0u8; MAX_DATAGRAM];
+                    loop {
+                        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                        shard.drain_inbox(now);
+                        shard.poll_timers(now);
+                        shard.drain_returns();
+                        let mut idle = true;
+                        for (channel, pair) in sockets.iter().enumerate() {
+                            // Shares travel A→B (received on B's
+                            // socket), control B→A (received on A's).
+                            for to in [Endpoint::B, Endpoint::A] {
+                                loop {
+                                    match pair.sock(to).recv(&mut recv_buf) {
+                                        Ok(len) => {
+                                            idle = false;
+                                            let now = SimTime::from_nanos(
+                                                epoch.elapsed().as_nanos() as u64,
+                                            );
+                                            shard.route_datagram(
+                                                now,
+                                                channel,
+                                                to,
+                                                &recv_buf[..len],
+                                            );
+                                        }
+                                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                        Err(e) => {
+                                            first_error.lock().unwrap().get_or_insert(e);
+                                            stop.store(true, Ordering::Relaxed);
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        while let Some(datagram) = shard.pop_outbound() {
+                            idle = false;
+                            match sockets[datagram.channel]
+                                .sock(datagram.from)
+                                .send(&datagram.bytes)
+                            {
+                                Ok(_) => ShardStats::bump(&shard.stats().datagrams_sent),
+                                Err(e) if would_drop(&e) => {
+                                    ShardStats::bump(&shard.stats().send_drops);
+                                }
+                                Err(e) => {
+                                    first_error.lock().unwrap().get_or_insert(e);
+                                    stop.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                            shard.recycle_outbound(datagram.bytes);
+                        }
+                        if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                            return;
+                        }
+                        if idle {
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                    }
+                }));
+            }
+            drop(handles); // scope joins
+            Ok(())
+        })?;
+        if let Some(e) = first_error.lock().unwrap().take() {
+            return Err(e);
+        }
+
+        let elapsed = started.elapsed();
+        let window = SimTime::from_nanos(elapsed.as_nanos() as u64);
+        let mut sent_symbols = 0;
+        let mut delivered_symbols = 0;
+        for (_, report) in self.session_reports(window) {
+            sent_symbols += report.sent_symbols;
+            delivered_symbols += report.delivered_symbols;
+        }
+        let totals = self.set.totals();
+        Ok(ServerSummary {
+            elapsed,
+            sessions: self.set.session_count(),
+            sent_symbols,
+            delivered_symbols,
+            shares_sent: totals.shares_sent,
+            datagrams_received: totals.datagrams_received,
+            handoffs: totals.handoff_in,
+            send_drops: totals.send_drops,
+        })
+    }
+}
+
+/// Send errors that mean "this datagram is dropped" rather than "the
+/// server is broken": full socket buffers and kernel-refused datagrams.
+fn would_drop(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::OutOfMemory | io::ErrorKind::ConnectionRefused
+    )
+}

@@ -1,0 +1,180 @@
+//! Zero-allocation regression for the cross-shard buffer handoff.
+//!
+//! Every datagram in this test is read by the *wrong* shard: the reader
+//! copies the inner frame into a buffer from its own pool, hands it to
+//! the owner through the bounded inbox, and the owner sends the buffer
+//! home through the reader's return ring. In steady state that whole
+//! round trip — plus the engines' split/frame/reassemble path under it
+//! — must allocate nothing, and no buffer may be stranded on the wrong
+//! shard (`returns_migrated` stays zero, both pools' miss/grow counters
+//! stay flat).
+//!
+//! A counting global allocator (filtered to the measured thread, as in
+//! the engine-level `zero_alloc` test) snapshots after a warmup window
+//! long enough for every pool, ring, and reassembly table to reach its
+//! high-water mark. The shard timer wheel is deliberately left idle
+//! during measurement: its lazily-warmed slot vectors allocate on first
+//! touch of each high-level frame (a documented property, pinned
+//! elsewhere), which would otherwise mask a real leak in the handoff
+//! path being measured here. Receiver state stays bounded anyway: the
+//! resolved-map cap (set below the warmup count) bounds resolution
+//! memory at insert time, and a single sweep fired at the
+//! warmup/measure boundary prunes the completion-order bookkeeping
+//! down to the (short) reassembly horizon while keeping its high-water
+//! capacity — so the measurement window refills it without a doubling
+//! reallocation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mcss_base::{Endpoint, SimTime};
+use mcss_remicss::config::ProtocolConfig;
+use mcss_remicss::engine::SourceMode;
+use mcss_server::{ServerConfig, ShardSet};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static ON_MEASURED_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() {
+    if ON_MEASURED_THREAD.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_here();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_here();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const SYMBOL_BYTES: usize = 512;
+const ROUND: SimTime = SimTime::from_millis(1);
+/// Must exceed `RESOLVED_CAP` so the receivers' resolved maps saturate
+/// (and stop growing) before the measurement window opens.
+const WARMUP_ROUNDS: u64 = 1_500;
+const MEASURE_ROUNDS: u64 = 1_500;
+const RESOLVED_CAP: usize = 1_024;
+const CIDS: [u32; 2] = [0, 1];
+
+/// One duty cycle: offer a symbol to each session, then deliver every
+/// produced datagram to the session's *non-owning* shard so the frame
+/// always crosses the handoff queues.
+fn round(set: &mut ShardSet, now: SimTime, payload: &[u8]) {
+    for &cid in &CIDS {
+        set.offer_symbol(now, cid, payload);
+    }
+    for &cid in &CIDS {
+        let owner = set.shard_of(cid);
+        let wrong = (owner + 1) % set.num_shards();
+        while let Some(datagram) = set.shard_mut(owner).pop_outbound() {
+            set.deliver_datagram(now, datagram.channel, Endpoint::B, &datagram.bytes, wrong);
+            set.shard_mut(owner).recycle_outbound(datagram.bytes);
+        }
+        while let Some((_, symbol)) = set.shard_mut(owner).pop_delivered(cid) {
+            set.shard_mut(owner).recycle_delivered(cid, symbol);
+        }
+    }
+}
+
+#[test]
+fn cross_shard_handoff_is_allocation_free_in_steady_state() {
+    ON_MEASURED_THREAD.with(|flag| flag.set(true));
+    let config = Arc::new(
+        ProtocolConfig::new(2.0, 3.0)
+            .unwrap()
+            .with_symbol_bytes(SYMBOL_BYTES)
+            .with_reassembly_timeout(SimTime::from_millis(20))
+            .with_reassembly_resolved_cap(RESOLVED_CAP),
+    );
+    let mut set = ShardSet::new(&ServerConfig::with_shards(2));
+    for &cid in &CIDS {
+        set.add_session(
+            cid,
+            Arc::clone(&config),
+            5,
+            SourceMode::External,
+            13 + u64::from(cid),
+        )
+        .unwrap();
+        set.start(SimTime::ZERO, cid);
+    }
+    let payload = vec![0x5au8; SYMBOL_BYTES];
+
+    let mut now = SimTime::ZERO;
+    for _ in 0..WARMUP_ROUNDS {
+        now += ROUND;
+        round(&mut set, now, &payload);
+    }
+    // Fire the sessions' pending sweep timers once: prunes the
+    // reassembly bookkeeping back to the 2x-timeout horizon, so the
+    // measurement window refills inside the capacity the warmup built.
+    set.poll(now);
+
+    let warm = set.totals();
+    let pool_high_water: Vec<(u64, u64)> = (0..set.num_shards())
+        .map(|i| (set.shard(i).pool().misses(), set.shard(i).pool().grows()))
+        .collect();
+    let before = allocations();
+    for _ in 0..MEASURE_ROUNDS {
+        now += ROUND;
+        round(&mut set, now, &payload);
+    }
+    let during = allocations() - before;
+    let totals = set.totals();
+
+    // The handoff path genuinely ran during measurement...
+    assert!(
+        totals.handoff_in > warm.handoff_in,
+        "measurement window saw no cross-shard handoffs"
+    );
+    assert_eq!(
+        totals.handoff_rejected, warm.handoff_rejected,
+        "inbox overflowed"
+    );
+    // ...every buffer made it home rather than migrating pools...
+    assert_eq!(totals.returns_migrated, 0, "return ring overflowed");
+    // ...no session lost a symbol crossing shards...
+    assert_eq!(
+        totals.symbols_delivered,
+        CIDS.len() as u64 * (WARMUP_ROUNDS + MEASURE_ROUNDS),
+        "loopback-through-handoff lost symbols"
+    );
+    // ...and the steady state allocated nothing: shard pools stayed at
+    // their high-water mark and the allocator never fired.
+    for (i, &(misses, grows)) in pool_high_water.iter().enumerate() {
+        assert_eq!(
+            set.shard(i).pool().misses(),
+            misses,
+            "shard {i} pool missed"
+        );
+        assert_eq!(set.shard(i).pool().grows(), grows, "shard {i} pool grew");
+    }
+    assert_eq!(
+        during, 0,
+        "{during} allocations during {MEASURE_ROUNDS} steady-state handoff rounds"
+    );
+}
