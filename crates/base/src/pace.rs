@@ -44,6 +44,23 @@ impl Pacer {
         }
     }
 
+    /// Like [`new`](Pacer::new), but the first tick lands at `phase`
+    /// instead of zero. Staggering the phase across a fleet of
+    /// constant-rate sources de-phase-locks them: without it every
+    /// source ticks at the same absolute instants and the aggregate
+    /// arrives as synchronized bursts (which overflow receive buffers
+    /// long before the mean rate saturates anything).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Pacer::new).
+    #[must_use]
+    pub fn with_phase(rate_bps: f64, frame_bits: u64, phase: SimTime) -> Self {
+        let mut pacer = Pacer::new(rate_bps, frame_bits);
+        pacer.next_ns = phase.as_nanos() as f64;
+        pacer
+    }
+
     /// The inter-frame period.
     #[must_use]
     pub fn period(&self) -> SimTime {

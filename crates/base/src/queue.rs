@@ -186,6 +186,16 @@ impl<T> EventQueue<T> {
             Inner::Wheel(w) => w.next_at(),
         }
     }
+
+    /// How long an event loop may sleep from `now` before the earliest
+    /// event is due, in whole milliseconds rounded *up* — so a sleeper
+    /// using this value never wakes before the deadline. `Some(0)`
+    /// means an event is already due; `None` means the queue is empty
+    /// (sleep indefinitely, or until some other wakeup source fires).
+    pub fn millis_until_next(&mut self, now: SimTime) -> Option<u64> {
+        self.next_at()
+            .map(|at| at.saturating_sub(now).as_nanos().div_ceil(1_000_000))
+    }
 }
 
 /// The hierarchical wheel itself. See the module docs for the layout.
@@ -344,6 +354,28 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{RngExt as _, SeedableRng};
+
+    #[test]
+    fn millis_until_next_rounds_up_and_saturates() {
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut q = EventQueue::new(kind);
+            assert_eq!(q.millis_until_next(SimTime::ZERO), None, "{kind:?} empty");
+            q.push(SimTime::from_micros(2_500), 0, ());
+            // 2.5 ms away rounds up: sleeping the result never wakes early.
+            assert_eq!(q.millis_until_next(SimTime::ZERO), Some(3), "{kind:?}");
+            assert_eq!(
+                q.millis_until_next(SimTime::from_micros(2_500)),
+                Some(0),
+                "{kind:?} due now"
+            );
+            // Past-due saturates to 0 rather than underflowing.
+            assert_eq!(
+                q.millis_until_next(SimTime::from_secs(1)),
+                Some(0),
+                "{kind:?} past due"
+            );
+        }
+    }
 
     /// Exhaustively interleaves pushes and pops on both backends and
     /// demands identical pop streams — the wheel's core contract.

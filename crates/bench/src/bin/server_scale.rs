@@ -1,24 +1,36 @@
 //! Server scaling benchmark: one sharded [`UdpServer`] multiplexing an
-//! increasing number of concurrent sessions over shared loopback
-//! sockets, measuring aggregate reconstructed-symbol throughput and the
-//! cost of the demux/handoff machinery as the session count grows four
-//! orders of magnitude.
+//! increasing number of concurrent sessions over loopback sockets,
+//! measuring aggregate reconstructed-symbol throughput and the cost of
+//! the demux/handoff machinery as the session count grows four orders
+//! of magnitude — under **each** I/O backend the host supports, so the
+//! readiness-driven epoll loop and the portable busy-poll loop are
+//! directly comparable per point.
 //!
-//! Each point registers `sessions` CBR sources behind one server (shard
-//! count capped at the host's parallelism), runs a fixed wall-clock
-//! window, and reports delivered-symbol throughput plus the server's
-//! own counters (handoffs between shards, kernel-refused sends). The
-//! per-session offered rate shrinks as the fleet grows so the aggregate
-//! offered load stays within what loopback sockets sustain — the point
-//! of the sweep is multiplexing scale, not socket saturation.
+//! Each point registers `sessions` CBR sources behind one server
+//! (shard count capped at the host's parallelism) and runs three
+//! wall-clock phases: a warmup (excluded — session start, pool warm-up
+//! and reuseport calibration settle), the measured window proper
+//! (counter deltas sampled at its exact edges), and a drain tail so
+//! in-flight datagrams land before the threads exit. The per-session
+//! offered rate shrinks as the fleet grows so the aggregate offered
+//! load stays within what loopback sockets sustain — the point of the
+//! sweep is multiplexing scale, not socket saturation. Each point
+//! reports `offered_vs_delivered` (delivered ÷ offered over the
+//! window; 1.0 = the server kept up) and the syscall-amortization
+//! counters (`wakeups`, `syscalls_recv`, `syscalls_send`,
+//! `datagrams_per_syscall`).
 //!
 //! Human-readable table on stdout; `BENCH_server_scale.json` with the
 //! full point series (the binary enables emission itself, like every
-//! figure binary). Session counts:
+//! figure binary). Environment knobs:
 //!
-//! * default: 10, 100, 1k, 10k
-//! * `MCSS_SERVER_SCALE=smoke`: 10, 100, 1k (the CI smoke job)
-//! * `MCSS_SERVER_SCALE=full`: default plus 100k
+//! * `MCSS_SERVER_SCALE`: session counts — default 10/100/1k/10k,
+//!   `smoke` = 10/100/1k (the CI smoke job), `full` = default + 100k.
+//! * `MCSS_SERVER_IO`: when set, only that backend is swept (the CI
+//!   forced-backend matrix); otherwise every available backend runs.
+//! * `MCSS_SERVER_SCALE_ASSERT=1`: exit nonzero unless each swept
+//!   backend's 1k-session `delivered_per_sec` is within 25% of its
+//!   100-session point (the CI scaling regression gate).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,15 +38,19 @@ use std::time::Duration;
 use mcss::netsim::SimTime;
 use mcss::remicss::config::ProtocolConfig;
 use mcss::remicss::engine::Workload;
-use mcss::server::{ServerConfig, UdpServer};
+use mcss::server::{IoBackend, IoMode, RunPhases, ServerConfig, UdpServer};
 use serde::Serialize;
 
 /// Aggregate offered symbol rate across all sessions, symbols/sec.
 /// Split evenly per session (floored at 2/s so small fleets still show
 /// per-session pacing and huge fleets still make progress per window).
 const AGGREGATE_OFFERED: f64 = 20_000.0;
+/// Ramp-up excluded from measurement.
+const WARMUP: Duration = Duration::from_millis(200);
 /// Wall-clock measurement window per point.
 const WINDOW: Duration = Duration::from_millis(500);
+/// Post-window tail so in-flight datagrams land before shutdown.
+const DRAIN: Duration = Duration::from_millis(150);
 const SYMBOL_BYTES: usize = 64;
 const CHANNELS: usize = 5;
 
@@ -42,12 +58,27 @@ const CHANNELS: usize = 5;
 struct ScalePoint {
     sessions: usize,
     shards: usize,
+    io_backend: &'static str,
     offered_per_session: f64,
+    offered_aggregate: f64,
+    /// Whole-run wall clock (warmup + window + drain).
     wall_millis: f64,
+    /// Measured window wall clock (counter-delta basis).
+    window_millis: f64,
+    /// Whole-run totals (context; includes warmup and drain).
     sent_symbols: u64,
+    /// Window-scoped counters: the comparable numbers.
     delivered_symbols: u64,
     delivered_per_sec: f64,
+    /// Delivered ÷ offered over the window; 1.0 = the server kept up
+    /// with the offered load, below 1.0 = the knee.
+    offered_vs_delivered: f64,
     datagrams_received: u64,
+    datagrams_sent: u64,
+    wakeups: u64,
+    syscalls_recv: u64,
+    syscalls_send: u64,
+    datagrams_per_syscall: f64,
     handoffs: u64,
     handoff_rejected: u64,
     send_drops: u64,
@@ -57,7 +88,9 @@ struct ScalePoint {
 struct ScaleReport {
     id: String,
     aggregate_offered: f64,
+    warmup_millis: f64,
     window_millis: f64,
+    drain_millis: f64,
     points: Vec<ScalePoint>,
 }
 
@@ -68,35 +101,64 @@ fn shard_count() -> usize {
         .clamp(2, 8)
 }
 
-fn run_point(sessions: usize, shards: usize) -> ScalePoint {
+fn run_point(sessions: usize, shards: usize, backend: IoBackend) -> ScalePoint {
     let protocol = Arc::new(
         ProtocolConfig::new(2.0, 3.0)
             .expect("valid config")
             .with_symbol_bytes(SYMBOL_BYTES),
     );
-    let mut server = UdpServer::new(ServerConfig::with_shards(shards), protocol, CHANNELS)
-        .expect("loopback sockets bind");
+    let mut config = ServerConfig::with_shards(shards);
+    config.io = match backend {
+        IoBackend::Busypoll => IoMode::Busypoll,
+        IoBackend::Epoll => IoMode::Epoll,
+    };
+    let mut server =
+        UdpServer::new(config, protocol, CHANNELS).expect("loopback sockets bind");
     let offered_per_session = (AGGREGATE_OFFERED / sessions as f64).max(2.0);
+    let offered_aggregate = offered_per_session * sessions as f64;
+    let period = 1.0 / offered_per_session;
     for cid in 0..sessions as u32 {
-        let workload = Workload::cbr(offered_per_session, SimTime::from_secs(3_600));
+        // Stagger each source's phase across one period: phase-locked
+        // fleets tick at the same absolute instants and the resulting
+        // bursts overflow receive buffers at a small fraction of the
+        // sustainable mean rate.
+        let phase = SimTime::from_secs_f64(period * cid as f64 / sessions as f64);
+        let workload =
+            Workload::cbr(offered_per_session, SimTime::from_secs(3_600)).with_phase(phase);
         server
             .add_session(cid, workload, 1 + u64::from(cid))
             .expect("session registers");
     }
-    let summary = server.run_for(WINDOW).expect("run completes");
+    let phased = server
+        .run_phases(RunPhases {
+            warmup: WARMUP,
+            measure: WINDOW,
+            drain: DRAIN,
+        })
+        .expect("run completes");
+    let window = phased.window;
     let totals = server.shards().totals();
     ScalePoint {
         sessions,
         shards,
+        io_backend: backend.name(),
         offered_per_session,
-        wall_millis: summary.elapsed.as_secs_f64() * 1e3,
-        sent_symbols: summary.sent_symbols,
-        delivered_symbols: summary.delivered_symbols,
-        delivered_per_sec: summary.delivered_per_sec(),
-        datagrams_received: summary.datagrams_received,
-        handoffs: summary.handoffs,
+        offered_aggregate,
+        wall_millis: phased.run.elapsed.as_secs_f64() * 1e3,
+        window_millis: window.window.as_secs_f64() * 1e3,
+        sent_symbols: phased.run.sent_symbols,
+        delivered_symbols: window.delivered_symbols,
+        delivered_per_sec: window.delivered_per_sec(),
+        offered_vs_delivered: window.delivered_per_sec() / offered_aggregate,
+        datagrams_received: window.datagrams_received,
+        datagrams_sent: window.datagrams_sent,
+        wakeups: window.wakeups,
+        syscalls_recv: window.syscalls_recv,
+        syscalls_send: window.syscalls_send,
+        datagrams_per_syscall: window.datagrams_per_syscall(),
+        handoffs: window.handoffs,
         handoff_rejected: totals.handoff_rejected,
-        send_drops: summary.send_drops,
+        send_drops: window.send_drops,
     }
 }
 
@@ -108,35 +170,87 @@ fn session_counts() -> Vec<usize> {
     }
 }
 
+/// Backends to sweep: the forced one when `MCSS_SERVER_IO` is set (the
+/// CI matrix leg), every available backend otherwise.
+fn backends() -> Vec<IoBackend> {
+    if std::env::var("MCSS_SERVER_IO").is_ok() {
+        vec![IoMode::Auto.resolve().expect("MCSS_SERVER_IO resolves")]
+    } else {
+        IoBackend::available().to_vec()
+    }
+}
+
+/// The CI scaling gate: 1k-session throughput within `tolerance` of
+/// the 100-session point, per backend. Returns the failures.
+fn scaling_regressions(points: &[ScalePoint], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for backend in points.iter().map(|p| p.io_backend).collect::<std::collections::BTreeSet<_>>() {
+        let at = |sessions: usize| {
+            points
+                .iter()
+                .find(|p| p.io_backend == backend && p.sessions == sessions)
+                .map(|p| p.delivered_per_sec)
+        };
+        let (Some(base), Some(scaled)) = (at(100), at(1_000)) else {
+            continue;
+        };
+        if (scaled - base).abs() > tolerance * base {
+            failures.push(format!(
+                "{backend}: 1k-session {scaled:.0} sym/s deviates more than \
+                 {:.0}% from the 100-session {base:.0} sym/s",
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     mcss_bench::report::enable_emission();
     let shards = shard_count();
     println!(
         "server scaling: {shards} shards, {CHANNELS} channels, \
-         {AGGREGATE_OFFERED:.0} sym/s aggregate offered, {:.0} ms window\n",
-        WINDOW.as_secs_f64() * 1e3
+         {AGGREGATE_OFFERED:.0} sym/s aggregate offered, \
+         {:.0} ms warmup + {:.0} ms window + {:.0} ms drain\n",
+        WARMUP.as_secs_f64() * 1e3,
+        WINDOW.as_secs_f64() * 1e3,
+        DRAIN.as_secs_f64() * 1e3
     );
     let mut points = Vec::new();
-    for sessions in session_counts() {
-        let p = run_point(sessions, shards);
-        println!(
-            "{:>7} sessions: {:>8.0} sym/s delivered  ({} of {} sent)  \
-             {:>8} datagrams  {:>7} handoffs  {:>5} send drops",
-            p.sessions,
-            p.delivered_per_sec,
-            p.delivered_symbols,
-            p.sent_symbols,
-            p.datagrams_received,
-            p.handoffs,
-            p.send_drops
-        );
-        points.push(p);
+    for backend in backends() {
+        for sessions in session_counts() {
+            let p = run_point(sessions, shards, backend);
+            println!(
+                "{:>8} {:>7} sessions: {:>8.0} sym/s delivered ({:>5.1}% of offered)  \
+                 {:>8} datagrams  {:>5.1} dg/syscall  {:>6} wakeups  {:>7} handoffs  \
+                 {:>5} send drops",
+                p.io_backend,
+                p.sessions,
+                p.delivered_per_sec,
+                p.offered_vs_delivered * 100.0,
+                p.datagrams_received,
+                p.datagrams_per_syscall,
+                p.wakeups,
+                p.handoffs,
+                p.send_drops
+            );
+            points.push(p);
+        }
     }
+    let failures = scaling_regressions(&points, 0.25);
     let report = ScaleReport {
         id: "server_scale".to_string(),
         aggregate_offered: AGGREGATE_OFFERED,
+        warmup_millis: WARMUP.as_secs_f64() * 1e3,
         window_millis: WINDOW.as_secs_f64() * 1e3,
+        drain_millis: DRAIN.as_secs_f64() * 1e3,
         points,
     };
     mcss_bench::report::emit_value(&report.id, &report);
+    if std::env::var("MCSS_SERVER_SCALE_ASSERT").as_deref() == Ok("1") && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("scaling regression: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -58,6 +58,8 @@ pub enum Workload {
         symbol_rate: f64,
         /// Sending window.
         duration: SimTime,
+        /// When the first symbol is offered (default zero).
+        phase: SimTime,
     },
     /// Constant symbol rate from A, echoed back by B through the
     /// protocol; A records round-trip times.
@@ -66,6 +68,8 @@ pub enum Workload {
         symbol_rate: f64,
         /// Sending window.
         duration: SimTime,
+        /// When the first symbol is offered (default zero).
+        phase: SimTime,
     },
 }
 
@@ -76,6 +80,7 @@ impl Workload {
         Workload::Cbr {
             symbol_rate,
             duration,
+            phase: SimTime::ZERO,
         }
     }
 
@@ -85,6 +90,29 @@ impl Workload {
         Workload::Echo {
             symbol_rate,
             duration,
+            phase: SimTime::ZERO,
+        }
+    }
+
+    /// Offsets the source's first tick to `phase` (later ticks stay on
+    /// the same drift-free grid). A multi-session driver staggers
+    /// phases across its fleet so thousands of constant-rate sources
+    /// don't tick at the same absolute instants — phase-locked fleets
+    /// burst hard enough to overflow receive socket buffers while the
+    /// mean offered rate is nowhere near capacity.
+    #[must_use]
+    pub fn with_phase(mut self, at: SimTime) -> Self {
+        match &mut self {
+            Workload::Cbr { phase, .. } | Workload::Echo { phase, .. } => *phase = at,
+        }
+        self
+    }
+
+    /// When the source offers its first symbol.
+    #[must_use]
+    pub fn phase(&self) -> SimTime {
+        match *self {
+            Workload::Cbr { phase, .. } | Workload::Echo { phase, .. } => phase,
         }
     }
 
@@ -309,7 +337,11 @@ impl Engine {
             .with_resolved_cap(config.reassembly_resolved_cap())
         };
         let pacer = match source {
-            SourceMode::Paced(workload) => Some(Pacer::new(workload.symbol_rate(), 1)),
+            SourceMode::Paced(workload) => Some(Pacer::with_phase(
+                workload.symbol_rate(),
+                1,
+                workload.phase(),
+            )),
             SourceMode::External => None,
         };
         Ok(Engine {
@@ -380,6 +412,16 @@ impl Engine {
             SourceMode::Paced(workload) => workload.duration(),
             SourceMode::External => SimTime::MAX,
         }
+    }
+
+    /// Symbols reconstructed at either endpoint since the session
+    /// started, regardless of source mode. Paced sources consume
+    /// reconstructions internally (no [`Action::DeliverSymbol`]), so a
+    /// driver accounting deliveries must read this counter's delta
+    /// rather than count actions.
+    #[must_use]
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
     }
 
     /// The engine's report over a measurement `window` (typically the

@@ -14,9 +14,14 @@
 //!   RNGs. The test layer lives here: trace-replay determinism pins,
 //!   demux isolation proptests, and the eavesdropper soak all drive
 //!   this type.
-//! * [`UdpServer`] — the same shards on real threads and loopback
-//!   sockets; any thread may read any socket, so frames regularly land
-//!   on the wrong shard and cross over through bounded handoff queues.
+//! * [`UdpServer`] — the same shards on real threads, each with its
+//!   own per-channel sockets arranged as calibrated `SO_REUSEPORT`
+//!   groups so the kernel routes most datagrams straight to the owning
+//!   shard; frames that still land elsewhere cross over through
+//!   bounded handoff queues. Two event-loop backends ([`IoBackend`]):
+//!   readiness-driven epoll with `recvmmsg`/`sendmmsg` batching
+//!   (Linux, default) and a portable busy-poll fallback, selected via
+//!   [`ServerConfig::io`] or `MCSS_SERVER_IO`.
 //! * Each shard owns a [`BufferPool`](mcss_base::BufferPool) and a
 //!   hierarchical timer wheel ([`mcss_base::queue`]); handed-off
 //!   buffers travel home through per-shard return rings, keeping the
@@ -61,9 +66,13 @@
 pub mod queue;
 pub mod shard;
 pub mod stats;
+#[cfg(target_os = "linux")]
+pub mod sys;
 pub mod udp;
 
 pub use queue::BoundedQueue;
 pub use shard::{OutboundDatagram, ServerConfig, ServerError, Shard, ShardSet, MAX_DATAGRAM};
 pub use stats::{ShardStats, ShardStatsSnapshot};
-pub use udp::{ServerSummary, UdpServer};
+pub use udp::{
+    IoBackend, IoMode, PhasedSummary, RunPhases, ServerSummary, UdpServer, WindowStats,
+};

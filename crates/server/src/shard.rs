@@ -46,6 +46,12 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Bound on each shard's handoff inbox and return ring.
     pub handoff_capacity: usize,
+    /// I/O backend for the socket-facing driver ([`UdpServer`]); the
+    /// deterministic [`ShardSet`] core never performs I/O and ignores
+    /// it.
+    ///
+    /// [`UdpServer`]: crate::udp::UdpServer
+    pub io: crate::udp::IoMode,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +59,7 @@ impl Default for ServerConfig {
         ServerConfig {
             shards: 1,
             handoff_capacity: 4096,
+            io: crate::udp::IoMode::Auto,
         }
     }
 }
@@ -131,6 +138,15 @@ struct SessionSlot {
     record: bool,
     action_log: Vec<Action>,
     delivered: VecDeque<(u64, Vec<u8>)>,
+    /// Whether this session is on the shard's ready-list (its engine
+    /// may hold undrained actions). Intrusive flag: membership is O(1)
+    /// to test and the list holds no duplicates.
+    in_ready: bool,
+    /// High-water mark of the engine's `delivered_total` already
+    /// charged to the shard's `symbols_delivered` counter. Paced
+    /// sources reconstruct without emitting `DeliverSymbol`, so the
+    /// shard accounts deliveries by counter delta, not by action.
+    counted_delivered: u64,
 }
 
 /// One worker partition: the sessions it owns, their shared buffer
@@ -144,6 +160,16 @@ pub struct Shard {
     timers: EventQueue<(u32, u64)>,
     timer_seq: u64,
     outbound: VecDeque<OutboundDatagram>,
+    /// Sessions with work pending: an event was delivered to their
+    /// engine and its actions have not been drained yet. Together with
+    /// each slot's `in_ready` flag this is the shard's *ready-set* —
+    /// per-iteration work scales with the sessions that actually saw a
+    /// datagram, timer, or offered symbol, never with the total
+    /// session count.
+    ready: Vec<u32>,
+    /// Swap target for [`Shard::flush_ready`]; retained so the flush
+    /// itself allocates nothing in steady state.
+    ready_scratch: Vec<u32>,
     legacy_cid: Option<u32>,
     stats: Arc<ShardStats>,
     inbox: Arc<BoundedQueue<Handoff>>,
@@ -166,6 +192,8 @@ impl Shard {
             timers: EventQueue::new(QueueKind::Wheel),
             timer_seq: 0,
             outbound: VecDeque::new(),
+            ready: Vec::new(),
+            ready_scratch: Vec::new(),
             legacy_cid: None,
             stats: Arc::clone(&stats),
             inbox: Arc::clone(&inboxes[index]),
@@ -222,9 +250,49 @@ impl Shard {
                 record: false,
                 action_log: Vec::new(),
                 delivered: VecDeque::new(),
+                in_ready: false,
+                counted_delivered: 0,
             },
         );
         Ok(())
+    }
+
+    /// Puts `cid` on the ready-list (idempotent). Every event-delivery
+    /// path funnels through this; the matching
+    /// [`flush_ready`](Shard::flush_ready) drains the marked engines.
+    fn mark_ready(&mut self, cid: u32) {
+        let slot = self.slot_mut(cid);
+        if !slot.in_ready {
+            slot.in_ready = true;
+            self.ready.push(cid);
+        }
+    }
+
+    /// Sessions currently on the ready-list.
+    #[must_use]
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Drains the engine of every session marked ready since the last
+    /// flush, in marking order. The synchronous [`ShardSet`] API
+    /// flushes after every event (preserving the recorded trace
+    /// semantics exactly); the socket driver flushes once per wakeup,
+    /// amortizing the drain across a whole receive batch.
+    pub fn flush_ready(&mut self, now: SimTime) {
+        if self.ready.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.ready_scratch);
+        std::mem::swap(&mut batch, &mut self.ready);
+        for &cid in &batch {
+            if let Some(slot) = self.sessions.get_mut(&cid) {
+                slot.in_ready = false;
+            }
+            self.drain_engine(now, cid);
+        }
+        batch.clear();
+        self.ready_scratch = batch;
     }
 
     /// Delivers [`Event::Started`] to `cid` at `now`, arming its
@@ -232,7 +300,8 @@ impl Shard {
     pub fn start_session(&mut self, now: SimTime, cid: u32) {
         let slot = self.slot_mut(cid);
         slot.engine.handle(now, Event::Started, &mut slot.rng);
-        self.drain_engine(now, cid);
+        self.mark_ready(cid);
+        self.flush_ready(now);
     }
 
     /// Fires one timer event directly, bypassing the shard wheel.
@@ -242,11 +311,19 @@ impl Shard {
     /// bit-identical regardless of how the wheel would batch the same
     /// due times.
     pub fn fire_timer(&mut self, now: SimTime, cid: u32, token: u64) {
+        self.fire_timer_inner(now, cid, token);
+        self.flush_ready(now);
+    }
+
+    /// Delivers the timer event and marks the session ready without
+    /// flushing — [`poll_timers`](Shard::poll_timers) batches the flush
+    /// across every timer due this wakeup.
+    fn fire_timer_inner(&mut self, now: SimTime, cid: u32, token: u64) {
         let slot = self.slot_mut(cid);
         slot.engine
             .handle(now, Event::TimerFired { token }, &mut slot.rng);
         ShardStats::bump(&self.stats.timers_fired);
-        self.drain_engine(now, cid);
+        self.mark_ready(cid);
     }
 
     /// Updates `cid`'s view of `from`'s send backlog on `channel`.
@@ -268,7 +345,8 @@ impl Shard {
             },
             &mut slot.rng,
         );
-        self.drain_engine(now, cid);
+        self.mark_ready(cid);
+        self.flush_ready(now);
     }
 
     /// Offers one symbol payload to an external-source session.
@@ -276,14 +354,17 @@ impl Shard {
         let slot = self.slot_mut(cid);
         slot.engine
             .handle(now, Event::SymbolReady { payload }, &mut slot.rng);
-        self.drain_engine(now, cid);
+        self.mark_ready(cid);
+        self.flush_ready(now);
     }
 
     /// Handles one datagram read by **this** shard. Own frames are
-    /// processed in place; frames owned elsewhere are copied into a
-    /// pooled buffer and pushed to the owner's inbox. Returns the owner
-    /// index when a handoff was enqueued (so a synchronous driver can
-    /// pump it immediately).
+    /// processed in place (the session is marked ready; call
+    /// [`flush_ready`](Shard::flush_ready) after the batch); frames
+    /// owned elsewhere are copied into a pooled buffer and pushed to
+    /// the owner's inbox. Returns the owner index when a handoff was
+    /// enqueued (so a synchronous driver can pump it immediately, and
+    /// the threaded driver can ring the owner's doorbell).
     pub fn route_datagram(
         &mut self,
         now: SimTime,
@@ -358,7 +439,7 @@ impl Shard {
         {
             ShardStats::bump(&self.stats.dropped_bad_frame);
         }
-        self.drain_engine(now, cid);
+        self.mark_ready(cid);
     }
 
     /// Processes every frame handed off by other shards, then sends
@@ -382,6 +463,7 @@ impl Shard {
                 }
             }
         }
+        self.flush_ready(now);
     }
 
     /// Reclaims buffers other shards finished with into this shard's
@@ -393,15 +475,42 @@ impl Shard {
         }
     }
 
-    /// Fires every timer due at or before `now` from the shard wheel.
-    pub fn poll_timers(&mut self, now: SimTime) {
+    /// Fires every timer due at or before `now` from the shard wheel,
+    /// then flushes the ready-set once for the whole batch. Returns the
+    /// number of timers fired.
+    pub fn poll_timers(&mut self, now: SimTime) -> usize {
+        let mut fired = 0;
         while matches!(self.timers.next_at(), Some(at) if at <= now) {
             let (_, _, (cid, token)) = self.timers.pop().expect("peeked entry exists");
             if !self.sessions.contains_key(&cid) {
                 continue;
             }
-            self.fire_timer(now, cid, token);
+            self.fire_timer_inner(now, cid, token);
+            fired += 1;
         }
+        if fired > 0 {
+            self.flush_ready(now);
+        }
+        fired
+    }
+
+    /// When the next shard-wheel timer is due, if any — the epoll
+    /// backend sleeps exactly until this deadline instead of spinning.
+    pub fn next_timer_at(&mut self) -> Option<SimTime> {
+        self.timers.next_at()
+    }
+
+    /// Milliseconds the event loop may sleep from `now` before the
+    /// next shard timer is due (rounded up, `None` when the wheel is
+    /// empty) — the epoll backend's wait timeout.
+    pub fn timer_sleep_ms(&mut self, now: SimTime) -> Option<u64> {
+        self.timers.millis_until_next(now)
+    }
+
+    /// Outbound datagrams queued and not yet popped.
+    #[must_use]
+    pub fn outbound_len(&self) -> usize {
+        self.outbound.len()
     }
 
     /// Drains the session's action queue: shares and control frames
@@ -460,11 +569,19 @@ impl Shard {
                     self.timers.push(at, self.timer_seq, (cid, token));
                 }
                 Action::DeliverSymbol { seq, payload } => {
-                    ShardStats::bump(&self.stats.symbols_delivered);
                     slot.delivered.push_back((seq, payload));
                 }
             }
         }
+        // Paced sources consume reconstructions inside the engine (no
+        // DeliverSymbol action), so delivery accounting reads the
+        // engine counter's delta — covering both source modes once.
+        let delivered = slot.engine.delivered_total();
+        ShardStats::bump_by(
+            &self.stats.symbols_delivered,
+            delivered - slot.counted_delivered,
+        );
+        slot.counted_delivered = delivered;
     }
 
     /// Takes the oldest queued outbound datagram. Pass `bytes` back via
@@ -684,6 +801,10 @@ impl ShardSet {
             self.shards[owner].drain_inbox(now);
             self.shards[received_on].drain_returns();
         }
+        // Frames processed in place only marked their session ready;
+        // flushing here keeps the synchronous API's
+        // one-event-one-drain semantics (the trace pins rely on it).
+        self.shards[received_on].flush_ready(now);
     }
 
     /// One duty cycle over every shard: drain handoffs, fire due
@@ -729,12 +850,20 @@ impl ShardSet {
                 name: format!("server.shard{i}.sessions"),
                 value: shard.session_count() as i64,
             });
+            snapshot.gauges.push(GaugeSnapshot {
+                name: format!("server.shard{i}.datagrams_per_syscall"),
+                value: datagrams_per_syscall(&stats),
+            });
             total.add(&stats);
         }
         total.extend_snapshot("server.total", &mut snapshot);
         snapshot.gauges.push(GaugeSnapshot {
             name: "server.total.sessions".to_string(),
             value: self.session_count() as i64,
+        });
+        snapshot.gauges.push(GaugeSnapshot {
+            name: "server.total.datagrams_per_syscall".to_string(),
+            value: datagrams_per_syscall(&total),
         });
         snapshot
     }
@@ -744,5 +873,18 @@ impl ShardSet {
     pub fn report(&self, cid: u32, window: SimTime) -> SessionReport {
         let owner = self.shard_of(cid);
         self.shards[owner].report(cid, window)
+    }
+}
+
+/// Whole datagrams moved per I/O syscall, rounded down — the syscall
+/// amortization the batched backends buy (a busy-polling shard sits
+/// below 1, which rounds to 0; the raw counters keep full precision).
+fn datagrams_per_syscall(stats: &ShardStatsSnapshot) -> i64 {
+    let datagrams = stats.datagrams_received + stats.datagrams_sent;
+    let syscalls = stats.syscalls_recv + stats.syscalls_send;
+    if syscalls == 0 {
+        0
+    } else {
+        (datagrams / syscalls) as i64
     }
 }

@@ -91,6 +91,16 @@ shard_stats! {
     dropped_legacy,
     /// Outbound datagrams the transport refused (socket backpressure).
     send_drops,
+    /// Event-loop wakeups: `epoll_wait` returns on the readiness
+    /// backend, loop iterations on the busy-poll backend. The ratio of
+    /// datagrams to wakeups shows how much work each wakeup amortizes.
+    wakeups,
+    /// Receive syscalls issued (`recvmmsg` calls on the epoll backend
+    /// — including the trailing empty one that observes `EAGAIN` — or
+    /// `recv` calls on the busy-poll backend).
+    syscalls_recv,
+    /// Send syscalls issued (`sendmmsg` or `send` calls, as above).
+    syscalls_send,
 }
 
 impl ShardStats {
@@ -98,6 +108,13 @@ impl ShardStats {
     /// read, so no ordering beyond atomicity is needed.
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed bulk increment for batched syscall accounting.
+    pub(crate) fn bump_by(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
     }
 }
 

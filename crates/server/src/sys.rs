@@ -1,0 +1,602 @@
+//! Hand-rolled Linux syscall bindings for the readiness-driven event
+//! loop: `epoll`, `eventfd`, batched datagram I/O (`recvmmsg` /
+//! `sendmmsg`), and `SO_REUSEPORT` socket-group creation.
+//!
+//! The build environment vendors no `libc` crate, so the handful of
+//! symbols the epoll backend needs are declared here directly against
+//! the C library std already links. Everything is gated to
+//! `target_os = "linux"` at the module declaration (`lib.rs`); the
+//! portable busy-poll backend never touches this module.
+//!
+//! All `unsafe` in the server crate lives in this file, wrapped in
+//! owned types ([`Epoll`], [`EventFd`], [`RecvBatch`], [`SendBatch`])
+//! whose public APIs are safe: file descriptors are closed on drop,
+//! and the batch types own their buffers, so the pointers handed to
+//! the kernel stay valid for exactly the duration of each call.
+
+use std::io;
+use std::net::{SocketAddrV4, UdpSocket};
+use std::os::fd::{FromRawFd, RawFd};
+
+use std::os::raw::{c_int, c_uint, c_void};
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+/// Readable-readiness interest (level-triggered, the epoll default).
+pub const EPOLLIN: u32 = 0x001;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const AF_INET: c_int = 2;
+const SOCK_DGRAM: c_int = 2;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_SNDBUF: c_int = 7;
+const SO_RCVBUF: c_int = 8;
+const SO_REUSEPORT: c_int = 15;
+const MSG_DONTWAIT: c_int = 0x40;
+
+/// `struct epoll_event`. Packed on x86 so the 64-bit data field sits
+/// at offset 4, matching the kernel ABI.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+pub struct EpollEvent {
+    /// `EPOLLIN` et al.
+    pub events: u32,
+    /// Caller token, returned verbatim on readiness.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct IoVec {
+    iov_base: *mut c_void,
+    iov_len: usize,
+}
+
+#[repr(C)]
+struct MsgHdr {
+    msg_name: *mut c_void,
+    msg_namelen: u32,
+    msg_iov: *mut IoVec,
+    msg_iovlen: usize,
+    msg_control: *mut c_void,
+    msg_controllen: usize,
+    msg_flags: c_int,
+}
+
+#[repr(C)]
+struct MMsgHdr {
+    msg_hdr: MsgHdr,
+    msg_len: c_uint,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct SockAddrIn {
+    sin_family: u16,
+    /// Big-endian port.
+    sin_port: u16,
+    /// Big-endian IPv4 address.
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+impl SockAddrIn {
+    fn from_v4(addr: SocketAddrV4) -> Self {
+        SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from_be_bytes(addr.ip().octets()).to_be(),
+            sin_zero: [0; 8],
+        }
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn bind(fd: c_int, addr: *const SockAddrIn, addrlen: u32) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn recvmmsg(
+        fd: c_int,
+        msgvec: *mut MMsgHdr,
+        vlen: c_uint,
+        flags: c_int,
+        timeout: *mut c_void,
+    ) -> c_int;
+    fn sendmmsg(fd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance: register interest once, then block in
+/// [`wait`](Epoll::wait) until a registered fd is ready or the timeout
+/// lapses.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    /// Registers level-triggered readable interest in `fd` under
+    /// `token` (returned by [`wait`](Epoll::wait) when `fd` is ready).
+    pub fn add_readable(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: EPOLLIN,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`0` polls, negative blocks indefinitely). Fills `events`
+    /// and returns the count. `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking `eventfd`: the cross-shard doorbell. A shard that
+/// pushes a handoff onto a sleeping peer's inbox raises the peer's
+/// doorbell, which the peer has registered in its epoll set.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a nonblocking, close-on-exec eventfd with counter 0.
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw descriptor (for epoll registration).
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, waking any epoll waiter. A full counter
+    /// (`EAGAIN`) already guarantees a pending wakeup, so it is not an
+    /// error.
+    pub fn raise(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&raw const one).cast(), 8) };
+    }
+
+    /// Consumes the counter so the next [`raise`](EventFd::raise) wakes
+    /// again. `EAGAIN` (already clear) is fine.
+    pub fn clear(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&raw mut buf).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Binds a nonblocking IPv4 UDP socket with `SO_REUSEPORT` set *before*
+/// the bind, so several sockets can share one port as a kernel
+/// load-balancing group. Returns it as a std [`UdpSocket`].
+pub fn reuseport_udp_bind(addr: SocketAddrV4) -> io::Result<UdpSocket> {
+    let fd = cvt(unsafe { socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // From here the fd must not leak: wrap immediately so errors drop it.
+    let sock = unsafe { UdpSocket::from_raw_fd(fd) };
+    let on: c_int = 1;
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEPORT,
+            (&raw const on).cast(),
+            size_of::<c_int>() as u32,
+        )
+    })?;
+    let raw = SockAddrIn::from_v4(addr);
+    cvt(unsafe { bind(fd, &raw, size_of::<SockAddrIn>() as u32) })?;
+    Ok(sock)
+}
+
+/// Best-effort enlargement of a socket's kernel send and receive
+/// buffers to `bytes` (the kernel clamps to `net.core.{r,w}mem_max`
+/// and doubles for bookkeeping). Many-session servers burst thousands
+/// of datagrams per event-loop pass; the 208 KiB default receive
+/// buffer silently drops the tail of such a burst long before the mean
+/// rate is anywhere near link capacity. Never fails: a refused
+/// enlargement just leaves the default in place.
+pub fn enlarge_socket_buffers(sock: &UdpSocket, bytes: i32) {
+    use std::os::fd::AsRawFd;
+    let fd = sock.as_raw_fd();
+    for opt in [SO_RCVBUF, SO_SNDBUF] {
+        unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                (&raw const bytes).cast(),
+                size_of::<c_int>() as u32,
+            )
+        };
+    }
+}
+
+/// How many datagrams one `recvmmsg`/`sendmmsg` call moves at most.
+pub const BATCH: usize = 32;
+
+/// Reusable scratch for batched receives: `BATCH` datagram slots filled
+/// by one `recvmmsg` syscall.
+pub struct RecvBatch {
+    /// `BATCH` contiguous slots of `slot` bytes each.
+    storage: Vec<u8>,
+    slot: usize,
+    iovecs: Vec<IoVec>,
+    hdrs: Vec<MMsgHdr>,
+}
+
+impl std::fmt::Debug for RecvBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvBatch").field("slot", &self.slot).finish()
+    }
+}
+
+impl RecvBatch {
+    /// Allocates slots of `slot_bytes` each (use the transport MTU).
+    #[must_use]
+    pub fn new(slot_bytes: usize) -> Self {
+        RecvBatch {
+            storage: vec![0u8; BATCH * slot_bytes],
+            slot: slot_bytes,
+            iovecs: Vec::with_capacity(BATCH),
+            hdrs: Vec::with_capacity(BATCH),
+        }
+    }
+
+    /// One `recvmmsg` call on `fd`: returns the number of datagrams
+    /// read (access them via [`datagram`](RecvBatch::datagram)), or the
+    /// socket error (`WouldBlock` when drained).
+    pub fn recv(&mut self, fd: RawFd) -> io::Result<usize> {
+        self.iovecs.clear();
+        self.hdrs.clear();
+        for i in 0..BATCH {
+            let base = unsafe { self.storage.as_mut_ptr().add(i * self.slot) };
+            self.iovecs.push(IoVec {
+                iov_base: base.cast(),
+                iov_len: self.slot,
+            });
+        }
+        for i in 0..BATCH {
+            self.hdrs.push(MMsgHdr {
+                msg_hdr: MsgHdr {
+                    msg_name: std::ptr::null_mut(),
+                    msg_namelen: 0,
+                    msg_iov: &mut self.iovecs[i],
+                    msg_iovlen: 1,
+                    msg_control: std::ptr::null_mut(),
+                    msg_controllen: 0,
+                    msg_flags: 0,
+                },
+                msg_len: 0,
+            });
+        }
+        let n = unsafe {
+            recvmmsg(
+                fd,
+                self.hdrs.as_mut_ptr(),
+                BATCH as c_uint,
+                MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    /// Datagram `i` of the last [`recv`](RecvBatch::recv) (`i` below the
+    /// returned count).
+    #[must_use]
+    pub fn datagram(&self, i: usize) -> &[u8] {
+        let len = (self.hdrs[i].msg_len as usize).min(self.slot);
+        &self.storage[i * self.slot..i * self.slot + len]
+    }
+}
+
+/// Reusable scratch for batched sends: stage up to [`BATCH`] datagram
+/// payloads, then flush them with as few `sendmmsg` syscalls as the
+/// kernel allows.
+pub struct SendBatch {
+    iovecs: Vec<IoVec>,
+    hdrs: Vec<MMsgHdr>,
+    /// Destination storage kept alive across the call (one shared
+    /// address for the whole batch, or none for connected sockets).
+    dest: Option<SockAddrIn>,
+}
+
+impl std::fmt::Debug for SendBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendBatch").field("len", &self.hdrs.len()).finish()
+    }
+}
+
+/// Outcome of one [`SendBatch::send_all`] flush.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendOutcome {
+    /// Datagrams the kernel accepted.
+    pub sent: usize,
+    /// Datagrams refused by transient backpressure (dropped, UDP
+    /// semantics).
+    pub dropped: usize,
+    /// `sendmmsg` calls issued.
+    pub syscalls: u64,
+}
+
+impl SendBatch {
+    /// Creates empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        SendBatch {
+            iovecs: Vec::with_capacity(BATCH),
+            hdrs: Vec::with_capacity(BATCH),
+            dest: None,
+        }
+    }
+
+    /// Sends every payload in `bufs` on `fd` (all to `dest`, or to the
+    /// socket's connected peer when `dest` is `None`), retrying the
+    /// unsent tail after partial batches. Transient refusals
+    /// (`would_drop`) drop the remaining tail and are tallied, any
+    /// other error is returned.
+    pub fn send_all(
+        &mut self,
+        fd: RawFd,
+        bufs: &[Vec<u8>],
+        dest: Option<SocketAddrV4>,
+        would_drop: impl Fn(&io::Error) -> bool,
+    ) -> io::Result<SendOutcome> {
+        let mut outcome = SendOutcome::default();
+        self.dest = dest.map(SockAddrIn::from_v4);
+        let (name, name_len) = match &mut self.dest {
+            Some(addr) => (
+                std::ptr::from_mut(addr).cast::<c_void>(),
+                size_of::<SockAddrIn>() as u32,
+            ),
+            None => (std::ptr::null_mut(), 0),
+        };
+        let mut off = 0;
+        while off < bufs.len() {
+            let chunk = &bufs[off..(off + BATCH).min(bufs.len())];
+            self.iovecs.clear();
+            self.hdrs.clear();
+            for buf in chunk {
+                self.iovecs.push(IoVec {
+                    // sendmmsg never writes through the iovec; the
+                    // mutable pointer is only demanded by the C type.
+                    iov_base: buf.as_ptr().cast_mut().cast(),
+                    iov_len: buf.len(),
+                });
+            }
+            for i in 0..chunk.len() {
+                self.hdrs.push(MMsgHdr {
+                    msg_hdr: MsgHdr {
+                        msg_name: name,
+                        msg_namelen: name_len,
+                        msg_iov: &mut self.iovecs[i],
+                        msg_iovlen: 1,
+                        msg_control: std::ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                });
+            }
+            let n = unsafe {
+                sendmmsg(
+                    fd,
+                    self.hdrs.as_mut_ptr(),
+                    chunk.len() as c_uint,
+                    MSG_DONTWAIT,
+                )
+            };
+            outcome.syscalls += 1;
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                if would_drop(&err) {
+                    outcome.dropped += bufs.len() - off;
+                    return Ok(outcome);
+                }
+                return Err(err);
+            }
+            outcome.sent += n as usize;
+            off += n as usize;
+        }
+        Ok(outcome)
+    }
+}
+
+impl Default for SendBatch {
+    fn default() -> Self {
+        SendBatch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::os::fd::AsRawFd;
+
+    fn loopback_pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.connect(b.local_addr().unwrap()).unwrap();
+        b.connect(a.local_addr().unwrap()).unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn eventfd_raises_and_clears() {
+        let efd = EventFd::new().unwrap();
+        efd.raise();
+        efd.raise();
+        efd.clear();
+        // Cleared: a fresh raise must still wake an epoll waiter.
+        let ep = Epoll::new().unwrap();
+        ep.add_readable(efd.fd(), 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "counter not clear");
+        efd.raise();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 7);
+    }
+
+    #[test]
+    fn epoll_wakes_on_datagram_and_times_out_idle() {
+        let (a, b) = loopback_pair();
+        let ep = Epoll::new().unwrap();
+        ep.add_readable(b.as_raw_fd(), 42).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Idle: times out immediately.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        a.send(b"ping").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 42);
+        assert_ne!({ events[0].events } & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn batched_send_and_recv_round_trip() {
+        let (a, b) = loopback_pair();
+        let payloads: Vec<Vec<u8>> = (0..BATCH + 3)
+            .map(|i| vec![i as u8; 16 + i % 7])
+            .collect();
+        let mut tx = SendBatch::new();
+        let outcome = tx
+            .send_all(a.as_raw_fd(), &payloads, None, |_| false)
+            .unwrap();
+        assert_eq!(outcome.sent, payloads.len());
+        assert!(
+            outcome.syscalls <= 2,
+            "{} datagrams should take <= 2 sendmmsg calls, took {}",
+            payloads.len(),
+            outcome.syscalls
+        );
+
+        let mut rx = RecvBatch::new(512);
+        let mut got = Vec::new();
+        loop {
+            match rx.recv(b.as_raw_fd()) {
+                Ok(n) => {
+                    for i in 0..n {
+                        got.push(rx.datagram(i).to_vec());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("recvmmsg failed: {e}"),
+            }
+        }
+        assert_eq!(got, payloads, "datagrams lost or reordered on loopback");
+    }
+
+    #[test]
+    fn send_all_to_explicit_destination() {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        b.set_nonblocking(true).unwrap();
+        let dest = match b.local_addr().unwrap() {
+            std::net::SocketAddr::V4(v4) => v4,
+            _ => unreachable!(),
+        };
+        let mut tx = SendBatch::new();
+        let bufs = vec![b"hello".to_vec(), b"world".to_vec()];
+        let outcome = tx
+            .send_all(a.as_raw_fd(), &bufs, Some(dest), |_| false)
+            .unwrap();
+        assert_eq!(outcome.sent, 2);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut rx = RecvBatch::new(64);
+        let n = rx.recv(b.as_raw_fd()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(rx.datagram(0), b"hello");
+        assert_eq!(rx.datagram(1), b"world");
+    }
+
+    #[test]
+    fn reuseport_group_shares_one_port() {
+        let any = SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0);
+        let first = reuseport_udp_bind(any).unwrap();
+        let port = match first.local_addr().unwrap() {
+            std::net::SocketAddr::V4(v4) => v4.port(),
+            _ => unreachable!(),
+        };
+        let again = reuseport_udp_bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))
+            .expect("second member joins the same port");
+        assert_eq!(
+            again.local_addr().unwrap().port(),
+            port,
+            "group members must share the port"
+        );
+    }
+}

@@ -10,12 +10,19 @@
 //! channel risk profile and recovers the symbol iff it captured at
 //! least `k` of its shares. Over ≥1M symbols the empirical recovery
 //! rate must converge to `schedule.risk(&channels)`.
+//!
+//! A second soak covers the MICSS/courier threat model
+//! ([`JointRisk::fixed_taps`]): the adversary permanently holds a fixed
+//! channel subset, so per-symbol exposure is deterministic given the
+//! schedule draw, and the realized rate must converge to
+//! `JointRisk::fixed_taps(n, T).schedule_risk(schedule)`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use mcss_base::SimTime;
-use mcss_core::{ScheduleBuilder, Subset};
+use mcss_core::adversary::JointRisk;
+use mcss_core::{ScheduleBuilder, ShareSchedule, Subset};
 use mcss_remicss::config::{ProtocolConfig, SchedulerKind};
 use mcss_remicss::engine::SourceMode;
 use mcss_remicss::wire::{demux_frame, DemuxFrame, ShareRef};
@@ -35,12 +42,9 @@ struct SymbolSight {
     captured: u8,
 }
 
-#[test]
-fn realized_exposure_matches_poisson_binomial_risk() {
-    // A schedule mixing thresholds and subsets, over channels whose
-    // compromise risks differ enough that the subset choice matters.
-    let risks = [0.05, 0.10, 0.20, 0.25, 0.40];
-    let channels = mcss_core::setups::diverse_with_risk(&risks);
+/// The soak schedule: mixes thresholds and subsets so both the subset
+/// choice and the threshold matter to any adversary model.
+fn soak_schedule() -> Arc<ShareSchedule> {
     let mut builder = ScheduleBuilder::new(CHANNELS);
     builder
         .push(2, Subset::from_indices(&[0, 1, 2]), 0.40)
@@ -51,7 +55,16 @@ fn realized_exposure_matches_poisson_binomial_risk() {
     builder
         .push(1, Subset::from_indices(&[3, 4]), 0.25)
         .unwrap();
-    let schedule = Arc::new(builder.build().unwrap());
+    Arc::new(builder.build().unwrap())
+}
+
+#[test]
+fn realized_exposure_matches_poisson_binomial_risk() {
+    // Channels whose compromise risks differ enough that the subset
+    // choice matters.
+    let risks = [0.05, 0.10, 0.20, 0.25, 0.40];
+    let channels = mcss_core::setups::diverse_with_risk(&risks);
+    let schedule = soak_schedule();
     let expected = schedule.risk(&channels);
 
     let config = Arc::new(
@@ -135,4 +148,101 @@ fn realized_exposure_matches_poisson_binomial_risk() {
     // Sanity on the regime: the chosen schedule sits in an interesting
     // middle ground, not a degenerate 0%/100% corner.
     assert!(expected > 0.02 && expected < 0.5, "Z(p)={expected:.4}");
+}
+
+/// The fixed-set (MICSS/courier) adversary: permanently tapping the
+/// channel subset `taps`, a symbol is recovered iff at least `k` of
+/// its shares travel on tapped channels — no per-symbol randomness on
+/// the adversary's side at all. The realized recovery rate over the
+/// server's actual outbound traffic must converge to the closed-form
+/// `JointRisk::fixed_taps(n, taps).schedule_risk(schedule)`, with the
+/// only variance coming from the engine's schedule-entry draws.
+fn run_fixed_taps_soak(taps: Subset, sessions: u32, rounds: usize) -> (f64, f64) {
+    let schedule = soak_schedule();
+    let expected = JointRisk::fixed_taps(CHANNELS, taps).schedule_risk(&schedule);
+
+    let config = Arc::new(
+        ProtocolConfig::new(schedule.kappa(), schedule.mu())
+            .unwrap()
+            .with_symbol_bytes(SYMBOL_BYTES)
+            .with_scheduler(SchedulerKind::Static(Arc::clone(&schedule))),
+    );
+    let mut set = ShardSet::new(&ServerConfig::with_shards(SHARDS));
+    for cid in 0..sessions {
+        set.add_session(
+            cid,
+            Arc::clone(&config),
+            CHANNELS,
+            SourceMode::External,
+            u64::from(cid) + 0x7a9,
+        )
+        .unwrap();
+        set.start(SimTime::ZERO, cid);
+    }
+
+    let payload = [0x3Cu8; SYMBOL_BYTES];
+    let mut total_symbols = 0u64;
+    let mut recovered_symbols = 0u64;
+    let mut sightings: HashMap<(u32, u64), SymbolSight> = HashMap::new();
+    for round in 0..rounds {
+        let now = SimTime::from_millis(round as u64);
+        for cid in 0..sessions {
+            set.offer_symbol(now, cid, &payload);
+        }
+        for shard in 0..SHARDS {
+            let mut seen: Vec<(u32, usize, u64, u8)> = Vec::new();
+            set.shard_mut(shard).drain_outbound(|d| {
+                let DemuxFrame::Cid { cid, inner } =
+                    demux_frame(&d.bytes).expect("server emits well-formed datagrams")
+                else {
+                    panic!("server emitted a bare legacy frame");
+                };
+                let share = ShareRef::decode(inner).expect("server emits valid shares");
+                seen.push((cid, d.channel, share.seq(), share.k()));
+            });
+            for (cid, channel, seq, k) in seen {
+                let sight = sightings
+                    .entry((cid, seq))
+                    .or_insert_with(|| SymbolSight { k, captured: 0 });
+                // Deterministic capture: the tap set never changes.
+                if taps.contains(channel) {
+                    sight.captured += 1;
+                }
+            }
+        }
+        for (_, sight) in sightings.drain() {
+            total_symbols += 1;
+            if sight.captured >= sight.k {
+                recovered_symbols += 1;
+            }
+        }
+    }
+    assert_eq!(
+        total_symbols,
+        u64::from(sessions) * rounds as u64,
+        "soak lost symbols on the wire"
+    );
+    (recovered_symbols as f64 / total_symbols as f64, expected)
+}
+
+#[test]
+fn fixed_taps_exposure_matches_joint_risk_model() {
+    // Taps {0,1,2}: the (2,{0,1,2}) and (3, all-5) entries are fully
+    // exposed, the (1,{3,4}) entry is untouchable → Z = 0.40 + 0.35.
+    let (realized, expected) = run_fixed_taps_soak(Subset::from_indices(&[0, 1, 2]), 200, 400);
+    assert!((expected - 0.75).abs() < 1e-12, "model Z changed: {expected}");
+    let error = (realized - expected).abs();
+    assert!(
+        error < 0.01,
+        "fixed-taps realized {realized:.5} vs model {expected:.5} (error {error:.5})"
+    );
+
+    // Taps {3,4}: only the (1,{3,4}) entry leaks → Z = 0.25.
+    let (realized, expected) = run_fixed_taps_soak(Subset::from_indices(&[3, 4]), 200, 400);
+    assert!((expected - 0.25).abs() < 1e-12, "model Z changed: {expected}");
+    let error = (realized - expected).abs();
+    assert!(
+        error < 0.01,
+        "fixed-taps realized {realized:.5} vs model {expected:.5} (error {error:.5})"
+    );
 }
