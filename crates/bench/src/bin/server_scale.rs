@@ -31,6 +31,17 @@
 //! * `MCSS_SERVER_SCALE_ASSERT=1`: exit nonzero unless each swept
 //!   backend's 1k-session `delivered_per_sec` is within 25% of its
 //!   100-session point (the CI scaling regression gate).
+//! * `MCSS_SERVER_KNEE=0`: skip the per-point offered-load escalation
+//!   (it is also skipped in `smoke` mode, which feeds the CI gate and
+//!   only needs the base-load points).
+//!
+//! After each base-load point, the offered load is escalated in ×2
+//! steps (up to ×[`KNEE_MAX_MULTIPLIER`]) until `offered_vs_delivered`
+//! drops below [`KNEE_THRESHOLD`] — the *knee*, the offered load at
+//! which the server stops keeping up. The `knee` section of the JSON
+//! records every escalation level plus the highest sustained load per
+//! (backend, sessions) point, so throughput headroom is measured
+//! rather than inferred from the fixed base load.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,6 +64,13 @@ const WINDOW: Duration = Duration::from_millis(500);
 const DRAIN: Duration = Duration::from_millis(150);
 const SYMBOL_BYTES: usize = 64;
 const CHANNELS: usize = 5;
+/// `offered_vs_delivered` below this marks the knee: the server no
+/// longer keeps up with the offered load.
+const KNEE_THRESHOLD: f64 = 0.9;
+/// Escalation cap: the sweep stops at ×16 the base offered load even
+/// if the server still keeps up (loopback sockets bound what a higher
+/// load would measure).
+const KNEE_MAX_MULTIPLIER: f64 = 16.0;
 
 #[derive(Serialize)]
 struct ScalePoint {
@@ -84,6 +102,34 @@ struct ScalePoint {
     send_drops: u64,
 }
 
+/// One escalation level of a knee sweep.
+#[derive(Serialize)]
+struct KneeLevel {
+    offered_aggregate: f64,
+    delivered_per_sec: f64,
+    offered_vs_delivered: f64,
+}
+
+/// The offered-load knee for one (backend, sessions) point.
+#[derive(Serialize)]
+struct KneePoint {
+    io_backend: &'static str,
+    sessions: usize,
+    /// Highest offered load (sym/s) the server sustained with
+    /// `offered_vs_delivered ≥ KNEE_THRESHOLD`.
+    sustained_offered: f64,
+    /// First offered load where the ratio dropped below the threshold
+    /// — the knee. `null` when the escalation cap was reached with the
+    /// server still keeping up.
+    knee_offered: Option<f64>,
+    /// The ratio measured at the knee (`null` when no knee was found).
+    knee_offered_vs_delivered: Option<f64>,
+    /// Best delivered rate observed across all levels.
+    peak_delivered_per_sec: f64,
+    /// Every escalation level measured, in offered-load order.
+    levels: Vec<KneeLevel>,
+}
+
 #[derive(Serialize)]
 struct ScaleReport {
     id: String,
@@ -91,7 +137,9 @@ struct ScaleReport {
     warmup_millis: f64,
     window_millis: f64,
     drain_millis: f64,
+    knee_threshold: f64,
     points: Vec<ScalePoint>,
+    knee: Vec<KneePoint>,
 }
 
 fn shard_count() -> usize {
@@ -101,7 +149,12 @@ fn shard_count() -> usize {
         .clamp(2, 8)
 }
 
-fn run_point(sessions: usize, shards: usize, backend: IoBackend) -> ScalePoint {
+fn run_point(
+    sessions: usize,
+    shards: usize,
+    backend: IoBackend,
+    aggregate_offered: f64,
+) -> ScalePoint {
     let protocol = Arc::new(
         ProtocolConfig::new(2.0, 3.0)
             .expect("valid config")
@@ -112,9 +165,8 @@ fn run_point(sessions: usize, shards: usize, backend: IoBackend) -> ScalePoint {
         IoBackend::Busypoll => IoMode::Busypoll,
         IoBackend::Epoll => IoMode::Epoll,
     };
-    let mut server =
-        UdpServer::new(config, protocol, CHANNELS).expect("loopback sockets bind");
-    let offered_per_session = (AGGREGATE_OFFERED / sessions as f64).max(2.0);
+    let mut server = UdpServer::new(config, protocol, CHANNELS).expect("loopback sockets bind");
+    let offered_per_session = (aggregate_offered / sessions as f64).max(2.0);
     let offered_aggregate = offered_per_session * sessions as f64;
     let period = 1.0 / offered_per_session;
     for cid in 0..sessions as u32 {
@@ -180,11 +232,72 @@ fn backends() -> Vec<IoBackend> {
     }
 }
 
+/// Whether to escalate offered load per point. Off in smoke mode (the
+/// CI gate only needs base-load points) and under `MCSS_SERVER_KNEE=0`.
+fn knee_enabled() -> bool {
+    std::env::var("MCSS_SERVER_SCALE").as_deref() != Ok("smoke")
+        && std::env::var("MCSS_SERVER_KNEE").as_deref() != Ok("0")
+}
+
+/// Escalates the offered load for one (backend, sessions) point in ×2
+/// steps from the already-measured base point until the server stops
+/// keeping up ([`KNEE_THRESHOLD`]) or the cap is hit, and summarizes
+/// the knee.
+fn knee_sweep(base: &ScalePoint, shards: usize, backend: IoBackend) -> KneePoint {
+    let level = |p: &ScalePoint| KneeLevel {
+        offered_aggregate: p.offered_aggregate,
+        delivered_per_sec: p.delivered_per_sec,
+        offered_vs_delivered: p.offered_vs_delivered,
+    };
+    let mut levels = vec![level(base)];
+    let mut mult = 2.0;
+    while levels.last().unwrap().offered_vs_delivered >= KNEE_THRESHOLD
+        && mult <= KNEE_MAX_MULTIPLIER
+    {
+        let p = run_point(base.sessions, shards, backend, AGGREGATE_OFFERED * mult);
+        println!(
+            "{:>8} {:>7} sessions @ {:>7.0} sym/s offered: {:>8.0} delivered ({:>5.1}%)",
+            p.io_backend,
+            p.sessions,
+            p.offered_aggregate,
+            p.delivered_per_sec,
+            p.offered_vs_delivered * 100.0
+        );
+        levels.push(level(&p));
+        mult *= 2.0;
+    }
+    let sustained_offered = levels
+        .iter()
+        .filter(|l| l.offered_vs_delivered >= KNEE_THRESHOLD)
+        .map(|l| l.offered_aggregate)
+        .fold(0.0, f64::max);
+    let knee = levels
+        .iter()
+        .find(|l| l.offered_vs_delivered < KNEE_THRESHOLD);
+    let peak_delivered_per_sec = levels
+        .iter()
+        .map(|l| l.delivered_per_sec)
+        .fold(0.0, f64::max);
+    KneePoint {
+        io_backend: base.io_backend,
+        sessions: base.sessions,
+        sustained_offered,
+        knee_offered: knee.map(|l| l.offered_aggregate),
+        knee_offered_vs_delivered: knee.map(|l| l.offered_vs_delivered),
+        peak_delivered_per_sec,
+        levels,
+    }
+}
+
 /// The CI scaling gate: 1k-session throughput within `tolerance` of
 /// the 100-session point, per backend. Returns the failures.
 fn scaling_regressions(points: &[ScalePoint], tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
-    for backend in points.iter().map(|p| p.io_backend).collect::<std::collections::BTreeSet<_>>() {
+    for backend in points
+        .iter()
+        .map(|p| p.io_backend)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let at = |sessions: usize| {
             points
                 .iter()
@@ -217,9 +330,10 @@ fn main() {
         DRAIN.as_secs_f64() * 1e3
     );
     let mut points = Vec::new();
+    let mut knee = Vec::new();
     for backend in backends() {
         for sessions in session_counts() {
-            let p = run_point(sessions, shards, backend);
+            let p = run_point(sessions, shards, backend, AGGREGATE_OFFERED);
             println!(
                 "{:>8} {:>7} sessions: {:>8.0} sym/s delivered ({:>5.1}% of offered)  \
                  {:>8} datagrams  {:>5.1} dg/syscall  {:>6} wakeups  {:>7} handoffs  \
@@ -234,6 +348,21 @@ fn main() {
                 p.handoffs,
                 p.send_drops
             );
+            if knee_enabled() {
+                let k = knee_sweep(&p, shards, backend);
+                println!(
+                    "{:>8} {:>7} sessions: knee {} (sustained {:.0} sym/s, peak {:.0} sym/s)",
+                    k.io_backend,
+                    k.sessions,
+                    k.knee_offered
+                        .map_or("not reached at cap".to_string(), |o| format!(
+                            "at {o:.0} sym/s offered"
+                        )),
+                    k.sustained_offered,
+                    k.peak_delivered_per_sec
+                );
+                knee.push(k);
+            }
             points.push(p);
         }
     }
@@ -244,7 +373,9 @@ fn main() {
         warmup_millis: WARMUP.as_secs_f64() * 1e3,
         window_millis: WINDOW.as_secs_f64() * 1e3,
         drain_millis: DRAIN.as_secs_f64() * 1e3,
+        knee_threshold: KNEE_THRESHOLD,
         points,
+        knee,
     };
     mcss_bench::report::emit_value(&report.id, &report);
     if std::env::var("MCSS_SERVER_SCALE_ASSERT").as_deref() == Ok("1") && !failures.is_empty() {

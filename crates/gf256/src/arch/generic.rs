@@ -1,0 +1,186 @@
+//! Portable kernel implementations: the scalar log/exp reference, the
+//! 256-entry table row, and the 8-lane SWAR path. These run on every
+//! target and serve as the tail path for every vector backend.
+
+/// Reference kernels: two log/exp hops per byte, zero checks inline.
+pub(crate) mod scalar {
+    use crate::simd::MulTable;
+    use crate::{EXP, LOG};
+
+    #[inline]
+    fn mul(b: u8, log_x: usize) -> u8 {
+        if b == 0 {
+            0
+        } else {
+            EXP[LOG[b as usize] as usize + log_x]
+        }
+    }
+
+    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = mul(*d, log_x) ^ s;
+        }
+    }
+
+    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= mul(s, log_x);
+        }
+    }
+
+    pub fn scale(dst: &mut [u8], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for d in dst.iter_mut() {
+            *d = mul(*d, log_x);
+        }
+    }
+
+    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        let log_x = LOG[t.x().value() as usize] as usize;
+        for (i, a) in acc.iter_mut().enumerate() {
+            let mut v = 0u8;
+            for p in planes {
+                v = mul(v, log_x) ^ p[i];
+            }
+            *a = v;
+        }
+    }
+}
+
+/// One 256-entry table hop per byte, table provided by the caller.
+pub(crate) mod table {
+    use crate::simd::MulTable;
+
+    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = t.row[*d as usize] ^ s;
+        }
+    }
+
+    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= t.row[s as usize];
+        }
+    }
+
+    pub fn scale(dst: &mut [u8], t: &MulTable) {
+        for d in dst.iter_mut() {
+            *d = t.row[*d as usize];
+        }
+    }
+
+    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        for (i, a) in acc.iter_mut().enumerate() {
+            let mut v = 0u8;
+            for p in planes {
+                v = t.row[v as usize] ^ p[i];
+            }
+            *a = v;
+        }
+    }
+
+    /// Table-row tail shared by every vector backend: finishes
+    /// `acc[from..]` of a fused Horner pass byte-by-byte.
+    pub fn horner_tail(acc: &mut [u8], planes: &[&[u8]], t: &MulTable, from: usize) {
+        for (i, a) in acc.iter_mut().enumerate().skip(from) {
+            let mut v = 0u8;
+            for p in planes {
+                v = t.row[v as usize] ^ p[i];
+            }
+            *a = v;
+        }
+    }
+}
+
+/// Portable 8-lane SWAR kernels: eight bytes per `u64`, multiplied by
+/// shift-and-add over the bits of `x` with a lane-parallel `xtime`.
+pub(crate) mod swar {
+    use crate::simd::MulTable;
+
+    const HIGH_BITS: u64 = 0x8080_8080_8080_8080;
+    const LOW_SEVEN: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+
+    /// Multiplies all eight byte lanes of `v` by the scalar `x`:
+    /// `acc ⊕= v` for each set bit of `x`, doubling `v` between bits.
+    /// `xtime` doubles every lane at once — shift the low seven bits
+    /// left, then XOR 0x1b into exactly the lanes whose top bit was
+    /// set (`(hi >> 7) * 0x1b` spreads 0x1b into those lanes without
+    /// cross-lane carries, since lanes are 8 bits apart).
+    #[inline]
+    fn mul_word(mut v: u64, mut x: u8) -> u64 {
+        let mut acc = 0u64;
+        while x != 0 {
+            if x & 1 != 0 {
+                acc ^= v;
+            }
+            let hi = v & HIGH_BITS;
+            v = ((v & LOW_SEVEN) << 1) ^ ((hi >> 7) * 0x1b);
+            x >>= 1;
+        }
+        acc
+    }
+
+    #[inline]
+    fn load(bytes: &[u8]) -> u64 {
+        u64::from_ne_bytes(bytes.try_into().expect("8-byte chunk"))
+    }
+
+    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let x = t.x().value();
+        let main = dst.len() & !7;
+        for (dc, sc) in dst[..main]
+            .chunks_exact_mut(8)
+            .zip(src[..main].chunks_exact(8))
+        {
+            let v = mul_word(load(dc), x) ^ load(sc);
+            dc.copy_from_slice(&v.to_ne_bytes());
+        }
+        for (d, &s) in dst[main..].iter_mut().zip(&src[main..]) {
+            *d = t.row[*d as usize] ^ s;
+        }
+    }
+
+    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+        let x = t.x().value();
+        let main = dst.len() & !7;
+        for (dc, sc) in dst[..main]
+            .chunks_exact_mut(8)
+            .zip(src[..main].chunks_exact(8))
+        {
+            let v = load(dc) ^ mul_word(load(sc), x);
+            dc.copy_from_slice(&v.to_ne_bytes());
+        }
+        for (d, &s) in dst[main..].iter_mut().zip(&src[main..]) {
+            *d ^= t.row[s as usize];
+        }
+    }
+
+    pub fn scale(dst: &mut [u8], t: &MulTable) {
+        let x = t.x().value();
+        let main = dst.len() & !7;
+        for dc in dst[..main].chunks_exact_mut(8) {
+            let v = mul_word(load(dc), x);
+            dc.copy_from_slice(&v.to_ne_bytes());
+        }
+        for d in dst[main..].iter_mut() {
+            *d = t.row[*d as usize];
+        }
+    }
+
+    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+        let x = t.x().value();
+        let main = acc.len() & !7;
+        let mut off = 0;
+        for ac in acc[..main].chunks_exact_mut(8) {
+            let mut v = 0u64;
+            for p in planes {
+                v = mul_word(v, x) ^ load(&p[off..off + 8]);
+            }
+            ac.copy_from_slice(&v.to_ne_bytes());
+            off += 8;
+        }
+        super::table::horner_tail(acc, planes, t, main);
+    }
+}

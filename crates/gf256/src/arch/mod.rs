@@ -1,0 +1,40 @@
+//! Per-architecture kernel implementations behind the [`Backend`]
+//! dispatch layer in [`crate::simd`].
+//!
+//! Each submodule implements the same four-kernel contract —
+//! `scale_add`, `add_scaled`, `scale`, and the fused multi-plane
+//! `horner` — over caller-owned byte slices and a caller-built
+//! [`MulTable`](crate::simd::MulTable):
+//!
+//! * [`generic`] — the portable implementations every target gets:
+//!   `scalar` (log/exp reference), `table` (256-entry row), and `swar`
+//!   (8-lane `u64` shift-and-add).
+//! * [`x86`] — SSSE3/AVX2 split-nibble `pshufb` (16/32 bytes per step).
+//! * [`x86_avx512`] — AVX-512 VBMI `vpermb` split-nibble (64 bytes per
+//!   step, SSSE3 mid-tail).
+//! * [`x86_gfni`] — GFNI `gf2p8mulb` native GF(2⁸) products at 128-,
+//!   256-, or 512-bit width, whichever the host offers.
+//! * [`neon`] — aarch64 `vqtbl1q_u8` split-nibble (16 bytes per step).
+//!
+//! Every kernel is total over all lengths and alignments: vector main
+//! loops use unaligned loads/stores and finish ragged tails on the
+//! 256-entry table row, so byte-identity across backends holds for
+//! length 0 upward (pinned by `tests/backend_diff.rs`). Modules for
+//! other architectures still compile everywhere; on the wrong target
+//! their entry points degrade to the portable SWAR path so the
+//! [`Backend`](crate::simd::Backend) enum stays total without
+//! `cfg`-dependent variants.
+
+pub(crate) mod generic;
+pub(crate) mod neon;
+pub(crate) mod x86;
+pub(crate) mod x86_avx512;
+pub(crate) mod x86_gfni;
+
+/// Shared `x = 1` path: plain XOR, which LLVM auto-vectorizes.
+#[inline]
+pub(crate) fn xor_assign(dst: &mut [u8], src: &[u8]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}

@@ -1,0 +1,295 @@
+//! x86-64 split-nibble `pshufb` kernels (SSSE3 and AVX2 widths).
+//!
+//! The product by a fixed multiplier `x` factors through the nibbles:
+//! `b·x = LO[b & 0xf] ⊕ HI[b >> 4]` where `LO`/`HI` are the 16-entry
+//! tables held in the caller's [`MulTable`]. One `_mm_shuffle_epi8`
+//! (SSSE3, 16 bytes/step) or `_mm256_shuffle_epi8` (AVX2, 32
+//! bytes/step) therefore performs 16/32 field multiplications. Ragged
+//! tails fall back to the 256-entry table row, so any length (and any
+//! alignment — all loads/stores are unaligned) is handled.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::arch::generic::table;
+use crate::simd::MulTable;
+use core::arch::x86_64::{
+    __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+    _mm256_set1_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi64,
+    _mm256_storeu_si256, _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8,
+    _mm_setzero_si128, _mm_shuffle_epi8, _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+};
+use std::sync::OnceLock;
+
+/// The x86 vector width the `simd` backend runs at on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SimdLevel {
+    Ssse3,
+    Avx2,
+}
+
+/// Detects (once) whether the host supports the `pshufb` path, and at
+/// which width. `None` means `Backend::Simd` is unavailable.
+pub(crate) fn level() -> Option<SimdLevel> {
+    static LEVEL: OnceLock<Option<SimdLevel>> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if is_x86_feature_detected!("avx2") {
+            Some(SimdLevel::Avx2)
+        } else if is_x86_feature_detected!("ssse3") {
+            Some(SimdLevel::Ssse3)
+        } else {
+            None
+        }
+    })
+}
+
+/// The nibble tables as 128-bit lanes plus the low-nibble mask.
+///
+/// # Safety
+///
+/// Requires SSSE3 (guaranteed by the callers' `target_feature`).
+#[inline]
+pub(crate) unsafe fn tables128(t: &MulTable) -> (__m128i, __m128i, __m128i) {
+    let lo = unsafe { _mm_loadu_si128(t.lo.as_ptr().cast()) };
+    let hi = unsafe { _mm_loadu_si128(t.hi.as_ptr().cast()) };
+    (lo, hi, _mm_set1_epi8(0x0f))
+}
+
+/// 16 field products at once: `LO[v & 0xf] ⊕ HI[v >> 4]`.
+#[inline]
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn mul128(v: __m128i, lo: __m128i, hi: __m128i, mask: __m128i) -> __m128i {
+    let lo_n = _mm_and_si128(v, mask);
+    let hi_n = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n))
+}
+
+/// 32 field products at once (both 128-bit lanes use the same
+/// broadcast tables — `vpshufb` shuffles within lanes, which is
+/// exactly what the 16-entry tables need).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul256(v: __m256i, lo: __m256i, hi: __m256i, mask: __m256i) -> __m256i {
+    let lo_n = _mm256_and_si256(v, mask);
+    let hi_n = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n), _mm256_shuffle_epi8(hi, hi_n))
+}
+
+macro_rules! dispatch {
+    ($avx2:ident, $ssse3:ident, $($arg:expr),+) => {
+        match level().expect("Simd backend requires SSSE3") {
+            // SAFETY: level() verified the feature at runtime.
+            SimdLevel::Avx2 => unsafe { $avx2($($arg),+) },
+            SimdLevel::Ssse3 => unsafe { $ssse3($($arg),+) },
+        }
+    };
+}
+
+pub(crate) fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    dispatch!(scale_add_avx2, scale_add_ssse3, dst, src, t)
+}
+
+pub(crate) fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    dispatch!(add_scaled_avx2, add_scaled_ssse3, dst, src, t)
+}
+
+pub(crate) fn scale(dst: &mut [u8], t: &MulTable) {
+    dispatch!(scale_avx2, scale_ssse3, dst, t)
+}
+
+pub(crate) fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    dispatch!(horner_avx2, horner_ssse3, acc, planes, t)
+}
+
+/// SSSE3 16-byte mid-tail shared with the wider x86 backends: runs
+/// `dst[i..] ← dst·x ⊕ src` over whole 16-byte chunks starting at `i`,
+/// returning the new offset; the last `< 16` bytes stay for the table
+/// row.
+///
+/// # Safety
+///
+/// Requires SSSE3; `dst.len() == src.len()`.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn scale_add_tail128(dst: &mut [u8], src: &[u8], t: &MulTable, mut i: usize) {
+    let (lo, hi, mask) = unsafe { tables128(t) };
+    let main = dst.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let v = _mm_xor_si128(mul128(d, lo, hi, mask), s);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 16;
+    }
+    table::scale_add(&mut dst[main..], &src[main..], t);
+}
+
+/// SSSE3 16-byte mid-tail of `add_scaled` from offset `i` (see
+/// [`scale_add_tail128`]).
+///
+/// # Safety
+///
+/// Requires SSSE3; `dst.len() == src.len()`.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn add_scaled_tail128(dst: &mut [u8], src: &[u8], t: &MulTable, mut i: usize) {
+    let (lo, hi, mask) = unsafe { tables128(t) };
+    let main = dst.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let v = _mm_xor_si128(d, mul128(s, lo, hi, mask));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 16;
+    }
+    table::add_scaled(&mut dst[main..], &src[main..], t);
+}
+
+/// SSSE3 16-byte mid-tail of `scale` from offset `i` (see
+/// [`scale_add_tail128`]).
+///
+/// # Safety
+///
+/// Requires SSSE3.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn scale_tail128(dst: &mut [u8], t: &MulTable, mut i: usize) {
+    let (lo, hi, mask) = unsafe { tables128(t) };
+    let main = dst.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ dst.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), mul128(d, lo, hi, mask));
+        }
+        i += 16;
+    }
+    table::scale(&mut dst[main..], t);
+}
+
+/// SSSE3 16-byte mid-tail of the fused Horner from offset `i` (see
+/// [`scale_add_tail128`]).
+///
+/// # Safety
+///
+/// Requires SSSE3; every plane's length equals `acc.len()`.
+#[target_feature(enable = "ssse3")]
+pub(crate) unsafe fn horner_tail128(acc: &mut [u8], planes: &[&[u8]], t: &MulTable, mut i: usize) {
+    let (lo, hi, mask) = unsafe { tables128(t) };
+    let main = acc.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ acc.len() == every plane's len.
+        unsafe {
+            let mut a = _mm_setzero_si128();
+            for p in planes {
+                let pv = _mm_loadu_si128(p.as_ptr().add(i).cast());
+                a = _mm_xor_si128(mul128(a, lo, hi, mask), pv);
+            }
+            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), a);
+        }
+        i += 16;
+    }
+    table::horner_tail(acc, planes, t, main);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn scale_add_ssse3(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    unsafe { scale_add_tail128(dst, src, t, 0) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn scale_add_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+    let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let main = dst.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let v = _mm256_xor_si256(mul256(d, lo, hi, mask), s);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 32;
+    }
+    table::scale_add(&mut dst[main..], &src[main..], t);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn add_scaled_ssse3(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    unsafe { add_scaled_tail128(dst, src, t, 0) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn add_scaled_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+    let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let main = dst.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let v = _mm256_xor_si256(d, mul256(s, lo, hi, mask));
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 32;
+    }
+    table::add_scaled(&mut dst[main..], &src[main..], t);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn scale_ssse3(dst: &mut [u8], t: &MulTable) {
+    unsafe { scale_tail128(dst, t, 0) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn scale_avx2(dst: &mut [u8], t: &MulTable) {
+    let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+    let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let main = dst.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ dst.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), mul256(d, lo, hi, mask));
+        }
+        i += 32;
+    }
+    table::scale(&mut dst[main..], t);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn horner_ssse3(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    unsafe { horner_tail128(acc, planes, t, 0) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn horner_avx2(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
+    let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let main = acc.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ acc.len() == every plane's len.
+        unsafe {
+            let mut a = _mm256_setzero_si256();
+            for p in planes {
+                let pv = _mm256_loadu_si256(p.as_ptr().add(i).cast());
+                a = _mm256_xor_si256(mul256(a, lo, hi, mask), pv);
+            }
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), a);
+        }
+        i += 32;
+    }
+    table::horner_tail(acc, planes, t, main);
+}

@@ -1,0 +1,339 @@
+//! GFNI kernels: `gf2p8mulb` computes GF(2⁸) products **natively**.
+//!
+//! The Galois Field New Instructions define multiplication in exactly
+//! this crate's field — GF(2)[x] mod x⁸ + x⁴ + x³ + x + 1 (0x11B, the
+//! AES/Rijndael polynomial) — so one `_mm_gf2p8mul_epi8` against a
+//! broadcast multiplier replaces the whole split-nibble dance: no
+//! nibble tables, no shuffles, one instruction per 16/32/64 bytes
+//! depending on width. (The companion `gf2p8affineqb` applies an
+//! arbitrary 8×8 GF(2) bit-matrix — any *fixed*-multiplier product is
+//! such a linear map — but since the field polynomial matches, the
+//! direct multiply needs no per-multiplier matrix at all; see
+//! DESIGN.md "Field kernels" for the derivation.)
+//!
+//! Width is chosen once per process: 512-bit with AVX-512BW, 256-bit
+//! with AVX2, else the 128-bit SSE form every GFNI host supports.
+//! Wider kernels step down through the 128-bit GFNI loop before
+//! finishing the last `< 16` bytes on the table row, so all lengths
+//! and alignments are handled.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::arch::generic::table;
+use crate::simd::MulTable;
+use core::arch::x86_64::{
+    __m128i, _mm256_gf2p8mul_epi8, _mm256_loadu_si256, _mm256_set1_epi8, _mm256_setzero_si256,
+    _mm256_storeu_si256, _mm256_xor_si256, _mm512_gf2p8mul_epi8, _mm512_loadu_si512,
+    _mm512_set1_epi8, _mm512_setzero_si512, _mm512_storeu_si512, _mm512_xor_si512,
+    _mm_gf2p8mul_epi8, _mm_loadu_si128, _mm_set1_epi8, _mm_setzero_si128, _mm_storeu_si128,
+    _mm_xor_si128,
+};
+use std::sync::OnceLock;
+
+/// The vector width the GFNI backend runs at on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GfniLevel {
+    /// SSE encoding, 16 bytes per `gf2p8mulb`.
+    G128,
+    /// VEX encoding (AVX2 host), 32 bytes.
+    G256,
+    /// EVEX encoding (AVX-512BW host), 64 bytes.
+    G512,
+}
+
+/// Detects (once) whether the host has GFNI, and at which width.
+/// `None` means `Backend::Gfni` is unavailable.
+fn level() -> Option<GfniLevel> {
+    static LEVEL: OnceLock<Option<GfniLevel>> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if !is_x86_feature_detected!("gfni") {
+            None
+        } else if is_x86_feature_detected!("avx512bw") {
+            Some(GfniLevel::G512)
+        } else if is_x86_feature_detected!("avx2") {
+            Some(GfniLevel::G256)
+        } else {
+            Some(GfniLevel::G128)
+        }
+    })
+}
+
+/// Whether the host supports any GFNI width, cached.
+pub(crate) fn available() -> bool {
+    level().is_some()
+}
+
+macro_rules! dispatch {
+    ($f512:ident, $f256:ident, $f128:ident, $($arg:expr),+) => {
+        match level().expect("Gfni backend requires GFNI") {
+            // SAFETY: level() verified the features at runtime.
+            GfniLevel::G512 => unsafe { $f512($($arg),+) },
+            GfniLevel::G256 => unsafe { $f256($($arg),+) },
+            GfniLevel::G128 => unsafe { $f128($($arg),+, 0) },
+        }
+    };
+}
+
+pub(crate) fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    dispatch!(
+        scale_add_512,
+        scale_add_256,
+        scale_add_from_128,
+        dst,
+        src,
+        t
+    )
+}
+
+pub(crate) fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    dispatch!(
+        add_scaled_512,
+        add_scaled_256,
+        add_scaled_from_128,
+        dst,
+        src,
+        t
+    )
+}
+
+pub(crate) fn scale(dst: &mut [u8], t: &MulTable) {
+    dispatch!(scale_512, scale_256, scale_from_128, dst, t)
+}
+
+pub(crate) fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    dispatch!(horner_512, horner_256, horner_from_128, acc, planes, t)
+}
+
+/// The multiplier broadcast to all 16 lanes of a 128-bit vector.
+#[inline]
+fn x128(t: &MulTable) -> __m128i {
+    // SAFETY: _mm_set1_epi8 is sse2, baseline on x86_64.
+    unsafe { _mm_set1_epi8(t.x().value() as i8) }
+}
+
+// --- 128-bit (SSE encoding) kernels, from a starting offset so the
+// --- wider widths reuse them as their mid-tail. ---------------------
+
+#[target_feature(enable = "gfni")]
+unsafe fn scale_add_from_128(dst: &mut [u8], src: &[u8], t: &MulTable, mut i: usize) {
+    let x = x128(t);
+    let main = dst.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let v = _mm_xor_si128(_mm_gf2p8mul_epi8(d, x), s);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 16;
+    }
+    table::scale_add(&mut dst[main..], &src[main..], t);
+}
+
+#[target_feature(enable = "gfni")]
+unsafe fn add_scaled_from_128(dst: &mut [u8], src: &[u8], t: &MulTable, mut i: usize) {
+    let x = x128(t);
+    let main = dst.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let v = _mm_xor_si128(d, _mm_gf2p8mul_epi8(s, x));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 16;
+    }
+    table::add_scaled(&mut dst[main..], &src[main..], t);
+}
+
+#[target_feature(enable = "gfni")]
+unsafe fn scale_from_128(dst: &mut [u8], t: &MulTable, mut i: usize) {
+    let x = x128(t);
+    let main = dst.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ dst.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_gf2p8mul_epi8(d, x));
+        }
+        i += 16;
+    }
+    table::scale(&mut dst[main..], t);
+}
+
+#[target_feature(enable = "gfni")]
+unsafe fn horner_from_128(acc: &mut [u8], planes: &[&[u8]], t: &MulTable, mut i: usize) {
+    let x = x128(t);
+    let main = acc.len() & !15;
+    while i < main {
+        // SAFETY: i + 16 ≤ main ≤ acc.len() == every plane's len.
+        unsafe {
+            let mut a = _mm_setzero_si128();
+            for p in planes {
+                let pv = _mm_loadu_si128(p.as_ptr().add(i).cast());
+                a = _mm_xor_si128(_mm_gf2p8mul_epi8(a, x), pv);
+            }
+            _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), a);
+        }
+        i += 16;
+    }
+    table::horner_tail(acc, planes, t, main);
+}
+
+// --- 256-bit (VEX encoding) kernels. --------------------------------
+
+#[target_feature(enable = "gfni,avx2")]
+unsafe fn scale_add_256(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    let x = _mm256_set1_epi8(t.x().value() as i8);
+    let main = dst.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let v = _mm256_xor_si256(_mm256_gf2p8mul_epi8(d, x), s);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 32;
+    }
+    // SAFETY: GFNI is active (the 128-bit form needs nothing wider).
+    unsafe { scale_add_from_128(dst, src, t, main) }
+}
+
+#[target_feature(enable = "gfni,avx2")]
+unsafe fn add_scaled_256(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    let x = _mm256_set1_epi8(t.x().value() as i8);
+    let main = dst.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let v = _mm256_xor_si256(d, _mm256_gf2p8mul_epi8(s, x));
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 32;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { add_scaled_from_128(dst, src, t, main) }
+}
+
+#[target_feature(enable = "gfni,avx2")]
+unsafe fn scale_256(dst: &mut [u8], t: &MulTable) {
+    let x = _mm256_set1_epi8(t.x().value() as i8);
+    let main = dst.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ dst.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_gf2p8mul_epi8(d, x));
+        }
+        i += 32;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { scale_from_128(dst, t, main) }
+}
+
+#[target_feature(enable = "gfni,avx2")]
+unsafe fn horner_256(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    let x = _mm256_set1_epi8(t.x().value() as i8);
+    let main = acc.len() & !31;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 32 ≤ main ≤ acc.len() == every plane's len.
+        unsafe {
+            let mut a = _mm256_setzero_si256();
+            for p in planes {
+                let pv = _mm256_loadu_si256(p.as_ptr().add(i).cast());
+                a = _mm256_xor_si256(_mm256_gf2p8mul_epi8(a, x), pv);
+            }
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), a);
+        }
+        i += 32;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { horner_from_128(acc, planes, t, main) }
+}
+
+// --- 512-bit (EVEX encoding) kernels. -------------------------------
+
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn scale_add_512(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    let x = _mm512_set1_epi8(t.x().value() as i8);
+    let main = dst.len() & !63;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 64 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm512_loadu_si512(dst.as_ptr().add(i).cast());
+            let s = _mm512_loadu_si512(src.as_ptr().add(i).cast());
+            let v = _mm512_xor_si512(_mm512_gf2p8mul_epi8(d, x), s);
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 64;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { scale_add_from_128(dst, src, t, main) }
+}
+
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn add_scaled_512(dst: &mut [u8], src: &[u8], t: &MulTable) {
+    let x = _mm512_set1_epi8(t.x().value() as i8);
+    let main = dst.len() & !63;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 64 ≤ main ≤ dst.len() == src.len().
+        unsafe {
+            let d = _mm512_loadu_si512(dst.as_ptr().add(i).cast());
+            let s = _mm512_loadu_si512(src.as_ptr().add(i).cast());
+            let v = _mm512_xor_si512(d, _mm512_gf2p8mul_epi8(s, x));
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 64;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { add_scaled_from_128(dst, src, t, main) }
+}
+
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn scale_512(dst: &mut [u8], t: &MulTable) {
+    let x = _mm512_set1_epi8(t.x().value() as i8);
+    let main = dst.len() & !63;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 64 ≤ main ≤ dst.len().
+        unsafe {
+            let d = _mm512_loadu_si512(dst.as_ptr().add(i).cast());
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), _mm512_gf2p8mul_epi8(d, x));
+        }
+        i += 64;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { scale_from_128(dst, t, main) }
+}
+
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn horner_512(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
+    let x = _mm512_set1_epi8(t.x().value() as i8);
+    let main = acc.len() & !63;
+    let mut i = 0;
+    while i < main {
+        // SAFETY: i + 64 ≤ main ≤ acc.len() == every plane's len.
+        unsafe {
+            let mut a = _mm512_setzero_si512();
+            for p in planes {
+                let pv = _mm512_loadu_si512(p.as_ptr().add(i).cast());
+                a = _mm512_xor_si512(_mm512_gf2p8mul_epi8(a, x), pv);
+            }
+            _mm512_storeu_si512(acc.as_mut_ptr().add(i).cast(), a);
+        }
+        i += 64;
+    }
+    // SAFETY: GFNI is active.
+    unsafe { horner_from_128(acc, planes, t, main) }
+}

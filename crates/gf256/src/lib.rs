@@ -6,9 +6,12 @@
 //! driven; the log/exp tables are computed at compile time from the
 //! generator 0x03, so scalar arithmetic has no runtime initialization and
 //! no `unsafe`. The bulk [`slice`] kernels additionally dispatch to
-//! runtime-detected vector backends (split-nibble `pshufb` on x86_64,
-//! portable SWAR elsewhere) — see [`simd`] for the dispatch layer and the
-//! `MCSS_GF256_BACKEND` override.
+//! runtime-detected vector backends (GFNI `gf2p8mulb`, AVX-512 VBMI
+//! `vpermb`, and split-nibble `pshufb` on x86_64; `vqtbl1q_u8` NEON on
+//! aarch64; portable SWAR elsewhere) — see [`simd`] for the dispatch
+//! layer, the length-aware crossover, and the `MCSS_GF256_BACKEND`
+//! override. The per-architecture kernels themselves live in the
+//! private `arch` module tree.
 //!
 //! # Examples
 //!
@@ -22,6 +25,7 @@
 //! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
 //! ```
 
+mod arch;
 pub mod matrix;
 pub mod poly;
 pub mod simd;

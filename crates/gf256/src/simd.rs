@@ -3,32 +3,45 @@
 //! The [`slice`](crate::slice) functions — one Horner or Lagrange step
 //! per coefficient plane — are the single hottest loop in the workspace:
 //! every byte a ReMICSS session moves passes through them `k` (split)
-//! or `k²` (reconstruct) times. This module provides four byte-identical
-//! implementations of the three slice ops plus a fused multi-plane
-//! Horner kernel, selected once per process:
+//! or `k²` (reconstruct) times. This module is the **dispatch layer**
+//! over the per-architecture kernels in `crate::arch`; each backend
+//! implements the three slice ops plus a fused multi-plane Horner
+//! kernel, byte-identically:
 //!
 //! * [`Backend::Scalar`] — two log/exp table hops per byte, the
 //!   reference implementation.
 //! * [`Backend::Table`] — one 256-entry multiplication-table hop per
 //!   byte; the table lives in a caller-held [`MulTable`].
 //! * [`Backend::Swar`] — portable 8-lane SWAR: eight bytes packed in a
-//!   `u64`, multiplied by shift-and-add with a lane-parallel `xtime`
-//!   (conditional 0x1b reduction via mask arithmetic). No per-byte
-//!   table loads, works on every target.
-//! * [`Backend::Simd`] — x86_64 split-nibble `pshufb`: the product
-//!   `b · x` is `LO[b & 0xf] ⊕ HI[b >> 4]` where `LO`/`HI` are 16-entry
-//!   tables for the fixed multiplier `x`, so one `_mm_shuffle_epi8`
-//!   (SSSE3, 16 bytes/step) or `_mm256_shuffle_epi8` (AVX2, 32
-//!   bytes/step) performs 16/32 field multiplications. Ragged tails
-//!   fall back to the 256-entry table row, so any length (and any
-//!   alignment — all loads/stores are unaligned) is handled.
+//!   `u64`, multiplied by shift-and-add with a lane-parallel `xtime`.
+//!   No per-byte table loads, works on every target.
+//! * [`Backend::Simd`] — x86-64 split-nibble `pshufb`
+//!   (`arch/x86.rs`): 16 (SSSE3) or 32 (AVX2) field products per
+//!   shuffle pair.
+//! * [`Backend::Neon`] — the same split-nibble algebra on aarch64
+//!   `vqtbl1q_u8` (`arch/neon.rs`), 16 bytes per step.
+//! * [`Backend::Avx512`] — 64-byte split-nibble via AVX-512 VBMI
+//!   `vpermb` (`arch/x86_avx512.rs`).
+//! * [`Backend::Gfni`] — native GF(2⁸) products via `gf2p8mulb`
+//!   (`arch/x86_gfni.rs`) at 128/256/512-bit width; no nibble tables
+//!   at all.
 //!
-//! The active backend is chosen once, on first use, via
-//! `is_x86_feature_detected!` and cached; `MCSS_GF256_BACKEND`
-//! (`scalar` | `table` | `swar` | `simd`) forces a specific path for
-//! testing and benchmarking. Forcing an unavailable backend falls back
-//! to the best available one with a warning on stderr, so a test matrix
-//! can set `MCSS_GF256_BACKEND=simd` unconditionally.
+//! Dispatch is **feature- and length-aware**. [`Backend::detect`] picks
+//! the best available backend once per process
+//! (`gfni → avx512 → simd` on x86-64, `neon` on aarch64, `table`
+//! otherwise); per call, [`Backend::for_len`] routes lengths below the
+//! selected backend's [`crossover`](Backend::crossover) to the `table`
+//! path, because vector setup only pays for itself on long planes (the
+//! `gf256_kernels` bench measures the crossover per backend and emits
+//! it in `BENCH_gf256_kernels.json`). `MCSS_GF256_BACKEND`
+//! (`scalar` | `table` | `swar` | `simd` | `neon` | `avx512` | `gfni`)
+//! forces a specific path for testing and benchmarking — a *forced*
+//! backend is used at every length, bypassing the crossover, so CI
+//! legs exercise the forced kernels on short planes too. Forcing an
+//! unavailable backend falls back to the best available one with a
+//! warning on stderr, so a test matrix can set `MCSS_GF256_BACKEND`
+//! unconditionally. `MCSS_GF256_CROSSOVER` (e.g. `simd=32,swar=max`)
+//! overrides the compiled-in crossover lengths for recalibration.
 //!
 //! All per-multiplier state lives in the caller-owned [`MulTable`]
 //! (288 bytes, plain `Copy` data, stack- or scratch-resident), so the
@@ -49,24 +62,43 @@
 //! assert_eq!(dst[0], (Gf256::new(1) * Gf256::new(0x53) + Gf256::new(0xaa)).value());
 //! ```
 
+use crate::arch::generic::{scalar, swar, table};
+use crate::arch::xor_assign;
 use crate::{Gf256, EXP, LOG};
 use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+use crate::arch::{x86 as simd_impl, x86_avx512 as avx512_impl, x86_gfni as gfni_impl};
+// On the wrong architecture a directly-constructed vector variant
+// (never returned by detection) degrades to the portable SWAR path
+// rather than aborting, keeping the enum total without cfg variants.
+#[cfg(not(target_arch = "x86_64"))]
+use crate::arch::generic::{swar as avx512_impl, swar as gfni_impl, swar as simd_impl};
+
+#[cfg(not(target_arch = "aarch64"))]
+use crate::arch::generic::swar as neon_impl;
+#[cfg(target_arch = "aarch64")]
+use crate::arch::neon as neon_impl;
 
 /// Precomputed multiplication tables for one fixed multiplier `x`.
 ///
 /// Holds the full 256-entry row `b ↦ b·x` (used by the table backend
 /// and for ragged tails) and the two 16-entry nibble tables
-/// `LO[n] = n·x`, `HI[n] = (n << 4)·x` used by the `pshufb` path
-/// (`b·x = LO[b & 0xf] ⊕ HI[b >> 4]`, by linearity of the field over
-/// GF(2)). Building one costs ~256 table lookups; callers working over
-/// large planes or several Horner steps with the same `x` should build
-/// it once and reuse it (see `mcss_shamir::batch`).
+/// `LO[n] = n·x`, `HI[n] = (n << 4)·x` used by the split-nibble
+/// shuffle paths (`b·x = LO[b & 0xf] ⊕ HI[b >> 4]`, by linearity of
+/// the field over GF(2)). Building one costs ~256 table lookups;
+/// callers working over large planes or several Horner steps with the
+/// same `x` should build it once and reuse it (see
+/// `mcss_shamir::batch`). The GFNI backend needs none of this state —
+/// the multiplier byte itself is broadcast — but takes the same
+/// argument so every backend shares one signature (and the row still
+/// serves its sub-16-byte tail).
 #[derive(Debug, Clone, Copy)]
 pub struct MulTable {
     x: Gf256,
-    row: [u8; 256],
-    lo: [u8; 16],
-    hi: [u8; 16],
+    pub(crate) row: [u8; 256],
+    pub(crate) lo: [u8; 16],
+    pub(crate) hi: [u8; 16],
 }
 
 impl MulTable {
@@ -118,7 +150,7 @@ impl MulTable {
 /// All backends produce byte-identical results for every input length
 /// (pinned by differential property tests); they differ only in speed
 /// and portability. [`Backend::active`] returns the process-wide
-/// selection.
+/// selection; [`Backend::for_len`] adds the per-call length routing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Two log/exp lookups per byte — the reference path.
@@ -127,17 +159,28 @@ pub enum Backend {
     Table,
     /// Portable 8-bytes-per-`u64` SWAR shift-and-add.
     Swar,
-    /// x86_64 split-nibble `pshufb` (AVX2 when available, else SSSE3).
+    /// x86-64 split-nibble `pshufb` (AVX2 when available, else SSSE3).
     Simd,
+    /// aarch64 split-nibble `vqtbl1q_u8`, 16 bytes per step.
+    Neon,
+    /// x86-64 AVX-512 VBMI `vpermb` split-nibble, 64 bytes per step.
+    Avx512,
+    /// x86-64 GFNI `gf2p8mulb` native field products (128/256/512-bit
+    /// width, whichever the host offers).
+    Gfni,
 }
 
 impl Backend {
-    /// Every backend, in `scalar → simd` order (slowest first).
-    pub const ALL: [Backend; 4] = [
+    /// Every backend, in roughly slowest-first order (portable paths,
+    /// then the vector paths by width/generation).
+    pub const ALL: [Backend; 7] = [
         Backend::Scalar,
         Backend::Table,
         Backend::Swar,
         Backend::Simd,
+        Backend::Neon,
+        Backend::Avx512,
+        Backend::Gfni,
     ];
 
     /// The backend's `MCSS_GF256_BACKEND` name.
@@ -148,6 +191,9 @@ impl Backend {
             Backend::Table => "table",
             Backend::Swar => "swar",
             Backend::Simd => "simd",
+            Backend::Neon => "neon",
+            Backend::Avx512 => "avx512",
+            Backend::Gfni => "gfni",
         }
     }
 
@@ -162,46 +208,134 @@ impl Backend {
     pub fn is_available(self) -> bool {
         match self {
             Backend::Scalar | Backend::Table | Backend::Swar => true,
-            Backend::Simd => simd_level().is_some(),
+            Backend::Simd => simd_available(),
+            Backend::Neon => neon_available(),
+            Backend::Avx512 => avx512_available(),
+            Backend::Gfni => gfni_available(),
         }
     }
 
     /// The process-wide active backend: the `MCSS_GF256_BACKEND`
     /// override if set and available, else the fastest available path.
     /// Detected once and cached for the life of the process.
+    ///
+    /// This is the *bulk* selection; length-aware callers should use
+    /// [`Backend::for_len`], which routes short planes to the `table`
+    /// path unless the backend was forced.
     #[must_use]
     pub fn active() -> Backend {
-        static ACTIVE: OnceLock<Backend> = OnceLock::new();
-        *ACTIVE.get_or_init(Backend::detect)
+        selection().backend
     }
 
-    fn detect() -> Backend {
-        let best = if Backend::Simd.is_available() {
-            Backend::Simd
+    /// The backend the dispatch layer uses for a plane of `len` bytes:
+    /// the active backend, except that lengths below its
+    /// [`crossover`](Backend::crossover) route to [`Backend::Table`] —
+    /// unless `MCSS_GF256_BACKEND` forced a backend, which is then used
+    /// at every length (so forced test legs exercise the forced
+    /// kernels on short planes too).
+    #[must_use]
+    pub fn for_len(len: usize) -> Backend {
+        let sel = selection();
+        if sel.forced {
+            sel.backend
         } else {
-            Backend::Swar
-        };
+            sel.backend.route(len)
+        }
+    }
+
+    /// Length routing for auto-detected dispatch: `self` when `len` has
+    /// reached this backend's [`crossover`](Backend::crossover),
+    /// [`Backend::Table`] below it.
+    #[must_use]
+    pub fn route(self, len: usize) -> Backend {
+        if len < self.crossover() {
+            Backend::Table
+        } else {
+            self
+        }
+    }
+
+    /// The smallest plane length at which this backend is worth
+    /// dispatching to instead of the 256-entry `table` path, per the
+    /// `gf256_kernels` calibration (`BENCH_gf256_kernels.json`,
+    /// `crossover` section). `usize::MAX` means the bench never
+    /// measured the backend ahead of `table` at any length — `swar`
+    /// lands there on x86 hosts (0.52× scalar at 64 B, still behind
+    /// `table` at 256 KiB) — so auto-dispatch never selects it.
+    /// Override with `MCSS_GF256_CROSSOVER` (e.g. `simd=32,swar=max`)
+    /// after recalibrating on a new host.
+    #[must_use]
+    pub fn crossover(self) -> usize {
+        crossover_table()[self.index()]
+    }
+
+    fn index(self) -> usize {
+        Backend::ALL
+            .iter()
+            .position(|b| *b == self)
+            .expect("ALL contains every variant")
+    }
+
+    /// Compiled-in calibration defaults (see [`Backend::crossover`]).
+    /// The vector backends run their own kernels from one vector width
+    /// (16 bytes) up — below that their main loop is empty and they
+    /// *are* the table path, minus a few setup instructions.
+    const fn default_crossover(self) -> usize {
+        match self {
+            // Reference path: measured below `table` at every length.
+            Backend::Scalar => usize::MAX,
+            Backend::Table => 0,
+            // BENCH_gf256_kernels.json: 0.52× scalar at 64 B and still
+            // behind `table` at 256 KiB — never auto-dispatched.
+            Backend::Swar => usize::MAX,
+            Backend::Simd | Backend::Neon | Backend::Avx512 | Backend::Gfni => 16,
+        }
+    }
+
+    fn detect() -> Selection {
+        let best = [
+            Backend::Gfni,
+            Backend::Avx512,
+            Backend::Simd,
+            Backend::Neon,
+            Backend::Table,
+        ]
+        .into_iter()
+        .find(|b| b.is_available())
+        .expect("table is always available");
         match std::env::var("MCSS_GF256_BACKEND") {
             Ok(name) => match Backend::from_name(&name) {
-                Some(b) if b.is_available() => b,
+                Some(b) if b.is_available() => Selection {
+                    backend: b,
+                    forced: true,
+                },
                 Some(b) => {
                     eprintln!(
                         "[gf256] MCSS_GF256_BACKEND={} unavailable on this host; using {}",
                         b.name(),
                         best.name()
                     );
-                    best
+                    Selection {
+                        backend: best,
+                        forced: false,
+                    }
                 }
                 None => {
                     eprintln!(
                         "[gf256] unknown MCSS_GF256_BACKEND={name:?} \
-                         (expected scalar|table|swar|simd); using {}",
+                         (expected scalar|table|swar|simd|neon|avx512|gfni); using {}",
                         best.name()
                     );
-                    best
+                    Selection {
+                        backend: best,
+                        forced: false,
+                    }
                 }
             },
-            Err(_) => best,
+            Err(_) => Selection {
+                backend: best,
+                forced: false,
+            },
         }
     }
 
@@ -224,7 +358,10 @@ impl Backend {
             Backend::Scalar => scalar::scale_add(dst, src, t),
             Backend::Table => table::scale_add(dst, src, t),
             Backend::Swar => swar::scale_add(dst, src, t),
-            Backend::Simd => simd_scale_add(dst, src, t),
+            Backend::Simd => simd_impl::scale_add(dst, src, t),
+            Backend::Neon => neon_impl::scale_add(dst, src, t),
+            Backend::Avx512 => avx512_impl::scale_add(dst, src, t),
+            Backend::Gfni => gfni_impl::scale_add(dst, src, t),
         }
     }
 
@@ -246,7 +383,10 @@ impl Backend {
             Backend::Scalar => scalar::add_scaled(dst, src, t),
             Backend::Table => table::add_scaled(dst, src, t),
             Backend::Swar => swar::add_scaled(dst, src, t),
-            Backend::Simd => simd_add_scaled(dst, src, t),
+            Backend::Simd => simd_impl::add_scaled(dst, src, t),
+            Backend::Neon => neon_impl::add_scaled(dst, src, t),
+            Backend::Avx512 => avx512_impl::add_scaled(dst, src, t),
+            Backend::Gfni => gfni_impl::add_scaled(dst, src, t),
         }
     }
 
@@ -263,7 +403,10 @@ impl Backend {
             Backend::Scalar => scalar::scale(dst, t),
             Backend::Table => table::scale(dst, t),
             Backend::Swar => swar::scale(dst, t),
-            Backend::Simd => simd_scale(dst, t),
+            Backend::Simd => simd_impl::scale(dst, t),
+            Backend::Neon => neon_impl::scale(dst, t),
+            Backend::Avx512 => avx512_impl::scale(dst, t),
+            Backend::Gfni => gfni_impl::scale(dst, t),
         }
     }
 
@@ -305,468 +448,107 @@ impl Backend {
             Backend::Scalar => scalar::horner(acc, planes, t),
             Backend::Table => table::horner(acc, planes, t),
             Backend::Swar => swar::horner(acc, planes, t),
-            Backend::Simd => simd_horner(acc, planes, t),
+            Backend::Simd => simd_impl::horner(acc, planes, t),
+            Backend::Neon => neon_impl::horner(acc, planes, t),
+            Backend::Avx512 => avx512_impl::horner(acc, planes, t),
+            Backend::Gfni => gfni_impl::horner(acc, planes, t),
         }
     }
 }
 
-/// Shared `x = 1` path: plain XOR, which LLVM auto-vectorizes.
-#[inline]
-fn xor_assign(dst: &mut [u8], src: &[u8]) {
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+/// The cached process-wide backend choice.
+#[derive(Debug, Clone, Copy)]
+struct Selection {
+    backend: Backend,
+    /// Whether `MCSS_GF256_BACKEND` forced the choice — a forced
+    /// backend bypasses the length crossover.
+    forced: bool,
 }
 
-/// Reference kernels: two log/exp hops per byte, zero checks inline.
-mod scalar {
-    use super::MulTable;
-    use crate::{EXP, LOG};
+fn selection() -> Selection {
+    static SELECTION: OnceLock<Selection> = OnceLock::new();
+    *SELECTION.get_or_init(Backend::detect)
+}
 
-    #[inline]
-    fn mul(b: u8, log_x: usize) -> u8 {
-        if b == 0 {
-            0
-        } else {
-            EXP[LOG[b as usize] as usize + log_x]
+/// The per-backend crossover lengths, compiled-in defaults overlaid
+/// with any `MCSS_GF256_CROSSOVER` entries, parsed once.
+fn crossover_table() -> &'static [usize; Backend::ALL.len()] {
+    static TABLE: OnceLock<[usize; Backend::ALL.len()]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0usize; Backend::ALL.len()];
+        for (slot, b) in table.iter_mut().zip(Backend::ALL) {
+            *slot = b.default_crossover();
         }
-    }
-
-    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let log_x = LOG[t.x().value() as usize] as usize;
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = mul(*d, log_x) ^ s;
-        }
-    }
-
-    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let log_x = LOG[t.x().value() as usize] as usize;
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= mul(s, log_x);
-        }
-    }
-
-    pub fn scale(dst: &mut [u8], t: &MulTable) {
-        let log_x = LOG[t.x().value() as usize] as usize;
-        for d in dst.iter_mut() {
-            *d = mul(*d, log_x);
-        }
-    }
-
-    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-        let log_x = LOG[t.x().value() as usize] as usize;
-        for (i, a) in acc.iter_mut().enumerate() {
-            let mut v = 0u8;
-            for p in planes {
-                v = mul(v, log_x) ^ p[i];
+        let Ok(spec) = std::env::var("MCSS_GF256_CROSSOVER") else {
+            return table;
+        };
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let Some((name, value)) = entry.split_once('=') else {
+                eprintln!("[gf256] malformed MCSS_GF256_CROSSOVER entry {entry:?} (want name=len)");
+                continue;
+            };
+            let Some(backend) = Backend::from_name(name.trim()) else {
+                eprintln!("[gf256] unknown backend in MCSS_GF256_CROSSOVER: {name:?}");
+                continue;
+            };
+            let value = value.trim();
+            let len = if value == "max" || value == "never" {
+                Some(usize::MAX)
+            } else {
+                value.parse::<usize>().ok()
+            };
+            match len {
+                Some(len) => table[backend.index()] = len,
+                None => eprintln!(
+                    "[gf256] bad MCSS_GF256_CROSSOVER length {value:?} (want an integer or `max`)"
+                ),
             }
-            *a = v;
         }
-    }
-}
-
-/// One 256-entry table hop per byte, table provided by the caller.
-mod table {
-    use super::MulTable;
-
-    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = t.row[*d as usize] ^ s;
-        }
-    }
-
-    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= t.row[s as usize];
-        }
-    }
-
-    pub fn scale(dst: &mut [u8], t: &MulTable) {
-        for d in dst.iter_mut() {
-            *d = t.row[*d as usize];
-        }
-    }
-
-    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-        for (i, a) in acc.iter_mut().enumerate() {
-            let mut v = 0u8;
-            for p in planes {
-                v = t.row[v as usize] ^ p[i];
-            }
-            *a = v;
-        }
-    }
-}
-
-/// Portable 8-lane SWAR kernels: eight bytes per `u64`, multiplied by
-/// shift-and-add over the bits of `x` with a lane-parallel `xtime`.
-mod swar {
-    use super::MulTable;
-
-    const HIGH_BITS: u64 = 0x8080_8080_8080_8080;
-    const LOW_SEVEN: u64 = 0x7f7f_7f7f_7f7f_7f7f;
-
-    /// Multiplies all eight byte lanes of `v` by the scalar `x`:
-    /// `acc ⊕= v` for each set bit of `x`, doubling `v` between bits.
-    /// `xtime` doubles every lane at once — shift the low seven bits
-    /// left, then XOR 0x1b into exactly the lanes whose top bit was
-    /// set (`(hi >> 7) * 0x1b` spreads 0x1b into those lanes without
-    /// cross-lane carries, since lanes are 8 bits apart).
-    #[inline]
-    fn mul_word(mut v: u64, mut x: u8) -> u64 {
-        let mut acc = 0u64;
-        while x != 0 {
-            if x & 1 != 0 {
-                acc ^= v;
-            }
-            let hi = v & HIGH_BITS;
-            v = ((v & LOW_SEVEN) << 1) ^ ((hi >> 7) * 0x1b);
-            x >>= 1;
-        }
-        acc
-    }
-
-    #[inline]
-    fn load(bytes: &[u8]) -> u64 {
-        u64::from_ne_bytes(bytes.try_into().expect("8-byte chunk"))
-    }
-
-    pub fn scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let x = t.x().value();
-        let main = dst.len() & !7;
-        for (dc, sc) in dst[..main]
-            .chunks_exact_mut(8)
-            .zip(src[..main].chunks_exact(8))
-        {
-            let v = mul_word(load(dc), x) ^ load(sc);
-            dc.copy_from_slice(&v.to_ne_bytes());
-        }
-        for (d, &s) in dst[main..].iter_mut().zip(&src[main..]) {
-            *d = t.row[*d as usize] ^ s;
-        }
-    }
-
-    pub fn add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let x = t.x().value();
-        let main = dst.len() & !7;
-        for (dc, sc) in dst[..main]
-            .chunks_exact_mut(8)
-            .zip(src[..main].chunks_exact(8))
-        {
-            let v = load(dc) ^ mul_word(load(sc), x);
-            dc.copy_from_slice(&v.to_ne_bytes());
-        }
-        for (d, &s) in dst[main..].iter_mut().zip(&src[main..]) {
-            *d ^= t.row[s as usize];
-        }
-    }
-
-    pub fn scale(dst: &mut [u8], t: &MulTable) {
-        let x = t.x().value();
-        let main = dst.len() & !7;
-        for dc in dst[..main].chunks_exact_mut(8) {
-            let v = mul_word(load(dc), x);
-            dc.copy_from_slice(&v.to_ne_bytes());
-        }
-        for d in dst[main..].iter_mut() {
-            *d = t.row[*d as usize];
-        }
-    }
-
-    pub fn horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-        let x = t.x().value();
-        let main = acc.len() & !7;
-        let mut off = 0;
-        for ac in acc[..main].chunks_exact_mut(8) {
-            let mut v = 0u64;
-            for p in planes {
-                v = mul_word(v, x) ^ load(&p[off..off + 8]);
-            }
-            ac.copy_from_slice(&v.to_ne_bytes());
-            off += 8;
-        }
-        for (i, a) in acc.iter_mut().enumerate().skip(main) {
-            let mut v = 0u8;
-            for p in planes {
-                v = t.row[v as usize] ^ p[i];
-            }
-            *a = v;
-        }
-    }
-}
-
-/// The x86 vector width the `Simd` backend runs at on this host.
-#[cfg(target_arch = "x86_64")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SimdLevel {
-    Ssse3,
-    Avx2,
-}
-
-/// Detects (once) whether the host supports the `pshufb` path, and at
-/// which width. `None` means [`Backend::Simd`] is unavailable.
-#[cfg(target_arch = "x86_64")]
-fn simd_level() -> Option<SimdLevel> {
-    static LEVEL: OnceLock<Option<SimdLevel>> = OnceLock::new();
-    *LEVEL.get_or_init(|| {
-        if is_x86_feature_detected!("avx2") {
-            Some(SimdLevel::Avx2)
-        } else if is_x86_feature_detected!("ssse3") {
-            Some(SimdLevel::Ssse3)
-        } else {
-            None
-        }
+        table
     })
 }
 
-#[cfg(not(target_arch = "x86_64"))]
-fn simd_level() -> Option<std::convert::Infallible> {
-    None
+fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::arch::x86::level().is_some()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }
 
-// On non-x86_64 targets Backend::Simd is never available; a direct call
-// (only reachable by constructing the variant explicitly) degrades to
-// the portable SWAR path rather than aborting.
-#[cfg(not(target_arch = "x86_64"))]
-use swar::{
-    add_scaled as simd_add_scaled, horner as simd_horner, scale as simd_scale,
-    scale_add as simd_scale_add,
-};
-
-#[cfg(target_arch = "x86_64")]
-use x86::{simd_add_scaled, simd_horner, simd_scale, simd_scale_add};
-
-/// Split-nibble `pshufb` kernels. Every load and store is unaligned
-/// (`loadu`/`storeu`), so slice alignment never matters; lengths that
-/// are not a multiple of the vector width finish on the table row.
-#[cfg(target_arch = "x86_64")]
-mod x86 {
-    use super::{simd_level, table, MulTable, SimdLevel};
-    use core::arch::x86_64::{
-        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
-        _mm256_set1_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi64,
-        _mm256_storeu_si256, _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8,
-        _mm_setzero_si128, _mm_shuffle_epi8, _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
-    };
-
-    /// The nibble tables as 128-bit lanes plus the low-nibble mask.
-    ///
-    /// # Safety
-    ///
-    /// Requires SSSE3 (guaranteed by the callers' `target_feature`).
-    #[inline]
-    unsafe fn tables128(t: &MulTable) -> (__m128i, __m128i, __m128i) {
-        let lo = unsafe { _mm_loadu_si128(t.lo.as_ptr().cast()) };
-        let hi = unsafe { _mm_loadu_si128(t.hi.as_ptr().cast()) };
-        (lo, hi, _mm_set1_epi8(0x0f))
+fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::arch::x86_avx512::available()
     }
-
-    /// 16 field products at once: `LO[v & 0xf] ⊕ HI[v >> 4]`.
-    #[inline]
-    #[target_feature(enable = "ssse3")]
-    unsafe fn mul128(v: __m128i, lo: __m128i, hi: __m128i, mask: __m128i) -> __m128i {
-        let lo_n = _mm_and_si128(v, mask);
-        let hi_n = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
-        _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n))
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
     }
+}
 
-    /// 32 field products at once (both 128-bit lanes use the same
-    /// broadcast tables — `vpshufb` shuffles within lanes, which is
-    /// exactly what the 16-entry tables need).
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    unsafe fn mul256(v: __m256i, lo: __m256i, hi: __m256i, mask: __m256i) -> __m256i {
-        let lo_n = _mm256_and_si256(v, mask);
-        let hi_n = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
-        _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n), _mm256_shuffle_epi8(hi, hi_n))
+fn gfni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::arch::x86_gfni::available()
     }
-
-    macro_rules! dispatch {
-        ($avx2:ident, $ssse3:ident, $($arg:expr),+) => {
-            match simd_level().expect("Simd backend requires SSSE3") {
-                // SAFETY: simd_level() verified the feature at runtime.
-                SimdLevel::Avx2 => unsafe { $avx2($($arg),+) },
-                SimdLevel::Ssse3 => unsafe { $ssse3($($arg),+) },
-            }
-        };
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
     }
+}
 
-    pub fn simd_scale_add(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        dispatch!(scale_add_avx2, scale_add_ssse3, dst, src, t)
+fn neon_available() -> bool {
+    #[cfg(target_arch = "aarch64")]
+    {
+        crate::arch::neon::available()
     }
-
-    pub fn simd_add_scaled(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        dispatch!(add_scaled_avx2, add_scaled_ssse3, dst, src, t)
-    }
-
-    pub fn simd_scale(dst: &mut [u8], t: &MulTable) {
-        dispatch!(scale_avx2, scale_ssse3, dst, t)
-    }
-
-    pub fn simd_horner(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-        dispatch!(horner_avx2, horner_ssse3, acc, planes, t)
-    }
-
-    #[target_feature(enable = "ssse3")]
-    unsafe fn scale_add_ssse3(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let (lo, hi, mask) = unsafe { tables128(t) };
-        let main = dst.len() & !15;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
-            unsafe {
-                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
-                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
-                let v = _mm_xor_si128(mul128(d, lo, hi, mask), s);
-                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
-            }
-            i += 16;
-        }
-        table::scale_add(&mut dst[main..], &src[main..], t);
-    }
-
-    #[target_feature(enable = "avx2")]
-    unsafe fn scale_add_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
-        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
-        let mask = _mm256_set1_epi8(0x0f);
-        let main = dst.len() & !31;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
-            unsafe {
-                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
-                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
-                let v = _mm256_xor_si256(mul256(d, lo, hi, mask), s);
-                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
-            }
-            i += 32;
-        }
-        table::scale_add(&mut dst[main..], &src[main..], t);
-    }
-
-    #[target_feature(enable = "ssse3")]
-    unsafe fn add_scaled_ssse3(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let (lo, hi, mask) = unsafe { tables128(t) };
-        let main = dst.len() & !15;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 16 ≤ main ≤ dst.len() == src.len().
-            unsafe {
-                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
-                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
-                let v = _mm_xor_si128(d, mul128(s, lo, hi, mask));
-                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), v);
-            }
-            i += 16;
-        }
-        table::add_scaled(&mut dst[main..], &src[main..], t);
-    }
-
-    #[target_feature(enable = "avx2")]
-    unsafe fn add_scaled_avx2(dst: &mut [u8], src: &[u8], t: &MulTable) {
-        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
-        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
-        let mask = _mm256_set1_epi8(0x0f);
-        let main = dst.len() & !31;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 32 ≤ main ≤ dst.len() == src.len().
-            unsafe {
-                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
-                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
-                let v = _mm256_xor_si256(d, mul256(s, lo, hi, mask));
-                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
-            }
-            i += 32;
-        }
-        table::add_scaled(&mut dst[main..], &src[main..], t);
-    }
-
-    #[target_feature(enable = "ssse3")]
-    unsafe fn scale_ssse3(dst: &mut [u8], t: &MulTable) {
-        let (lo, hi, mask) = unsafe { tables128(t) };
-        let main = dst.len() & !15;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 16 ≤ main ≤ dst.len().
-            unsafe {
-                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
-                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), mul128(d, lo, hi, mask));
-            }
-            i += 16;
-        }
-        table::scale(&mut dst[main..], t);
-    }
-
-    #[target_feature(enable = "avx2")]
-    unsafe fn scale_avx2(dst: &mut [u8], t: &MulTable) {
-        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
-        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
-        let mask = _mm256_set1_epi8(0x0f);
-        let main = dst.len() & !31;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 32 ≤ main ≤ dst.len().
-            unsafe {
-                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
-                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), mul256(d, lo, hi, mask));
-            }
-            i += 32;
-        }
-        table::scale(&mut dst[main..], t);
-    }
-
-    #[target_feature(enable = "ssse3")]
-    unsafe fn horner_ssse3(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-        let (lo, hi, mask) = unsafe { tables128(t) };
-        let main = acc.len() & !15;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 16 ≤ main ≤ acc.len() == every plane's len.
-            unsafe {
-                let mut a = _mm_setzero_si128();
-                for p in planes {
-                    let pv = _mm_loadu_si128(p.as_ptr().add(i).cast());
-                    a = _mm_xor_si128(mul128(a, lo, hi, mask), pv);
-                }
-                _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), a);
-            }
-            i += 16;
-        }
-        horner_tail(acc, planes, t, main);
-    }
-
-    #[target_feature(enable = "avx2")]
-    unsafe fn horner_avx2(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-        let lo = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast())) };
-        let hi = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast())) };
-        let mask = _mm256_set1_epi8(0x0f);
-        let main = acc.len() & !31;
-        let mut i = 0;
-        while i < main {
-            // SAFETY: i + 32 ≤ main ≤ acc.len() == every plane's len.
-            unsafe {
-                let mut a = _mm256_setzero_si256();
-                for p in planes {
-                    let pv = _mm256_loadu_si256(p.as_ptr().add(i).cast());
-                    a = _mm256_xor_si256(mul256(a, lo, hi, mask), pv);
-                }
-                _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), a);
-            }
-            i += 32;
-        }
-        horner_tail(acc, planes, t, main);
-    }
-
-    fn horner_tail(acc: &mut [u8], planes: &[&[u8]], t: &MulTable, from: usize) {
-        for (i, a) in acc.iter_mut().enumerate().skip(from) {
-            let mut v = 0u8;
-            for p in planes {
-                v = t.row[v as usize] ^ p[i];
-            }
-            *a = v;
-        }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        false
     }
 }
 
@@ -814,6 +596,65 @@ mod tests {
         assert!(Backend::Scalar.is_available());
         assert!(Backend::Table.is_available());
         assert!(Backend::Swar.is_available());
+    }
+
+    /// The dispatch pin for the small-length regression: `swar`
+    /// measures 0.52× scalar at 64 B (and below `table` at every
+    /// measured length), so auto-dispatch must route it — and every
+    /// backend's sub-crossover lengths — to `table`.
+    #[test]
+    fn crossover_routes_small_lengths_to_table() {
+        // The regression from BENCH_gf256_kernels.json: swar at 64 B.
+        assert_eq!(Backend::Swar.route(64), Backend::Table);
+        // ... and swar never measured ahead of table at any length.
+        assert_eq!(Backend::Swar.route(1 << 20), Backend::Table);
+        assert_eq!(Backend::Scalar.route(1 << 20), Backend::Table);
+        // Vector backends: table below one vector width, themselves
+        // from the crossover up.
+        for b in [Backend::Simd, Backend::Neon, Backend::Avx512, Backend::Gfni] {
+            assert_eq!(b.route(0), Backend::Table, "{}", b.name());
+            assert_eq!(b.route(15), Backend::Table, "{}", b.name());
+            assert_eq!(b.route(16), b, "{}", b.name());
+            assert_eq!(b.route(1024), b, "{}", b.name());
+        }
+        // Table routes to itself everywhere.
+        assert_eq!(Backend::Table.route(0), Backend::Table);
+        assert_eq!(Backend::Table.route(1 << 20), Backend::Table);
+    }
+
+    /// `for_len` honors the crossover when the backend was
+    /// auto-detected and bypasses it when forced via the environment —
+    /// whichever mode this test process runs in, the contract holds.
+    #[test]
+    fn for_len_respects_selection_mode() {
+        let forced = std::env::var("MCSS_GF256_BACKEND")
+            .ok()
+            .and_then(|n| Backend::from_name(&n))
+            .is_some_and(Backend::is_available);
+        let active = Backend::active();
+        if forced {
+            assert_eq!(Backend::for_len(1), active);
+            assert_eq!(Backend::for_len(1 << 20), active);
+        } else {
+            assert_eq!(Backend::for_len(1), active.route(1));
+            assert_eq!(Backend::for_len(1 << 20), active.route(1 << 20));
+        }
+    }
+
+    #[test]
+    fn auto_detection_never_picks_a_sub_table_backend() {
+        // The detection preference list only contains backends whose
+        // crossover is finite (i.e. the bench measured them ahead of
+        // table somewhere); swar and scalar must not appear.
+        let forced = std::env::var("MCSS_GF256_BACKEND")
+            .ok()
+            .and_then(|n| Backend::from_name(&n))
+            .is_some_and(Backend::is_available);
+        if !forced {
+            let active = Backend::active();
+            assert_ne!(active, Backend::Swar);
+            assert_ne!(active, Backend::Scalar);
+        }
     }
 
     #[test]

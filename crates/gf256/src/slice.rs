@@ -10,11 +10,13 @@
 //!
 //! Slices below [`DISPATCH_THRESHOLD`] run a scalar log/exp loop with no
 //! setup cost; everything longer builds a [`MulTable`] for the
-//! multiplier and dispatches to the process-wide [`Backend`] — the
-//! runtime-detected vector path (`pshufb` on x86_64, SWAR elsewhere; see
-//! [`crate::simd`]). Callers that reuse one multiplier across several
-//! calls should build the [`MulTable`] themselves and use the `_with`
-//! variants, which skip the per-call table construction.
+//! multiplier and dispatches through [`Backend::for_len`] — the
+//! runtime-detected vector path (GFNI / AVX-512 VBMI / `pshufb` on
+//! x86_64, NEON on aarch64; see [`crate::simd`]), with lengths below the
+//! backend's measured crossover routed to the `table` path. Callers that
+//! reuse one multiplier across several calls should build the
+//! [`MulTable`] themselves and use the `_with` variants, which skip the
+//! per-call table construction but keep the length-aware routing.
 
 use crate::simd::{Backend, MulTable};
 use crate::{Gf256, EXP, GROUP_ORDER, LOG};
@@ -70,18 +72,18 @@ pub fn scale_add_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         return;
     }
     let t = MulTable::new(x);
-    Backend::active().scale_add_assign(dst, src, &t);
+    Backend::for_len(dst.len()).scale_add_assign(dst, src, &t);
 }
 
 /// [`scale_add_assign`] with a caller-built [`MulTable`], for callers
-/// that reuse one multiplier across many planes (always dispatches to
-/// the active backend; the threshold only guards table construction).
+/// that reuse one multiplier across many planes (always dispatches via
+/// [`Backend::for_len`]; the threshold only guards table construction).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn scale_add_assign_with(dst: &mut [u8], src: &[u8], t: &MulTable) {
-    Backend::active().scale_add_assign(dst, src, t);
+    Backend::for_len(dst.len()).scale_add_assign(dst, src, t);
 }
 
 /// `dst[i] ← dst[i] ⊕ src[i] · x` for every `i` — the accumulation step
@@ -121,7 +123,7 @@ pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         return;
     }
     let t = MulTable::new(x);
-    Backend::active().add_scaled_assign(dst, src, &t);
+    Backend::for_len(dst.len()).add_scaled_assign(dst, src, &t);
 }
 
 /// [`add_scaled_assign`] with a caller-built [`MulTable`].
@@ -130,7 +132,7 @@ pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
 ///
 /// Panics if the slices have different lengths.
 pub fn add_scaled_assign_with(dst: &mut [u8], src: &[u8], t: &MulTable) {
-    Backend::active().add_scaled_assign(dst, src, t);
+    Backend::for_len(dst.len()).add_scaled_assign(dst, src, t);
 }
 
 /// Multiplies every byte in place by the scalar `x`.
@@ -162,7 +164,7 @@ pub fn scale_assign(dst: &mut [u8], x: Gf256) {
         return;
     }
     let t = MulTable::new(x);
-    Backend::active().scale_assign(dst, &t);
+    Backend::for_len(dst.len()).scale_assign(dst, &t);
 }
 
 /// Fused multi-plane Horner evaluation: overwrites `acc` with
@@ -189,7 +191,7 @@ pub fn scale_assign(dst: &mut [u8], x: Gf256) {
 /// ```
 pub fn horner_into(acc: &mut [u8], planes: &[&[u8]], x: Gf256) {
     let t = MulTable::new(x);
-    Backend::active().horner_into(acc, planes, &t);
+    Backend::for_len(acc.len()).horner_into(acc, planes, &t);
 }
 
 /// [`horner_into`] with a caller-built [`MulTable`].
@@ -198,7 +200,7 @@ pub fn horner_into(acc: &mut [u8], planes: &[&[u8]], x: Gf256) {
 ///
 /// Panics if any plane's length differs from `acc`'s.
 pub fn horner_into_with(acc: &mut [u8], planes: &[&[u8]], t: &MulTable) {
-    Backend::active().horner_into(acc, planes, t);
+    Backend::for_len(acc.len()).horner_into(acc, planes, t);
 }
 
 /// Reference check that the doubled EXP table really removes the modular

@@ -1,12 +1,18 @@
 //! Differential property tests for the GF(2⁸) kernel backends.
 //!
-//! Every backend available on the host (scalar, table, SWAR, and — on
-//! x86_64 — the `pshufb` SIMD path) must produce byte-identical results
-//! for all three slice ops and the fused Horner kernel, for random
-//! lengths in 0..4096 including misaligned heads (the kernels are run
-//! on sub-slices starting at a random offset, so the SIMD loads start
-//! off any natural alignment) and ragged tails (lengths that are not a
-//! multiple of any vector width).
+//! Every backend available on the host (scalar, table, SWAR, and the
+//! vector paths — `pshufb`/`vpermb`/`gf2p8mulb` on x86_64, NEON on
+//! aarch64) must produce byte-identical results for all three slice ops
+//! and the fused Horner kernel, for random lengths in 0..4096 including
+//! misaligned heads (the kernels are run on sub-slices starting at a
+//! random offset, so the vector loads start off any natural alignment)
+//! and ragged tails (lengths that are not a multiple of any vector
+//! width). The proptests sweep whichever backends the host offers; the
+//! per-backend `*_exhaustive_boundaries` tests additionally pin every
+//! chunk-edge length for each named vector backend and *skip loudly*
+//! (an `[skip]` line on stderr) rather than silently pass when the host
+//! lacks the feature, so a green run on a non-GFNI host is
+//! distinguishable from actual coverage.
 
 use mcss_gf256::simd::{Backend, MulTable};
 use mcss_gf256::Gf256;
@@ -152,4 +158,118 @@ fn all_chunk_boundary_lengths_agree() {
             }
         }
     }
+}
+
+/// Exhaustive chunk-edge diff for one named backend: every length in
+/// 0..=193 (covering three 64-byte AVX-512/GFNI chunks, the 16-byte
+/// mid-tails, and the scalar table tail, each ±1) crossed with
+/// misaligned heads 0..16, for all four ops. Returns `false` — after
+/// printing a loud `[skip]` line — when the backend is unavailable, so
+/// the callers' `assert!(ran || !must_run)` keeps CI forced legs honest.
+fn exhaustive_boundaries(backend: Backend) -> bool {
+    if !backend.is_available() {
+        eprintln!(
+            "[skip] backend `{}` unavailable on this host; exhaustive boundary diff not run",
+            backend.name()
+        );
+        return false;
+    }
+    let dst0: Vec<u8> = (0..224).map(|i| (i * 37 + 11) as u8).collect();
+    let src: Vec<u8> = (0..224).map(|i| (i * 101 + 3) as u8).collect();
+    let plane_b: Vec<u8> = (0..224).map(|i| (i * 59 + 7) as u8).collect();
+    for x in [0u8, 1, 2, 0x53, 0xff] {
+        let t = MulTable::new(Gf256::new(x));
+        for head in 0..16usize {
+            for len in 0..=193usize {
+                let d0 = &dst0[head..head + len];
+                let s = &src[head..head + len];
+
+                let mut want = d0.to_vec();
+                Backend::Scalar.scale_add_assign(&mut want, s, &t);
+                let mut got = d0.to_vec();
+                backend.scale_add_assign(&mut got, s, &t);
+                assert_eq!(
+                    got,
+                    want,
+                    "scale_add backend {} x={x} len={len} head={head}",
+                    backend.name()
+                );
+
+                let mut want = d0.to_vec();
+                Backend::Scalar.add_scaled_assign(&mut want, s, &t);
+                let mut got = d0.to_vec();
+                backend.add_scaled_assign(&mut got, s, &t);
+                assert_eq!(
+                    got,
+                    want,
+                    "add_scaled backend {} x={x} len={len} head={head}",
+                    backend.name()
+                );
+
+                let mut want = d0.to_vec();
+                Backend::Scalar.scale_assign(&mut want, &t);
+                let mut got = d0.to_vec();
+                backend.scale_assign(&mut got, &t);
+                assert_eq!(
+                    got,
+                    want,
+                    "scale backend {} x={x} len={len} head={head}",
+                    backend.name()
+                );
+
+                let planes = [s, &plane_b[head..head + len]];
+                let mut want = vec![0u8; len];
+                Backend::Scalar.horner_into(&mut want, &planes, &t);
+                let mut got = vec![0xa5u8; len];
+                backend.horner_into(&mut got, &planes, &t);
+                assert_eq!(
+                    got,
+                    want,
+                    "horner backend {} x={x} len={len} head={head}",
+                    backend.name()
+                );
+            }
+        }
+    }
+    true
+}
+
+/// Whether `MCSS_GF256_BACKEND` forces `backend` — then its exhaustive
+/// diff must actually run, not skip.
+fn forced_to(backend: Backend) -> bool {
+    std::env::var("MCSS_GF256_BACKEND").is_ok_and(|n| n == backend.name())
+}
+
+#[test]
+fn simd_exhaustive_boundaries() {
+    let ran = exhaustive_boundaries(Backend::Simd);
+    assert!(ran || !forced_to(Backend::Simd));
+}
+
+#[test]
+fn gfni_exhaustive_boundaries() {
+    let ran = exhaustive_boundaries(Backend::Gfni);
+    assert!(ran || !forced_to(Backend::Gfni));
+}
+
+#[test]
+fn avx512_exhaustive_boundaries() {
+    let ran = exhaustive_boundaries(Backend::Avx512);
+    assert!(ran || !forced_to(Backend::Avx512));
+}
+
+#[test]
+fn neon_exhaustive_boundaries() {
+    let ran = exhaustive_boundaries(Backend::Neon);
+    assert!(ran || !forced_to(Backend::Neon));
+}
+
+#[test]
+fn swar_exhaustive_boundaries() {
+    assert!(exhaustive_boundaries(Backend::Swar));
+}
+
+#[test]
+fn table_exhaustive_boundaries() {
+    assert!(exhaustive_boundaries(Backend::Table));
 }

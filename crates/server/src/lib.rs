@@ -73,6 +73,4 @@ pub mod udp;
 pub use queue::BoundedQueue;
 pub use shard::{OutboundDatagram, ServerConfig, ServerError, Shard, ShardSet, MAX_DATAGRAM};
 pub use stats::{ShardStats, ShardStatsSnapshot};
-pub use udp::{
-    IoBackend, IoMode, PhasedSummary, RunPhases, ServerSummary, UdpServer, WindowStats,
-};
+pub use udp::{IoBackend, IoMode, PhasedSummary, RunPhases, ServerSummary, UdpServer, WindowStats};

@@ -882,9 +882,5 @@ impl ShardSet {
 fn datagrams_per_syscall(stats: &ShardStatsSnapshot) -> i64 {
     let datagrams = stats.datagrams_received + stats.datagrams_sent;
     let syscalls = stats.syscalls_recv + stats.syscalls_send;
-    if syscalls == 0 {
-        0
-    } else {
-        (datagrams / syscalls) as i64
-    }
+    datagrams.checked_div(syscalls).unwrap_or(0) as i64
 }

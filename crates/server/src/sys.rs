@@ -98,8 +98,7 @@ impl SockAddrIn {
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
-    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
-        -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn eventfd(initval: c_uint, flags: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
@@ -290,7 +289,9 @@ pub struct RecvBatch {
 
 impl std::fmt::Debug for RecvBatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecvBatch").field("slot", &self.slot).finish()
+        f.debug_struct("RecvBatch")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 
@@ -370,7 +371,9 @@ pub struct SendBatch {
 
 impl std::fmt::Debug for SendBatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SendBatch").field("len", &self.hdrs.len()).finish()
+        f.debug_struct("SendBatch")
+            .field("len", &self.hdrs.len())
+            .finish()
     }
 }
 
@@ -529,9 +532,7 @@ mod tests {
     #[test]
     fn batched_send_and_recv_round_trip() {
         let (a, b) = loopback_pair();
-        let payloads: Vec<Vec<u8>> = (0..BATCH + 3)
-            .map(|i| vec![i as u8; 16 + i % 7])
-            .collect();
+        let payloads: Vec<Vec<u8>> = (0..BATCH + 3).map(|i| vec![i as u8; 16 + i % 7]).collect();
         let mut tx = SendBatch::new();
         let outcome = tx
             .send_all(a.as_raw_fd(), &payloads, None, |_| false)

@@ -380,7 +380,7 @@ mod reuseport {
         let mut claimed = vec![false; shards];
         let mut a_socks: Vec<UdpSocket> = Vec::with_capacity(shards);
         let mut tag = 0u64;
-        for i in 0..shards {
+        for (i, slot) in assigned.iter_mut().enumerate() {
             let mut kept: Option<UdpSocket> = None;
             for _ in 0..MAX_REBINDS {
                 let a = bind_connected_a(group)?;
@@ -388,7 +388,7 @@ mod reuseport {
                 match probe_member(&a, &members, tag)? {
                     Some(j) if !claimed[j] => {
                         claimed[j] = true;
-                        assigned[i] = Some(j);
+                        *slot = Some(j);
                         kept = Some(a);
                         break;
                     }
@@ -417,8 +417,11 @@ mod reuseport {
         let mut unclaimed = (0..shards).filter(|&j| !claimed[j]);
         for slot in &mut assigned {
             if slot.is_none() {
-                *slot =
-                    Some(unclaimed.next().expect("one free member per unassigned shard"));
+                *slot = Some(
+                    unclaimed
+                        .next()
+                        .expect("one free member per unassigned shard"),
+                );
             }
         }
         drain_members(&members)?;
@@ -579,7 +582,11 @@ fn run_shard_epoll(
                 continue;
             }
             let channel = (token / 2) as usize;
-            let to = if token % 2 == 0 { Endpoint::A } else { Endpoint::B };
+            let to = if token % 2 == 0 {
+                Endpoint::A
+            } else {
+                Endpoint::B
+            };
             let fd = io.channels[channel].recv_sock(to).as_raw_fd();
             loop {
                 match rx.recv(fd) {
@@ -945,7 +952,8 @@ impl UdpServer {
     /// The first socket error any shard thread hit (`WouldBlock` and
     /// kernel-refused sends are handled internally, never surfaced).
     pub fn run_for(&mut self, wall: Duration) -> io::Result<ServerSummary> {
-        self.run_phases(RunPhases::measure_only(wall)).map(|p| p.run)
+        self.run_phases(RunPhases::measure_only(wall))
+            .map(|p| p.run)
     }
 
     /// Like [`run_for`](UdpServer::run_for), but with an explicit

@@ -230,7 +230,10 @@ fn fixed_taps_exposure_matches_joint_risk_model() {
     // Taps {0,1,2}: the (2,{0,1,2}) and (3, all-5) entries are fully
     // exposed, the (1,{3,4}) entry is untouchable → Z = 0.40 + 0.35.
     let (realized, expected) = run_fixed_taps_soak(Subset::from_indices(&[0, 1, 2]), 200, 400);
-    assert!((expected - 0.75).abs() < 1e-12, "model Z changed: {expected}");
+    assert!(
+        (expected - 0.75).abs() < 1e-12,
+        "model Z changed: {expected}"
+    );
     let error = (realized - expected).abs();
     assert!(
         error < 0.01,
@@ -239,7 +242,10 @@ fn fixed_taps_exposure_matches_joint_risk_model() {
 
     // Taps {3,4}: only the (1,{3,4}) entry leaks → Z = 0.25.
     let (realized, expected) = run_fixed_taps_soak(Subset::from_indices(&[3, 4]), 200, 400);
-    assert!((expected - 0.25).abs() < 1e-12, "model Z changed: {expected}");
+    assert!(
+        (expected - 0.25).abs() < 1e-12,
+        "model Z changed: {expected}"
+    );
     let error = (realized - expected).abs();
     assert!(
         error < 0.01,
