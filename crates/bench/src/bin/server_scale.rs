@@ -254,7 +254,16 @@ fn knee_sweep(base: &ScalePoint, shards: usize, backend: IoBackend) -> KneePoint
     while levels.last().unwrap().offered_vs_delivered >= KNEE_THRESHOLD
         && mult <= KNEE_MAX_MULTIPLIER
     {
-        let p = run_point(base.sessions, shards, backend, AGGREGATE_OFFERED * mult);
+        // Escalate from the base point's *actual* offered aggregate —
+        // run_point floors the per-session rate at 2/s, so for large
+        // fleets the base load exceeds AGGREGATE_OFFERED and scaling
+        // the global constant would produce levels below the base.
+        let p = run_point(
+            base.sessions,
+            shards,
+            backend,
+            base.offered_aggregate * mult,
+        );
         println!(
             "{:>8} {:>7} sessions @ {:>7.0} sym/s offered: {:>8.0} delivered ({:>5.1}%)",
             p.io_backend,
