@@ -33,13 +33,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use mcss::codec::{xor2d, CodecId, CodecScratch};
 use mcss::model::setups;
 use mcss::netsim::{QueueKind, SimTime, Simulator};
 use mcss::remicss::config::ProtocolConfig;
 use mcss::remicss::reassembly::{Accept, AcceptOutcome, ReassemblyTable};
 use mcss::remicss::session::{Session, Workload};
 use mcss::remicss::testbed;
-use mcss::remicss::wire::{put_share_header, ShareFrame, ShareRef};
+use mcss::remicss::wire::{put_share_header, put_share_header_for, ShareFrame, ShareRef};
 use mcss::shamir::{split, split_into, BatchScratch, Params};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,6 +151,58 @@ struct TelemetrySection {
     global: mcss::obs::MetricsSnapshot,
 }
 
+/// Raw encode rate of one codec's `split_into` over reused buffers.
+#[derive(Serialize)]
+struct CodecSplitRecord {
+    codec: String,
+    k: u64,
+    m: u64,
+    payload_bytes: u64,
+    splits_per_sec: f64,
+    /// Secret bytes encoded per second (not wire bytes).
+    mb_per_sec: f64,
+}
+
+/// XOR-over-Shamir encode speedup at one `(k, m)` point.
+#[derive(Serialize)]
+struct CodecRatio {
+    k: u64,
+    m: u64,
+    xor_over_shamir: f64,
+}
+
+/// The codecs' encode rates at the same `(k, m, payload)` points, plus
+/// the headline ratio.
+#[derive(Serialize)]
+struct CodecCompare {
+    records: Vec<CodecSplitRecord>,
+    /// XOR-over-Shamir speedup per compared `(k, m)`.
+    ratios: Vec<CodecRatio>,
+    /// XOR splits/sec over Shamir splits/sec at 1 KiB, full threshold
+    /// (`k = m`) — the point where both codecs do maximal coding work
+    /// per byte. At `k < m` Shamir's GFNI/AVX kernels amortize the
+    /// Horner evaluation across shares and the gap narrows (see the
+    /// per-point `ratios`).
+    xor_over_shamir: f64,
+}
+
+/// One codec at one `(k, m)` of the privacy-vs-throughput frontier:
+/// what an independent-capture eavesdropper recovers against what the
+/// data path sustains.
+#[derive(Serialize)]
+struct FrontierPoint {
+    codec: String,
+    k: u64,
+    m: u64,
+    /// Probability the eavesdropper (capturing channel `i` independently
+    /// with the setup's risk `zᵢ`) recovers the symbol: `Z(p)` for
+    /// Shamir, the combinatorial piece-cover probability for XOR.
+    exposure: f64,
+    /// Full data-path rate (split → frame → decode → reassemble).
+    symbols_per_sec: f64,
+    allocs_per_symbol: f64,
+}
+
 #[derive(Serialize)]
 struct ThroughputReport {
     id: String,
@@ -157,6 +210,8 @@ struct ThroughputReport {
     /// (`scalar` | `table` | `swar` | `simd`; see `MCSS_GF256_BACKEND`).
     gf256_backend: String,
     datapath: Vec<DataPathRecord>,
+    codec_compare: CodecCompare,
+    codec_frontier: Vec<FrontierPoint>,
     session: Vec<EngineRun>,
     telemetry: TelemetrySection,
 }
@@ -259,6 +314,142 @@ fn bench_datapath_pooled(k: u8, m: u8, payload: &[u8]) -> (f64, f64) {
         DATAPATH_SYMBOLS as f64 / wall,
         allocs as f64 / DATAPATH_SYMBOLS as f64,
     )
+}
+
+/// `(symbols_per_sec, allocs_per_symbol)` for the pooled data path
+/// under an arbitrary codec (split → codec-tagged frame → decode →
+/// reassemble). The Shamir leg of this loop is the same work as
+/// [`bench_datapath_pooled`] modulo enum dispatch.
+fn bench_datapath_codec(codec: CodecId, k: u8, m: u8, payload: &[u8]) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut table = datapath_table();
+    let mut scratch = CodecScratch::new();
+    let mut bufs: Vec<Vec<u8>> = (0..m).map(|_| Vec::new()).collect();
+    let mut out = Vec::new();
+    let mut completed = 0u64;
+    let share_len = codec.share_len(payload.len(), k, m);
+    let mut run = |table: &mut ReassemblyTable, rng: &mut StdRng, range: Range<u64>| {
+        for seq in range {
+            for (j, buf) in bufs.iter_mut().enumerate() {
+                buf.clear();
+                put_share_header_for(buf, codec, seq, k, m, j as u8 + 1, 0, share_len)
+                    .expect("header");
+            }
+            codec
+                .split_into(payload, k, m, rng, &mut scratch, &mut bufs)
+                .expect("split");
+            for buf in &bufs {
+                let share = ShareRef::decode(buf).expect("decode");
+                if table.accept_into(&share, SimTime::from_nanos(seq), &mut out)
+                    == AcceptOutcome::Completed
+                {
+                    assert_eq!(out, payload, "reconstruction mismatch");
+                    completed += 1;
+                }
+            }
+            if (seq + 1).is_multiple_of(DATAPATH_SWEEP_EVERY) {
+                table.sweep(SimTime::from_nanos(seq));
+            }
+        }
+    };
+    run(&mut table, &mut rng, 0..DATAPATH_WARMUP);
+    let before = allocations();
+    let t = Instant::now();
+    run(
+        &mut table,
+        &mut rng,
+        DATAPATH_WARMUP..DATAPATH_WARMUP + DATAPATH_SYMBOLS,
+    );
+    let wall = t.elapsed().as_secs_f64();
+    let allocs = allocations() - before;
+    assert_eq!(completed, DATAPATH_WARMUP + DATAPATH_SYMBOLS);
+    (
+        DATAPATH_SYMBOLS as f64 / wall,
+        allocs as f64 / DATAPATH_SYMBOLS as f64,
+    )
+}
+
+/// Splits/sec of one codec's bare `split_into` over reused buffers —
+/// no framing or reassembly, isolating the coding cost.
+fn bench_codec_split(codec: CodecId, k: u8, m: u8, payload: &[u8]) -> f64 {
+    const WARM: u64 = 2_000;
+    const ITERS: u64 = 30_000;
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut scratch = CodecScratch::new();
+    let mut bufs: Vec<Vec<u8>> = (0..m).map(|_| Vec::new()).collect();
+    let mut run = |rng: &mut StdRng, iters: u64| {
+        for _ in 0..iters {
+            for buf in &mut bufs {
+                buf.clear();
+            }
+            codec
+                .split_into(payload, k, m, rng, &mut scratch, &mut bufs)
+                .expect("split");
+            std::hint::black_box(&bufs);
+        }
+    };
+    run(&mut rng, WARM);
+    let t = Instant::now();
+    run(&mut rng, ITERS);
+    ITERS as f64 / t.elapsed().as_secs_f64()
+}
+
+fn codec_split_record(codec: CodecId, k: u8, m: u8, payload: &[u8]) -> CodecSplitRecord {
+    let rate = bench_codec_split(codec, k, m, payload);
+    CodecSplitRecord {
+        codec: codec.name().to_string(),
+        k: u64::from(k),
+        m: u64::from(m),
+        payload_bytes: payload.len() as u64,
+        splits_per_sec: rate,
+        mb_per_sec: rate * payload.len() as f64 / 1e6,
+    }
+}
+
+/// Per-channel capture risks of the frontier's heterogeneous 5-channel
+/// setup (a `(k, m)` point uses the first `m`).
+const FRONTIER_RISKS: [f64; 5] = [0.05, 0.10, 0.20, 0.25, 0.40];
+
+/// `(k, m)` points of the privacy-vs-throughput frontier, spanning
+/// replication (1, 2) through full-threshold (5, 5) on the paper's
+/// five channels.
+const FRONTIER_POINTS: [(u8, u8); 5] = [(1, 2), (2, 3), (2, 5), (3, 5), (5, 5)];
+
+/// Probability an eavesdropper capturing channel `i` independently with
+/// probability `risks[i]` holds at least `k` shares — Shamir's exact
+/// exposure for one share per channel (`Z(p)` of this setup).
+fn shamir_recovery_probability(k: u8, risks: &[f64]) -> f64 {
+    let m = risks.len();
+    assert!(m <= 16, "enumeration helper");
+    let mut total = 0.0;
+    for mask in 0u32..(1u32 << m) {
+        if mask.count_ones() < u32::from(k) {
+            continue;
+        }
+        let mut p = 1.0;
+        for (i, &z) in risks.iter().enumerate() {
+            p *= if mask & (1 << i) != 0 { z } else { 1.0 - z };
+        }
+        total += p;
+    }
+    total
+}
+
+fn frontier_point(codec: CodecId, k: u8, m: u8, payload: &[u8]) -> FrontierPoint {
+    let risks = &FRONTIER_RISKS[..m as usize];
+    let exposure = match codec {
+        CodecId::Shamir => shamir_recovery_probability(k, risks),
+        CodecId::Xor2d => xor2d::recovery_probability(k, m, risks),
+    };
+    let (rate, allocs) = bench_datapath_codec(codec, k, m, payload);
+    FrontierPoint {
+        codec: codec.name().to_string(),
+        k: u64::from(k),
+        m: u64::from(m),
+        exposure,
+        symbols_per_sec: rate,
+        allocs_per_symbol: allocs,
+    }
 }
 
 fn bench_datapath(k: u8, m: u8, payload_bytes: usize) -> DataPathRecord {
@@ -402,6 +593,59 @@ fn main() {
         );
     }
 
+    // Codec head-to-head: bare encode rate at 1 KiB (the XOR codec's
+    // one RNG draw and XOR pass against Shamir's k−1 draws and Horner
+    // evaluation), then the privacy-vs-throughput frontier on the
+    // paper's five channels.
+    let kib = vec![0xA5u8; 1_024];
+    let mut records = Vec::new();
+    let mut ratios = Vec::new();
+    for &(k, m) in &[(3u8, 5u8), (5, 5)] {
+        let shamir = codec_split_record(CodecId::Shamir, k, m, &kib);
+        let xor = codec_split_record(CodecId::Xor2d, k, m, &kib);
+        let ratio = xor.splits_per_sec / shamir.splits_per_sec;
+        for r in [&shamir, &xor] {
+            println!(
+                "codec split [{:>6}] (k={}, m={}, {} B): {:>9.0} splits/s  {:>7.1} MB/s",
+                r.codec, r.k, r.m, r.payload_bytes, r.splits_per_sec, r.mb_per_sec
+            );
+        }
+        println!("codec split ratio (k={k}, m={m}): xor/shamir {ratio:.2}x");
+        records.push(shamir);
+        records.push(xor);
+        ratios.push(CodecRatio {
+            k: u64::from(k),
+            m: u64::from(m),
+            xor_over_shamir: ratio,
+        });
+    }
+    let xor_over_shamir = ratios
+        .iter()
+        .find(|r| r.k == r.m)
+        .map_or(0.0, |r| r.xor_over_shamir);
+    println!();
+    let codec_compare = CodecCompare {
+        records,
+        ratios,
+        xor_over_shamir,
+    };
+
+    let symbol: Vec<u8> = (0..ProtocolConfig::DEFAULT_SYMBOL_BYTES)
+        .map(|i| i as u8)
+        .collect();
+    let mut codec_frontier = Vec::new();
+    for &(k, m) in &FRONTIER_POINTS {
+        for codec in CodecId::ALL {
+            let p = frontier_point(codec, k, m, &symbol);
+            println!(
+                "frontier [{:>6}] (k={}, m={}): exposure {:.5}  {:>9.0} sym/s  \
+                 {:.3} allocs/sym",
+                p.codec, p.k, p.m, p.exposure, p.symbols_per_sec, p.allocs_per_symbol
+            );
+            codec_frontier.push(p);
+        }
+    }
+
     println!();
     let (heap_run, heap_telemetry) = bench_session(QueueKind::Heap, "heap");
     let (wheel_run, _) = bench_session(QueueKind::Wheel, "wheel");
@@ -447,6 +691,8 @@ fn main() {
         id: "remicss_throughput".to_string(),
         gf256_backend: gf256_backend.to_string(),
         datapath,
+        codec_compare,
+        codec_frontier,
         session,
         telemetry: heap_telemetry,
     };

@@ -59,6 +59,10 @@ pub struct BenchReport {
     pub id: String,
     /// Sweep mode (`quick` or `full`).
     pub mode: String,
+    /// Share codec the run encoded with (from `MCSS_CODEC`, default
+    /// Shamir) — so reports from different codec matrix legs are
+    /// distinguishable after the fact.
+    pub codec: String,
     /// Worker threads the sweep ran with.
     pub threads: usize,
     /// Wall-clock time of the whole sweep, milliseconds.
@@ -91,6 +95,7 @@ impl BenchReport {
         BenchReport {
             id: id.to_string(),
             mode: mode.to_string(),
+            codec: mcss::codec::CodecId::from_env().name().to_string(),
             threads,
             wall_millis,
             serial_millis,

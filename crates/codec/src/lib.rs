@@ -1,0 +1,579 @@
+//! Pluggable share-coding backends.
+//!
+//! The tradeoff model upstream of this crate — `Z(p)`, `(κ, μ)`, the
+//! schedule LP — is codec-agnostic: it reasons about *which channels
+//! carry how many shares*, not about how the shares are produced. This
+//! crate makes the coding layer itself swappable behind one seam:
+//!
+//! * [`ShareCodec`] — the object-safe trait: per-share payload sizing,
+//!   `split_into` over caller-owned output buffers (appending after any
+//!   caller-written headers, exactly like `mcss_shamir::split_into`),
+//!   and `reconstruct_into` from any sufficient subset of shares.
+//! * [`CodecId`] — the closed enum of built-in backends, used for wire
+//!   identification and zero-cost enum dispatch on the engine hot path
+//!   (the trait object exists for external callers; the engine
+//!   monomorphizes through `CodecId`'s inherent methods).
+//! * [`ShamirCodec`] — delegates to `mcss-shamir` verbatim. Its RNG
+//!   consumption, share bytes, and scratch behaviour are byte-identical
+//!   to calling `mcss_shamir::split_into` directly; every engine-trace
+//!   and RNG-stream pin made before this crate existed still holds.
+//! * [`xor2d`] — an XOR/2D-layered codec in the spirit of Chan & Chou's
+//!   two-dimensional XOR schemes: near-memcpy encode speed in exchange
+//!   for a *weaker, combinatorial* privacy guarantee (see the module
+//!   docs for the exact statement — it is **not** the `k−1`-collusion
+//!   guarantee Shamir gives, and for small `k` with large `m` a
+//!   sub-`k` capture set can recover the secret).
+//!
+//! # Choosing a codec
+//!
+//! The engine reads its default from [`CodecId::from_env`]: set
+//! `MCSS_CODEC=shamir|xor` (mirroring `MCSS_GF256_BACKEND`) or override
+//! per-session via `ProtocolConfig::with_codec`.
+
+#![forbid(unsafe_code)]
+
+pub mod xor2d;
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use rand::Rng;
+
+use mcss_shamir::{lagrange_weight_xs, BatchScratch, Params};
+
+/// Hard cap on shares per symbol, shared with `mcss-shamir`.
+pub const MAX_SHARES: usize = mcss_shamir::MAX_SHARES;
+
+/// Errors from the codec layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Parameters violate `1 ≤ k ≤ m ≤ MAX_SHARES`.
+    InvalidParams {
+        /// The offending threshold.
+        k: u8,
+        /// The offending multiplicity.
+        m: u8,
+    },
+    /// Secret longer than the codec can address (`u16` length prefix).
+    PayloadTooLarge {
+        /// The offending length.
+        len: usize,
+    },
+    /// `split_into` was given the wrong number of output buffers.
+    WrongShareCount {
+        /// Buffers required (`m`).
+        expected: usize,
+        /// Buffers supplied.
+        got: usize,
+    },
+    /// Reconstruction was given no shares.
+    NoShares,
+    /// Two shares carry the same abscissa.
+    DuplicateShare {
+        /// The repeated abscissa.
+        x: u8,
+    },
+    /// A share's abscissa is outside `1..=m`.
+    InvalidAbscissa {
+        /// The offending abscissa.
+        x: u8,
+    },
+    /// Share bytes are inconsistent with the codec's layout (mismatched
+    /// lengths, impossible length prefix).
+    Malformed,
+    /// The supplied shares do not jointly cover the secret — for the
+    /// XOR codec, some piece has no captured carrier.
+    Unrecoverable,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::InvalidParams { k, m } => {
+                write!(f, "invalid codec parameters: k={k}, m={m}")
+            }
+            CodecError::PayloadTooLarge { len } => {
+                write!(f, "secret of {len} bytes exceeds codec limit")
+            }
+            CodecError::WrongShareCount { expected, got } => {
+                write!(f, "need {expected} output buffers, got {got}")
+            }
+            CodecError::NoShares => write!(f, "no shares supplied"),
+            CodecError::DuplicateShare { x } => write!(f, "duplicate share abscissa {x}"),
+            CodecError::InvalidAbscissa { x } => write!(f, "share abscissa {x} out of range"),
+            CodecError::Malformed => write!(f, "share bytes inconsistent with codec layout"),
+            CodecError::Unrecoverable => write!(f, "supplied shares cannot recover the secret"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Reusable split scratch, shared across codecs so one engine field
+/// serves whichever codec a session selects. Buffers grow to their
+/// high-water mark during warmup and are never shrunk: the steady
+/// state allocates nothing.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// Coefficient-plane scratch for the Shamir backend.
+    pub shamir: BatchScratch,
+    /// Pad buffer for the XOR backend.
+    pub pad: Vec<u8>,
+}
+
+impl CodecScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Identifies a coding backend, both on the wire (one byte in the v2
+/// share header) and for dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecId {
+    /// Shamir `k`-of-`m` over GF(2⁸): information-theoretic privacy
+    /// against any `k−1` captured shares, Lagrange reconstruction.
+    Shamir,
+    /// XOR/2D-layered replication: near-memcpy encode, weaker
+    /// combinatorial privacy (see [`xor2d`]).
+    Xor2d,
+}
+
+static ENV_CODEC: OnceLock<CodecId> = OnceLock::new();
+
+impl CodecId {
+    /// Every built-in codec, in wire-id order.
+    pub const ALL: [CodecId; 2] = [CodecId::Shamir, CodecId::Xor2d];
+
+    /// The byte identifying this codec in the v2 share header.
+    /// Version-1 frames carry no codec byte and decode as [`Shamir`]
+    /// (the only codec that existed when v1 was frozen).
+    ///
+    /// [`Shamir`]: CodecId::Shamir
+    #[must_use]
+    pub fn wire_id(self) -> u8 {
+        match self {
+            CodecId::Shamir => 0,
+            CodecId::Xor2d => 1,
+        }
+    }
+
+    /// Parses a wire codec byte. `None` for unknown ids — the caller
+    /// must drop the frame with a typed error, never guess.
+    #[must_use]
+    pub fn from_wire(id: u8) -> Option<CodecId> {
+        match id {
+            0 => Some(CodecId::Shamir),
+            1 => Some(CodecId::Xor2d),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (`shamir`, `xor`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Shamir => "shamir",
+            CodecId::Xor2d => "xor",
+        }
+    }
+
+    /// Parses a codec name as accepted by `MCSS_CODEC`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<CodecId> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "shamir" => Some(CodecId::Shamir),
+            "xor" | "xor2d" => Some(CodecId::Xor2d),
+            _ => None,
+        }
+    }
+
+    /// The process-default codec: `MCSS_CODEC` if set and valid,
+    /// otherwise [`Shamir`](CodecId::Shamir). Read once and cached;
+    /// unknown names warn on stderr and fall back, mirroring
+    /// `MCSS_GF256_BACKEND` handling.
+    #[must_use]
+    pub fn from_env() -> CodecId {
+        *ENV_CODEC.get_or_init(|| match std::env::var("MCSS_CODEC") {
+            Ok(name) => match CodecId::from_name(&name) {
+                Some(codec) => codec,
+                None => {
+                    eprintln!(
+                        "[codec] unknown MCSS_CODEC={name:?} (expected shamir|xor); \
+                         using shamir"
+                    );
+                    CodecId::Shamir
+                }
+            },
+            Err(_) => CodecId::Shamir,
+        })
+    }
+
+    /// Per-share payload length for a secret of `secret_len` bytes
+    /// split `k`-of-`m`. Uniform across the `m` shares for both codecs
+    /// (the reassembly layer checks sibling lengths for consistency).
+    #[must_use]
+    pub fn share_len(self, secret_len: usize, k: u8, m: u8) -> usize {
+        match self {
+            CodecId::Shamir => secret_len,
+            CodecId::Xor2d => xor2d::Layout::new(k, m, secret_len)
+                .map(|l| l.share_len())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Splits `secret` into `m` share payloads, appending each after
+    /// whatever the caller already wrote into `outs[j]` (headers).
+    /// Monomorphic over the RNG so the engine hot path pays no dynamic
+    /// dispatch; for [`Shamir`](CodecId::Shamir) this *is*
+    /// `mcss_shamir::split_into` — same RNG draws, same bytes.
+    pub fn split_into<R: Rng + ?Sized>(
+        self,
+        secret: &[u8],
+        k: u8,
+        m: u8,
+        rng: &mut R,
+        scratch: &mut CodecScratch,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodecError> {
+        match self {
+            CodecId::Shamir => {
+                let params = Params::new(k, m).map_err(|_| CodecError::InvalidParams { k, m })?;
+                if outs.len() != m as usize {
+                    return Err(CodecError::WrongShareCount {
+                        expected: m as usize,
+                        got: outs.len(),
+                    });
+                }
+                mcss_shamir::split_into(secret, params, rng, &mut scratch.shamir, outs)
+                    .map_err(|_| CodecError::PayloadTooLarge { len: secret.len() })
+            }
+            CodecId::Xor2d => xor2d::split_into(secret, k, m, rng, &mut scratch.pad, outs),
+        }
+    }
+
+    /// Reconstructs the secret from `shares` (abscissa, payload) pairs
+    /// into `out`. Any `k` distinct shares suffice for both codecs;
+    /// the XOR codec additionally succeeds on some sub-`k` covering
+    /// sets (its documented weaker guarantee).
+    pub fn reconstruct_into(
+        self,
+        k: u8,
+        m: u8,
+        shares: &[(u8, &[u8])],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        match self {
+            CodecId::Shamir => shamir_reconstruct_into(k, m, shares, out),
+            CodecId::Xor2d => {
+                xor2d::reconstruct_with(k, m, shares.len(), |i| shares[i].0, |i| shares[i].1, out)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CodecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn shamir_reconstruct_into(
+    k: u8,
+    m: u8,
+    shares: &[(u8, &[u8])],
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    if k == 0 || m < k {
+        return Err(CodecError::InvalidParams { k, m });
+    }
+    if shares.is_empty() {
+        return Err(CodecError::NoShares);
+    }
+    if shares.len() < k as usize {
+        return Err(CodecError::Unrecoverable);
+    }
+    let mut xs = [0u8; MAX_SHARES];
+    let used = &shares[..k as usize];
+    let len = used[0].1.len();
+    for (i, &(x, data)) in used.iter().enumerate() {
+        if x == 0 || x as usize > m as usize {
+            return Err(CodecError::InvalidAbscissa { x });
+        }
+        if used[..i].iter().any(|&(seen, _)| seen == x) {
+            return Err(CodecError::DuplicateShare { x });
+        }
+        if data.len() != len {
+            return Err(CodecError::Malformed);
+        }
+        xs[i] = x;
+    }
+    let xs = &xs[..used.len()];
+    out.clear();
+    out.resize(len, 0);
+    for (i, &(_, data)) in used.iter().enumerate() {
+        let w = lagrange_weight_xs(xs, i);
+        mcss_gf256::slice::add_scaled_assign(out, data, w);
+    }
+    Ok(())
+}
+
+/// The codec seam: sizing, splitting, and reconstruction over
+/// caller-owned buffers and RNG streams. Object-safe so drivers can
+/// hold `&dyn ShareCodec`; the engine dispatches through [`CodecId`]
+/// instead to keep the hot path monomorphic.
+pub trait ShareCodec {
+    /// Which backend this is (wire identification).
+    fn id(&self) -> CodecId;
+
+    /// Uniform per-share payload length for a `secret_len`-byte secret.
+    fn share_len(&self, secret_len: usize, k: u8, m: u8) -> usize;
+
+    /// Splits `secret` into `m` payloads appended to `outs`. Draws all
+    /// randomness from `rng` in a codec-defined deterministic order.
+    fn split_into(
+        &self,
+        secret: &[u8],
+        k: u8,
+        m: u8,
+        rng: &mut dyn Rng,
+        scratch: &mut CodecScratch,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodecError>;
+
+    /// Reconstructs from `(abscissa, payload)` pairs into `out`.
+    fn reconstruct_into(
+        &self,
+        k: u8,
+        m: u8,
+        shares: &[(u8, &[u8])],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError>;
+}
+
+impl ShareCodec for CodecId {
+    fn id(&self) -> CodecId {
+        *self
+    }
+
+    fn share_len(&self, secret_len: usize, k: u8, m: u8) -> usize {
+        CodecId::share_len(*self, secret_len, k, m)
+    }
+
+    fn split_into(
+        &self,
+        secret: &[u8],
+        k: u8,
+        m: u8,
+        rng: &mut dyn Rng,
+        scratch: &mut CodecScratch,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodecError> {
+        CodecId::split_into(*self, secret, k, m, rng, scratch, outs)
+    }
+
+    fn reconstruct_into(
+        &self,
+        k: u8,
+        m: u8,
+        shares: &[(u8, &[u8])],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        CodecId::reconstruct_into(*self, k, m, shares, out)
+    }
+}
+
+/// The Shamir backend as a unit struct, for callers that want a
+/// `ShareCodec` value rather than a [`CodecId`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShamirCodec;
+
+impl ShareCodec for ShamirCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Shamir
+    }
+
+    fn share_len(&self, secret_len: usize, k: u8, m: u8) -> usize {
+        CodecId::Shamir.share_len(secret_len, k, m)
+    }
+
+    fn split_into(
+        &self,
+        secret: &[u8],
+        k: u8,
+        m: u8,
+        rng: &mut dyn Rng,
+        scratch: &mut CodecScratch,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodecError> {
+        CodecId::Shamir.split_into(secret, k, m, rng, scratch, outs)
+    }
+
+    fn reconstruct_into(
+        &self,
+        k: u8,
+        m: u8,
+        shares: &[(u8, &[u8])],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        CodecId::Shamir.reconstruct_into(k, m, shares, out)
+    }
+}
+
+/// The XOR/2D backend as a unit struct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Xor2dCodec;
+
+impl ShareCodec for Xor2dCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Xor2d
+    }
+
+    fn share_len(&self, secret_len: usize, k: u8, m: u8) -> usize {
+        CodecId::Xor2d.share_len(secret_len, k, m)
+    }
+
+    fn split_into(
+        &self,
+        secret: &[u8],
+        k: u8,
+        m: u8,
+        rng: &mut dyn Rng,
+        scratch: &mut CodecScratch,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodecError> {
+        CodecId::Xor2d.split_into(secret, k, m, rng, scratch, outs)
+    }
+
+    fn reconstruct_into(
+        &self,
+        k: u8,
+        m: u8,
+        shares: &[(u8, &[u8])],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        CodecId::Xor2d.reconstruct_into(k, m, shares, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn wire_ids_round_trip() {
+        for codec in CodecId::ALL {
+            assert_eq!(CodecId::from_wire(codec.wire_id()), Some(codec));
+            assert_eq!(CodecId::from_name(codec.name()), Some(codec));
+        }
+        assert_eq!(CodecId::from_wire(0xEE), None);
+        assert_eq!(CodecId::from_name("xor2d"), Some(CodecId::Xor2d));
+        assert_eq!(CodecId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn shamir_codec_matches_direct_split_byte_for_byte() {
+        let secret: Vec<u8> = (0..1250u32).map(|i| (i * 7 + 3) as u8).collect();
+        let (k, m) = (3u8, 5u8);
+
+        let mut direct_rng = StdRng::seed_from_u64(42);
+        let mut direct_scratch = BatchScratch::new();
+        let mut direct: Vec<Vec<u8>> = (0..m).map(|_| b"hdr".to_vec()).collect();
+        mcss_shamir::split_into(
+            &secret,
+            Params::new(k, m).unwrap(),
+            &mut direct_rng,
+            &mut direct_scratch,
+            &mut direct,
+        )
+        .unwrap();
+
+        let mut codec_rng = StdRng::seed_from_u64(42);
+        let mut scratch = CodecScratch::new();
+        let mut via_codec: Vec<Vec<u8>> = (0..m).map(|_| b"hdr".to_vec()).collect();
+        CodecId::Shamir
+            .split_into(&secret, k, m, &mut codec_rng, &mut scratch, &mut via_codec)
+            .unwrap();
+
+        assert_eq!(direct, via_codec, "ShamirCodec diverged from mcss-shamir");
+        // The RNG streams must have advanced identically too.
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        rand::RngExt::fill(&mut direct_rng, &mut a);
+        rand::RngExt::fill(&mut codec_rng, &mut b);
+        assert_eq!(a, b, "RNG stream diverged after split");
+    }
+
+    #[test]
+    fn shamir_reconstruct_round_trips() {
+        let secret = b"the quick brown fox jumps over".to_vec();
+        let (k, m) = (3u8, 5u8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = CodecScratch::new();
+        let mut outs: Vec<Vec<u8>> = (0..m).map(|_| Vec::new()).collect();
+        CodecId::Shamir
+            .split_into(&secret, k, m, &mut rng, &mut scratch, &mut outs)
+            .unwrap();
+        let shares: Vec<(u8, &[u8])> = [4u8, 1, 3]
+            .iter()
+            .map(|&x| (x, outs[x as usize - 1].as_slice()))
+            .collect();
+        let mut out = Vec::new();
+        CodecId::Shamir
+            .reconstruct_into(k, m, &shares, &mut out)
+            .unwrap();
+        assert_eq!(out, secret);
+    }
+
+    #[test]
+    fn shamir_reconstruct_rejects_bad_inputs() {
+        let mut out = Vec::new();
+        let data: &[u8] = b"xx";
+        assert_eq!(
+            CodecId::Shamir.reconstruct_into(2, 3, &[], &mut out),
+            Err(CodecError::NoShares)
+        );
+        assert_eq!(
+            CodecId::Shamir.reconstruct_into(2, 3, &[(1, data)], &mut out),
+            Err(CodecError::Unrecoverable)
+        );
+        assert_eq!(
+            CodecId::Shamir.reconstruct_into(2, 3, &[(1, data), (1, data)], &mut out),
+            Err(CodecError::DuplicateShare { x: 1 })
+        );
+        assert_eq!(
+            CodecId::Shamir.reconstruct_into(2, 3, &[(1, data), (7, data)], &mut out),
+            Err(CodecError::InvalidAbscissa { x: 7 })
+        );
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let codecs: [&dyn ShareCodec; 2] = [&ShamirCodec, &Xor2dCodec];
+        let secret = b"0123456789abcdef".to_vec();
+        for codec in codecs {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut scratch = CodecScratch::new();
+            let mut outs: Vec<Vec<u8>> = (0..4).map(|_| Vec::new()).collect();
+            codec
+                .split_into(&secret, 2, 4, &mut rng, &mut scratch, &mut outs)
+                .unwrap();
+            assert_eq!(outs[0].len(), codec.share_len(secret.len(), 2, 4));
+            let shares: Vec<(u8, &[u8])> = outs
+                .iter()
+                .enumerate()
+                .take(2)
+                .map(|(j, o)| (j as u8 + 1, o.as_slice()))
+                .collect();
+            let mut out = Vec::new();
+            codec.reconstruct_into(2, 4, &shares, &mut out).unwrap();
+            assert_eq!(out, secret, "{} round trip", codec.id());
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! [`MulTable`] themselves and use the `_with` variants, which skip the
 //! per-call table construction but keep the length-aware routing.
 
+use crate::arch;
 use crate::simd::{Backend, MulTable};
 use crate::{Gf256, EXP, GROUP_ORDER, LOG};
 
@@ -54,9 +55,7 @@ pub fn scale_add_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         return;
     }
     if x == Gf256::ONE {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
+        arch::xor_assign(dst, src);
         return;
     }
     if dst.len() < DISPATCH_THRESHOLD {
@@ -108,9 +107,7 @@ pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
         return;
     }
     if x == Gf256::ONE {
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
+        arch::xor_assign(dst, src);
         return;
     }
     if dst.len() < DISPATCH_THRESHOLD {
@@ -124,6 +121,31 @@ pub fn add_scaled_assign(dst: &mut [u8], src: &[u8], x: Gf256) {
     }
     let t = MulTable::new(x);
     Backend::for_len(dst.len()).add_scaled_assign(dst, src, &t);
+}
+
+/// `dst[i] ← a[i] ⊕ b[i]` for every `i` — fused GF(2⁸) addition of two
+/// planes into a third, at the widest XOR the host offers (AVX-512 /
+/// AVX2 on x86-64, the auto-vectorized portable loop elsewhere). One
+/// pass instead of copy-then-[`add_scaled_assign`] with
+/// [`Gf256::ONE`]; the XOR codec's encode is built from this.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use mcss_gf256::slice;
+///
+/// let mut dst = [0u8; 2];
+/// slice::xor_into(&mut dst, &[0x0f, 0xf0], &[0x01, 0x10]);
+/// assert_eq!(dst, [0x0e, 0xe0]);
+/// ```
+pub fn xor_into(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    assert_eq!(dst.len(), a.len(), "plane lengths must match");
+    assert_eq!(dst.len(), b.len(), "plane lengths must match");
+    arch::xor_into(dst, a, b);
 }
 
 /// [`add_scaled_assign`] with a caller-built [`MulTable`].

@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+pub use mcss_codec as codec;
 pub use mcss_core as model;
 pub use mcss_gf256 as gf256;
 pub use mcss_lp as lp;
@@ -51,6 +52,7 @@ pub use mcss_shamir as shamir;
 
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
+    pub use mcss_codec::{CodecId, ShareCodec};
     pub use mcss_core::{
         lp_schedule::{self, Objective},
         micss, optimal, setups, subset, Channel, ChannelSet, ModelError, ScheduleBuilder,

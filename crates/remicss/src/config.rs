@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use mcss_base::SimTime;
+use mcss_codec::CodecId;
 use mcss_core::{ModelError, ShareSchedule};
 
 use crate::cpu::CpuModel;
@@ -49,6 +50,7 @@ pub struct ProtocolConfig {
     readiness_threshold: SimTime,
     cpu: Option<CpuModel>,
     adaptive_target: Option<f64>,
+    codec: CodecId,
 }
 
 impl ProtocolConfig {
@@ -96,7 +98,18 @@ impl ProtocolConfig {
             readiness_threshold: Self::DEFAULT_READINESS_THRESHOLD,
             cpu: None,
             adaptive_target: None,
+            codec: CodecId::from_env(),
         })
+    }
+
+    /// Selects the share codec for this session's sender and receiver.
+    /// The default comes from `MCSS_CODEC` (falling back to Shamir),
+    /// so test suites and CI matrix legs switch codecs without code
+    /// changes — mirroring `MCSS_GF256_BACKEND`.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Selects the scheduler.
@@ -219,6 +232,12 @@ impl ProtocolConfig {
         self.cpu.as_ref()
     }
 
+    /// The share codec this session encodes and decodes with.
+    #[must_use]
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
     /// Enables closed-loop multiplicity adaptation toward a target
     /// symbol-loss fraction (see [`crate::adaptive`]). Only meaningful
     /// with the [`SchedulerKind::Dynamic`] scheduler; `μ` then floats in
@@ -243,10 +262,17 @@ impl ProtocolConfig {
         self.adaptive_target
     }
 
-    /// Bytes on the wire per share frame (symbol + protocol header).
+    /// Bytes on the wire per share frame (share payload + protocol
+    /// header) under the configured codec. Shamir shares carry exactly
+    /// the symbol; the XOR codec's replication overhead is estimated
+    /// at the rounded `(κ, μ)` — per-symbol sizes vary with the drawn
+    /// `(k, m)`, and this representative figure is what the testbed's
+    /// capacity conversion uses.
     #[must_use]
     pub fn share_wire_bytes(&self) -> usize {
-        self.symbol_bytes + crate::wire::HEADER_BYTES
+        let k = (self.kappa.round().clamp(1.0, 255.0)) as u8;
+        let m = (self.mu.round().clamp(f64::from(k), 255.0)) as u8;
+        crate::wire::header_bytes(self.codec) + self.codec.share_len(self.symbol_bytes, k, m)
     }
 }
 

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use mcss_base::stats::{DelaySummary, ThroughputMeter};
 use mcss_base::{BufferPool, Endpoint, Pacer, SimTime};
-use mcss_shamir::{split_into, BatchScratch, Params};
+use mcss_codec::{CodecId, CodecScratch};
 use rand::rngs::StdRng;
 
 use mcss_obs::MetricsSnapshot;
@@ -275,7 +275,8 @@ pub struct Engine {
     // Steady-state scratch: these persistent buffers make the per-symbol
     // data path allocation-free once warm (see `transmit`).
     choice: Choice,
-    split_scratch: BatchScratch,
+    codec: CodecId,
+    split_scratch: CodecScratch,
     tx_bufs: Vec<Vec<u8>>,
     frames: BufferPool,
     payload_buf: Vec<u8>,
@@ -374,7 +375,8 @@ impl Engine {
             backlogs_a: vec![SimTime::ZERO; n],
             backlogs_b: vec![SimTime::ZERO; n],
             choice: Choice::default(),
-            split_scratch: BatchScratch::new(),
+            codec: config.codec(),
+            split_scratch: CodecScratch::new(),
             tx_bufs: Vec::with_capacity(n),
             frames: BufferPool::new(),
             payload_buf: Vec::new(),
@@ -396,6 +398,12 @@ impl Engine {
     #[must_use]
     pub fn config(&self) -> &Arc<ProtocolConfig> {
         &self.config
+    }
+
+    /// The share codec this engine encodes with.
+    #[must_use]
+    pub fn codec(&self) -> CodecId {
+        self.codec
     }
 
     /// The engine's source mode.
@@ -747,10 +755,10 @@ impl Engine {
     /// if the symbol was shed by the CPU model before transmission.
     ///
     /// Steady-state allocation-free: the scheduler writes into a reused
-    /// [`Choice`], shares are Horner-evaluated by [`split_into`] directly
-    /// into pooled wire buffers (header already written), and buffers
-    /// come back to the pool from the driver's send-outcome and recycle
-    /// calls.
+    /// [`Choice`], shares are encoded by the session codec's
+    /// `split_into` directly into pooled wire buffers (header already
+    /// written), and buffers come back to the pool from the driver's
+    /// send-outcome and recycle calls.
     fn transmit(
         &mut self,
         now: SimTime,
@@ -785,24 +793,37 @@ impl Engine {
                 return false;
             }
         }
-        let params = Params::new(choice.k, m as u8).expect("scheduler guarantees k <= m");
+        let codec = self.codec;
+        // Per-share payload size is codec-defined (Shamir: the symbol
+        // itself; XOR: prefix + replica slots) and uniform across the
+        // m shares, so every header can be written before the split.
+        let share_len = codec.share_len(payload.len(), choice.k, m as u8);
         let mut outs = mem::take(&mut self.tx_bufs);
         for j in 0..m {
             // Share j of a split carries abscissa j + 1.
             let mut buf = self.frames.take();
-            wire::put_share_header(
+            wire::put_share_header_for(
                 &mut buf,
+                codec,
                 seq,
                 choice.k,
                 m as u8,
                 j as u8 + 1,
                 stamp,
-                payload.len(),
+                share_len,
             )
             .expect("share parameters validated");
             outs.push(buf);
         }
-        split_into(payload, params, rng, &mut self.split_scratch, &mut outs)
+        codec
+            .split_into(
+                payload,
+                choice.k,
+                m as u8,
+                rng,
+                &mut self.split_scratch,
+                &mut outs,
+            )
             .expect("split cannot fail");
         if from == Endpoint::A {
             self.sum_k += u64::from(choice.k);

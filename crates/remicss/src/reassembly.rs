@@ -24,6 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use mcss_base::{BufHandle, BufferPool, SimTime};
+use mcss_codec::{xor2d, CodecId};
 use mcss_gf256::slice as gf_slice;
 use mcss_shamir::lagrange_weight_xs;
 
@@ -41,8 +42,8 @@ pub enum Accept {
     Duplicate,
     /// The symbol was already completed or evicted; the share is stale.
     Stale,
-    /// The share disagreed with its siblings (length or threshold) and
-    /// was rejected.
+    /// The share disagreed with its siblings (length, threshold,
+    /// multiplicity, or codec) and was rejected.
     Inconsistent,
 }
 
@@ -81,11 +82,19 @@ pub struct ReassemblyStats {
     /// Resolution records evicted by the resolution cap (distinct from
     /// the routine horizon pruning in [`ReassemblyTable::sweep`]).
     pub resolved_evictions: u64,
+    /// Symbols that reached their threshold but whose codec decode
+    /// failed (malformed share payloads); the symbol is resolved (late
+    /// shares read as stale) and the caller sees `Inconsistent`.
+    /// Shamir's Lagrange interpolation is total, so only non-Shamir
+    /// codecs can bump this.
+    pub decode_failures: u64,
 }
 
 #[derive(Debug)]
 struct Pending {
+    codec: CodecId,
     k: u8,
+    m: u8,
     /// `(abscissa, pooled share data)` in arrival order.
     shares: Vec<(u8, BufHandle)>,
     first_seen: SimTime,
@@ -244,7 +253,9 @@ impl ReassemblyTable {
         let mut out = Vec::new();
         match self.offer(
             frame.seq(),
+            frame.codec(),
             frame.k(),
+            frame.m(),
             frame.x(),
             frame.payload(),
             now,
@@ -271,13 +282,25 @@ impl ReassemblyTable {
         now: SimTime,
         out: &mut Vec<u8>,
     ) -> AcceptOutcome {
-        self.offer(share.seq(), share.k(), share.x(), share.payload(), now, out)
+        self.offer(
+            share.seq(),
+            share.codec(),
+            share.k(),
+            share.m(),
+            share.x(),
+            share.payload(),
+            now,
+            out,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn offer(
         &mut self,
         seq: u64,
+        codec: CodecId,
         k: u8,
+        m: u8,
         x: u8,
         payload: &[u8],
         now: SimTime,
@@ -289,9 +312,20 @@ impl ReassemblyTable {
         }
         if !self.pending.contains_key(&seq) {
             if k == 1 {
-                // Threshold 1: the share is the symbol.
+                // Threshold 1: a single share carries the symbol.
                 out.clear();
-                out.extend_from_slice(payload);
+                match codec {
+                    // The Shamir share *is* the symbol.
+                    CodecId::Shamir => out.extend_from_slice(payload),
+                    // The XOR share wraps it (length prefix); a garbled
+                    // wrapper must not resolve the symbol.
+                    CodecId::Xor2d => {
+                        if xor2d::reconstruct_with(1, m, 1, |_| x, |_| payload, out).is_err() {
+                            self.stats.decode_failures += 1;
+                            return AcceptOutcome::Inconsistent;
+                        }
+                    }
+                }
                 self.resolve(seq, now);
                 self.last_completed_residency = SimTime::ZERO;
                 self.stats.completed += 1;
@@ -306,7 +340,9 @@ impl ReassemblyTable {
             self.pending.insert(
                 seq,
                 Pending {
+                    codec,
                     k,
+                    m,
                     shares,
                     first_seen: now,
                     bytes,
@@ -319,7 +355,11 @@ impl ReassemblyTable {
         }
         let p = self.pending.get_mut(&seq).expect("checked above");
         let first_len = p.shares.first().map(|&(_, h)| self.pool.get(h).len());
-        if p.k != k || first_len.is_some_and(|len| len != payload.len()) {
+        if p.codec != codec
+            || p.k != k
+            || p.m != m
+            || first_len.is_some_and(|len| len != payload.len())
+        {
             self.stats.inconsistent += 1;
             return AcceptOutcome::Inconsistent;
         }
@@ -337,29 +377,56 @@ impl ReassemblyTable {
             let p = self.pending.remove(&seq).expect("just seen");
             self.buffered_bytes -= p.bytes;
             self.resolve(seq, now);
-            self.last_completed_residency = now.saturating_sub(p.first_seen);
-            self.reconstruct_into(&p, out);
+            let decoded = self.reconstruct_into(&p, out);
+            let residency = now.saturating_sub(p.first_seen);
             self.recycle(p);
-            self.stats.completed += 1;
-            AcceptOutcome::Completed
+            if decoded {
+                self.last_completed_residency = residency;
+                self.stats.completed += 1;
+                AcceptOutcome::Completed
+            } else {
+                self.stats.decode_failures += 1;
+                AcceptOutcome::Inconsistent
+            }
         } else {
             AcceptOutcome::Stored
         }
     }
 
-    /// Lagrange reconstruction from the buffered shares into `out`,
-    /// byte-identical to [`mcss_shamir::reconstruct`] over the same
-    /// shares in arrival order (GF(2⁸) addition is exact and the
-    /// weights are the same field elements).
-    fn reconstruct_into(&mut self, p: &Pending, out: &mut Vec<u8>) {
-        self.xs.clear();
-        self.xs.extend(p.shares.iter().map(|&(x, _)| x));
-        let len = self.pool.get(p.shares[0].1).len();
-        out.clear();
-        out.resize(len, 0);
-        for (i, &(_, handle)) in p.shares.iter().enumerate() {
-            let w = lagrange_weight_xs(&self.xs, i);
-            gf_slice::add_scaled_assign(out, self.pool.get(handle), w);
+    /// Codec reconstruction from the buffered shares into `out`;
+    /// returns whether the decode succeeded. The Shamir branch is
+    /// Lagrange interpolation, byte-identical to
+    /// [`mcss_shamir::reconstruct`] over the same shares in arrival
+    /// order (GF(2⁸) addition is exact and the weights are the same
+    /// field elements) — and total, so it cannot fail. The XOR branch
+    /// fails on malformed payloads (garbled length prefix, short
+    /// slots), which the caller surfaces as a decode failure.
+    fn reconstruct_into(&mut self, p: &Pending, out: &mut Vec<u8>) -> bool {
+        match p.codec {
+            CodecId::Shamir => {
+                self.xs.clear();
+                self.xs.extend(p.shares.iter().map(|&(x, _)| x));
+                let len = self.pool.get(p.shares[0].1).len();
+                out.clear();
+                out.resize(len, 0);
+                for (i, &(_, handle)) in p.shares.iter().enumerate() {
+                    let w = lagrange_weight_xs(&self.xs, i);
+                    gf_slice::add_scaled_assign(out, self.pool.get(handle), w);
+                }
+                true
+            }
+            CodecId::Xor2d => {
+                let pool = &self.pool;
+                xor2d::reconstruct_with(
+                    p.k,
+                    p.m,
+                    p.shares.len(),
+                    |i| p.shares[i].0,
+                    |i| pool.get(p.shares[i].1),
+                    out,
+                )
+                .is_ok()
+            }
         }
     }
 
@@ -475,6 +542,21 @@ mod tests {
             .collect()
     }
 
+    fn xor_frames(seq: u64, k: u8, m: u8, payload: &[u8]) -> Vec<ShareFrame> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seq + 1);
+        let mut pad = Vec::new();
+        let mut outs = vec![Vec::new(); m as usize];
+        xor2d::split_into(payload, k, m, &mut rng, &mut pad, &mut outs).unwrap();
+        outs.into_iter()
+            .enumerate()
+            .map(|(j, data)| {
+                ShareFrame::new(seq, k, m, j as u8 + 1, 0, data)
+                    .unwrap()
+                    .with_codec(CodecId::Xor2d)
+            })
+            .collect()
+    }
+
     fn table() -> ReassemblyTable {
         ReassemblyTable::new(SimTime::from_millis(100), 1 << 20)
     }
@@ -535,6 +617,82 @@ mod tests {
         let alien = ShareFrame::new(4, 2, 3, 2, 0, vec![0u8; 9]).unwrap();
         assert_eq!(t.accept(&alien, SimTime::ZERO), Accept::Inconsistent);
         assert_eq!(t.stats().inconsistent, 2);
+    }
+
+    #[test]
+    fn xor_codec_symbols_reassemble() {
+        let mut t = table();
+        let fs = xor_frames(7, 3, 5, b"xor codec payload");
+        assert_eq!(t.accept(&fs[4], SimTime::ZERO), Accept::Stored);
+        assert_eq!(t.accept(&fs[1], SimTime::ZERO), Accept::Stored);
+        let Accept::Completed(p) = t.accept(&fs[3], SimTime::ZERO) else {
+            panic!("3rd distinct XOR share must complete");
+        };
+        assert_eq!(p, b"xor codec payload");
+        assert_eq!(t.stats().completed, 1);
+        assert_eq!(t.stats().decode_failures, 0);
+        assert_eq!(t.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn xor_threshold_one_strips_wrapper() {
+        let mut t = table();
+        let fs = xor_frames(8, 1, 3, b"wrapped");
+        let Accept::Completed(p) = t.accept(&fs[2], SimTime::ZERO) else {
+            panic!("k=1 completes on first share");
+        };
+        assert_eq!(p, b"wrapped");
+        // A garbled wrapper (short payload) must not resolve the symbol.
+        let bad = ShareFrame::new(9, 1, 3, 1, 0, vec![0xEE])
+            .unwrap()
+            .with_codec(CodecId::Xor2d);
+        assert_eq!(t.accept(&bad, SimTime::ZERO), Accept::Inconsistent);
+        assert_eq!(t.stats().decode_failures, 1);
+        // …so a well-formed share for the same seq still completes.
+        let good = xor_frames(9, 1, 3, b"retry");
+        assert!(matches!(t.accept(&good[0], SimTime::ZERO), Accept::Completed(p) if p == b"retry"));
+    }
+
+    #[test]
+    fn codec_mismatch_is_inconsistent() {
+        let mut t = table();
+        let shamir = frames(11, 2, 3, b"abcdef");
+        let xor = xor_frames(11, 2, 3, b"abcdef");
+        t.accept(&shamir[0], SimTime::ZERO);
+        // Same seq/k/m but the other codec: rejected, not mixed in.
+        let same_len = ShareFrame::new(11, 2, 3, 2, 0, vec![0u8; shamir[0].payload().len()])
+            .unwrap()
+            .with_codec(CodecId::Xor2d);
+        assert_eq!(t.accept(&same_len, SimTime::ZERO), Accept::Inconsistent);
+        // Differing multiplicity is likewise rejected (XOR layout
+        // depends on m, which the Shamir path never examined).
+        let wrong_m = ShareFrame::new(11, 2, 5, 2, 0, shamir[1].payload().to_vec()).unwrap();
+        assert_eq!(t.accept(&wrong_m, SimTime::ZERO), Accept::Inconsistent);
+        assert_eq!(t.stats().inconsistent, 2);
+        drop(xor);
+    }
+
+    #[test]
+    fn xor_decode_failure_resolves_symbol() {
+        let mut t = table();
+        let fs = xor_frames(12, 2, 3, b"sixteen byte sec");
+        // Garble the first-arriving share's length prefix: its length
+        // is unchanged (so the sibling check passes), but the decode —
+        // which reads the prefix off the first buffered share — sees a
+        // layout whose share length no longer matches.
+        let mut data = fs[0].payload().to_vec();
+        data[0] ^= 0xFF;
+        let garbled = ShareFrame::new(12, 2, 3, fs[0].x(), 0, data)
+            .unwrap()
+            .with_codec(CodecId::Xor2d);
+        assert_eq!(t.accept(&garbled, SimTime::ZERO), Accept::Stored);
+        assert_eq!(t.accept(&fs[1], SimTime::ZERO), Accept::Inconsistent);
+        assert_eq!(t.stats().decode_failures, 1);
+        assert_eq!(t.stats().completed, 0);
+        assert_eq!(t.pending_symbols(), 0, "failed symbol is resolved");
+        assert_eq!(t.buffered_bytes(), 0);
+        // Late shares of the failed symbol read as stale.
+        assert_eq!(t.accept(&fs[2], SimTime::ZERO), Accept::Stale);
     }
 
     #[test]

@@ -1,13 +1,35 @@
 //! The ReMICSS wire format: one share per frame.
 //!
+//! Version-1 share frames (the only version until the codec layer
+//! became pluggable) carry no codec byte and always mean Shamir:
+//!
 //! ```text
 //!  0      2    3    4    5    6        8                16               24
 //!  +------+----+----+----+----+--------+----------------+----------------+
-//!  | magic| ver| k  | m  | x  | length | symbol seq     | send timestamp |
+//!  | magic| v=1| k  | m  | x  | length | symbol seq     | send timestamp |
 //!  +------+----+----+----+----+--------+----------------+----------------+
 //!  | share payload (length bytes) …                                      |
 //!  +----------------------------------------------------------------------+
 //! ```
+//!
+//! Version-2 frames insert a one-byte codec id after the abscissa:
+//!
+//! ```text
+//!  0      2    3    4    5    6      7        9                17       25
+//!  +------+----+----+----+----+------+--------+----------------+--------+
+//!  | magic| v=2| k  | m  | x  |codec | length | symbol seq     | stamp  |
+//!  +------+----+----+----+----+------+--------+----------------+--------+
+//!  | share payload (length bytes) …                                     |
+//!  +---------------------------------------------------------------------+
+//! ```
+//!
+//! The Shamir codec keeps emitting v1 byte-for-byte — every frame pin
+//! made before codecs existed still holds — while non-default codecs
+//! emit v2. Decoders accept both: a v1 frame *is* the legacy fallback
+//! (implicitly [`CodecId::Shamir`]), and a v2 frame with an unknown
+//! codec byte fails with the typed [`WireError::UnknownCodec`] so the
+//! engine and server shards can drop it under its own counter instead
+//! of panicking or misrouting shares into the wrong reassembly entry.
 //!
 //! The timestamp carries the sender's clock at symbol transmission and
 //! lets the receiver compute one-way latency without a side channel
@@ -31,15 +53,32 @@
 //! single-session peers that predate the prefix.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use mcss_codec::CodecId;
 
-/// Size of the fixed frame header in bytes.
+/// Size of the fixed version-1 frame header in bytes.
 pub const HEADER_BYTES: usize = 24;
+
+/// Size of the version-2 frame header (v1 plus the codec byte).
+pub const HEADER_BYTES_V2: usize = 25;
 
 /// Frame magic, `b"RM"`.
 pub const MAGIC: [u8; 2] = *b"RM";
 
-/// Protocol version this implementation speaks.
+/// Frame version emitted for Shamir shares (codec-less header).
 pub const VERSION: u8 = 1;
+
+/// Frame version emitted for shares of any non-Shamir codec.
+pub const VERSION_CODEC: u8 = 2;
+
+/// Header size a share of `codec` is framed with: Shamir stays on the
+/// v1 header, everything else pays one extra byte.
+#[must_use]
+pub fn header_bytes(codec: CodecId) -> usize {
+    match codec {
+        CodecId::Shamir => HEADER_BYTES,
+        _ => HEADER_BYTES_V2,
+    }
+}
 
 /// A decoded share frame.
 ///
@@ -60,12 +99,14 @@ pub struct ShareFrame {
     k: u8,
     m: u8,
     x: u8,
+    codec: CodecId,
     sent_at_nanos: u64,
     payload: Bytes,
 }
 
 impl ShareFrame {
-    /// Builds a frame, validating the share parameters.
+    /// Builds a Shamir frame, validating the share parameters. Use
+    /// [`with_codec`](ShareFrame::with_codec) for other codecs.
     ///
     /// # Errors
     ///
@@ -92,9 +133,18 @@ impl ShareFrame {
             k,
             m,
             x,
+            codec: CodecId::Shamir,
             sent_at_nanos,
             payload,
         })
+    }
+
+    /// Tags the frame with a codec. Shamir frames encode as v1 (the
+    /// pre-codec bytes); any other codec encodes as v2.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// The symbol sequence number.
@@ -121,6 +171,12 @@ impl ShareFrame {
         self.x
     }
 
+    /// The codec that produced this share.
+    #[must_use]
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
     /// Sender clock at transmission, in nanoseconds.
     #[must_use]
     pub fn sent_at_nanos(&self) -> u64 {
@@ -136,18 +192,22 @@ impl ShareFrame {
     /// Total encoded size in bytes.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        HEADER_BYTES + self.payload.len()
+        header_bytes(self.codec) + self.payload.len()
     }
 
     /// Serializes the frame.
     #[must_use]
     pub fn encode(&self) -> Bytes {
+        let shamir = self.codec == CodecId::Shamir;
         let mut buf = BytesMut::with_capacity(self.encoded_len());
         buf.put_slice(&MAGIC);
-        buf.put_u8(VERSION);
+        buf.put_u8(if shamir { VERSION } else { VERSION_CODEC });
         buf.put_u8(self.k);
         buf.put_u8(self.m);
         buf.put_u8(self.x);
+        if !shamir {
+            buf.put_u8(self.codec.wire_id());
+        }
         buf.put_u16(self.payload.len() as u16);
         buf.put_u64(self.seq);
         buf.put_u64(self.sent_at_nanos);
@@ -177,6 +237,7 @@ impl ShareFrame {
             share.sent_at_nanos(),
             Bytes::copy_from_slice(share.payload()),
         )
+        .map(|f| f.with_codec(share.codec()))
     }
 }
 
@@ -190,18 +251,23 @@ pub struct ShareRef<'a> {
     k: u8,
     m: u8,
     x: u8,
+    codec: CodecId,
     sent_at_nanos: u64,
     payload: &'a [u8],
 }
 
 impl<'a> ShareRef<'a> {
-    /// Parses a frame without copying the payload.
+    /// Parses a frame without copying the payload. Both header
+    /// versions decode: v1 frames carry no codec byte and are Shamir
+    /// by definition (the legacy fallback), v2 frames name their codec
+    /// explicitly.
     ///
     /// # Errors
     ///
     /// Exactly as [`ShareFrame::decode`]: [`WireError::Truncated`],
     /// [`WireError::BadMagic`], [`WireError::BadVersion`],
-    /// [`WireError::InvalidShare`], [`WireError::TrailingBytes`].
+    /// [`WireError::InvalidShare`], [`WireError::UnknownCodec`],
+    /// [`WireError::TrailingBytes`].
     pub fn decode(buf: &'a [u8]) -> Result<Self, WireError> {
         if buf.len() < HEADER_BYTES {
             return Err(WireError::Truncated {
@@ -214,7 +280,7 @@ impl<'a> ShareRef<'a> {
                 found: [buf[0], buf[1]],
             });
         }
-        if buf[2] != VERSION {
+        if buf[2] != VERSION && buf[2] != VERSION_CODEC {
             return Err(WireError::BadVersion { found: buf[2] });
         }
         let k = buf[3];
@@ -223,10 +289,25 @@ impl<'a> ShareRef<'a> {
         if k == 0 || k > m || x == 0 || x > m {
             return Err(WireError::InvalidShare { k, m, x });
         }
-        let len = u16::from_be_bytes([buf[6], buf[7]]) as usize;
-        let seq = u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes"));
-        let sent_at_nanos = u64::from_be_bytes(buf[16..24].try_into().expect("8 bytes"));
-        let need = HEADER_BYTES + len;
+        let (codec, header) = if buf[2] == VERSION {
+            (CodecId::Shamir, HEADER_BYTES)
+        } else {
+            if buf.len() < HEADER_BYTES_V2 {
+                return Err(WireError::Truncated {
+                    have: buf.len(),
+                    need: HEADER_BYTES_V2,
+                });
+            }
+            let Some(codec) = CodecId::from_wire(buf[6]) else {
+                return Err(WireError::UnknownCodec { found: buf[6] });
+            };
+            (codec, HEADER_BYTES_V2)
+        };
+        let at = header - 18; // length field offset: 6 (v1) or 7 (v2)
+        let len = u16::from_be_bytes([buf[at], buf[at + 1]]) as usize;
+        let seq = u64::from_be_bytes(buf[at + 2..at + 10].try_into().expect("8 bytes"));
+        let sent_at_nanos = u64::from_be_bytes(buf[at + 10..at + 18].try_into().expect("8 bytes"));
+        let need = header + len;
         if buf.len() < need {
             return Err(WireError::Truncated {
                 have: buf.len(),
@@ -243,8 +324,9 @@ impl<'a> ShareRef<'a> {
             k,
             m,
             x,
+            codec,
             sent_at_nanos,
-            payload: &buf[HEADER_BYTES..need],
+            payload: &buf[header..need],
         })
     }
 
@@ -270,6 +352,12 @@ impl<'a> ShareRef<'a> {
     #[must_use]
     pub fn x(&self) -> u8 {
         self.x
+    }
+
+    /// The codec that produced this share (v1 frames are Shamir).
+    #[must_use]
+    pub fn codec(&self) -> CodecId {
+        self.codec
     }
 
     /// Sender clock at transmission, in nanoseconds.
@@ -317,6 +405,46 @@ pub fn put_share_header(
     buf.push(k);
     buf.push(m);
     buf.push(x);
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&sent_at_nanos.to_be_bytes());
+    Ok(())
+}
+
+/// Codec-aware twin of [`put_share_header`]: emits the v1 header for
+/// [`CodecId::Shamir`] — byte-identical to what [`put_share_header`]
+/// wrote before codecs existed — and the v2 header (codec byte
+/// included) for every other codec.
+///
+/// # Errors
+///
+/// As [`put_share_header`].
+#[allow(clippy::too_many_arguments)]
+pub fn put_share_header_for(
+    buf: &mut Vec<u8>,
+    codec: CodecId,
+    seq: u64,
+    k: u8,
+    m: u8,
+    x: u8,
+    sent_at_nanos: u64,
+    payload_len: usize,
+) -> Result<(), WireError> {
+    if codec == CodecId::Shamir {
+        return put_share_header(buf, seq, k, m, x, sent_at_nanos, payload_len);
+    }
+    if k == 0 || k > m || x == 0 || x > m {
+        return Err(WireError::InvalidShare { k, m, x });
+    }
+    let Ok(len) = u16::try_from(payload_len) else {
+        return Err(WireError::PayloadTooLarge { len: payload_len });
+    };
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION_CODEC);
+    buf.push(k);
+    buf.push(m);
+    buf.push(x);
+    buf.push(codec.wire_id());
     buf.extend_from_slice(&len.to_be_bytes());
     buf.extend_from_slice(&seq.to_be_bytes());
     buf.extend_from_slice(&sent_at_nanos.to_be_bytes());
@@ -581,6 +709,13 @@ pub enum WireError {
         /// Number of surplus bytes.
         extra: usize,
     },
+    /// A v2 share header names a codec this implementation does not
+    /// know. Dropped under its own counter — never guessed at, never
+    /// routed into another codec's reassembly entry.
+    UnknownCodec {
+        /// The codec byte found.
+        found: u8,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -601,6 +736,9 @@ impl core::fmt::Display for WireError {
             }
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after frame end")
+            }
+            WireError::UnknownCodec { found } => {
+                write!(f, "unknown codec id {found}")
             }
         }
     }
@@ -895,13 +1033,123 @@ mod tests {
         let errors: Vec<WireError> = vec![
             WireError::Truncated { have: 1, need: 2 },
             WireError::BadMagic { found: [0, 0] },
-            WireError::BadVersion { found: 2 },
+            WireError::BadVersion { found: 9 },
             WireError::InvalidShare { k: 0, m: 0, x: 0 },
             WireError::PayloadTooLarge { len: 70000 },
             WireError::TrailingBytes { extra: 3 },
+            WireError::UnknownCodec { found: 0xEE },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    fn xor_sample() -> ShareFrame {
+        ShareFrame::new(0xfeed_f00d, 2, 5, 3, 13_579, vec![9u8; 64])
+            .unwrap()
+            .with_codec(CodecId::Xor2d)
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_codec() {
+        let f = xor_sample();
+        let enc = f.encode();
+        assert_eq!(enc.len(), HEADER_BYTES_V2 + 64);
+        assert_eq!(enc[2], VERSION_CODEC);
+        assert_eq!(enc[6], CodecId::Xor2d.wire_id());
+        let dec = ShareFrame::decode(&enc).unwrap();
+        assert_eq!(dec, f);
+        assert_eq!(dec.codec(), CodecId::Xor2d);
+        let r = ShareRef::decode(&enc).unwrap();
+        assert_eq!(r.codec(), CodecId::Xor2d);
+        assert_eq!(
+            (r.seq(), r.k(), r.m(), r.x(), r.sent_at_nanos()),
+            (f.seq(), f.k(), f.m(), f.x(), f.sent_at_nanos())
+        );
+        assert_eq!(r.payload(), &f.payload()[..]);
+        assert_eq!(r.payload().as_ptr(), enc[HEADER_BYTES_V2..].as_ptr());
+    }
+
+    #[test]
+    fn v1_frames_fall_back_to_shamir() {
+        let f = sample();
+        let enc = f.encode();
+        assert_eq!(enc[2], VERSION);
+        assert_eq!(enc.len(), HEADER_BYTES + 100);
+        let dec = ShareRef::decode(&enc).unwrap();
+        assert_eq!(dec.codec(), CodecId::Shamir);
+        // Tagging Shamir explicitly is a no-op on the wire.
+        let tagged = sample().with_codec(CodecId::Shamir);
+        assert_eq!(&tagged.encode()[..], &enc[..]);
+    }
+
+    #[test]
+    fn unknown_codec_id_is_a_typed_error() {
+        let mut enc = xor_sample().encode().to_vec();
+        enc[6] = 0xEE;
+        assert_eq!(
+            ShareRef::decode(&enc).unwrap_err(),
+            WireError::UnknownCodec { found: 0xEE }
+        );
+        assert_eq!(
+            ShareFrame::decode(&enc).unwrap_err(),
+            WireError::UnknownCodec { found: 0xEE }
+        );
+        // The v1 header has no codec byte to garble: byte 6 is the
+        // length field, and a flipped version byte stays BadVersion.
+        let mut v1 = sample().encode().to_vec();
+        v1[2] = 9;
+        assert_eq!(
+            ShareRef::decode(&v1).unwrap_err(),
+            WireError::BadVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn v2_truncation_and_trailing() {
+        let enc = xor_sample().encode();
+        for cut in [HEADER_BYTES, HEADER_BYTES_V2 - 1, HEADER_BYTES_V2 + 5] {
+            assert!(matches!(
+                ShareRef::decode(&enc[..cut]).unwrap_err(),
+                WireError::Truncated { .. }
+            ));
+        }
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert_eq!(
+            ShareRef::decode(&long).unwrap_err(),
+            WireError::TrailingBytes { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn put_share_header_for_matches_encode() {
+        for codec in CodecId::ALL {
+            let f = sample().with_codec(codec);
+            let mut buf = Vec::new();
+            put_share_header_for(
+                &mut buf,
+                codec,
+                f.seq(),
+                f.k(),
+                f.m(),
+                f.x(),
+                f.sent_at_nanos(),
+                100,
+            )
+            .unwrap();
+            assert_eq!(buf.len(), header_bytes(codec));
+            buf.extend_from_slice(f.payload());
+            assert_eq!(&buf[..], &f.encode()[..], "codec {codec}");
+        }
+        assert_eq!(
+            put_share_header_for(&mut Vec::new(), CodecId::Xor2d, 0, 0, 1, 1, 0, 4).unwrap_err(),
+            WireError::InvalidShare { k: 0, m: 1, x: 1 }
+        );
+        assert_eq!(
+            put_share_header_for(&mut Vec::new(), CodecId::Xor2d, 0, 1, 1, 1, 0, 1 << 17)
+                .unwrap_err(),
+            WireError::PayloadTooLarge { len: 1 << 17 }
+        );
     }
 }

@@ -1,0 +1,154 @@
+//! Cross-codec schedule equivalence: which channels carry how many
+//! shares is the *scheduler's* decision, and swapping the share codec
+//! must not change it. With a deterministic scheduler (a singleton
+//! static schedule, or round-robin with integer `(κ, μ)`), the same
+//! offered symbol stream must produce identical per-channel share
+//! counts under Shamir and XOR — the codecs differ in share bytes and
+//! RNG consumption, never in placement.
+//!
+//! Also drives the XOR codec through a lossy loopback: with `k < m`
+//! and one channel silently dropping every share, each symbol still
+//! reassembles from the surviving `k`-subset.
+
+#![cfg(feature = "sim")]
+
+use std::sync::Arc;
+
+use mcss_base::{Endpoint, SimTime as T};
+use mcss_codec::CodecId;
+use mcss_core::{ShareSchedule, Subset};
+use mcss_remicss::actions::{Action, Event};
+use mcss_remicss::config::{ProtocolConfig, SchedulerKind};
+use mcss_remicss::engine::{Engine, SourceMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs an external-source engine over a loopback for `symbols`
+/// offered symbols, returning (per-channel share counts, delivered
+/// symbol count). `drop_channel` swallows that channel's shares
+/// without delivering them, like a dead link.
+fn run_loopback(
+    config: ProtocolConfig,
+    n: usize,
+    symbols: usize,
+    seed: u64,
+    drop_channel: Option<usize>,
+) -> (Vec<u64>, u64) {
+    let config = Arc::new(config.with_reassembly_timeout(T::from_millis(20)));
+    let mut engine = Engine::new(Arc::clone(&config), n, SourceMode::External).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = T::ZERO;
+    let mut timers: Vec<(T, u64)> = Vec::new();
+    let mut sends = vec![0u64; n];
+    let payload = vec![0x77u8; 256];
+
+    engine.handle(now, Event::Started, &mut rng);
+    let pump = |engine: &mut Engine,
+                now: T,
+                timers: &mut Vec<(T, u64)>,
+                sends: &mut Vec<u64>,
+                rng: &mut StdRng| {
+        while let Some(action) = engine.poll_action() {
+            match action {
+                Action::SendShare { channel, frame, .. } => {
+                    sends[channel] += 1;
+                    engine.share_send_ok(channel);
+                    if drop_channel != Some(channel) {
+                        engine
+                            .handle_frame(now, channel, Endpoint::B, &frame, rng)
+                            .expect("loopback frames decode");
+                    }
+                    engine.recycle(frame);
+                }
+                Action::SendControl { frame, .. } => engine.recycle(frame),
+                Action::SetTimer { token, at } => timers.push((at, token)),
+                Action::DeliverSymbol { payload, .. } => engine.recycle(payload),
+            }
+        }
+    };
+
+    for _ in 0..symbols {
+        now += T::from_micros(200);
+        while let Some(idx) = timers.iter().position(|&(at, _)| at <= now) {
+            let (_, token) = timers.swap_remove(idx);
+            engine.handle(now, Event::TimerFired { token }, &mut rng);
+            pump(&mut engine, now, &mut timers, &mut sends, &mut rng);
+        }
+        engine.handle(now, Event::SymbolReady { payload: &payload }, &mut rng);
+        pump(&mut engine, now, &mut timers, &mut sends, &mut rng);
+    }
+    let report = engine.report(now);
+    (sends, report.delivered_symbols)
+}
+
+fn config_with(codec: CodecId, scheduler: SchedulerKind) -> ProtocolConfig {
+    ProtocolConfig::new(2.0, 3.0)
+        .unwrap()
+        .with_symbol_bytes(256)
+        .with_scheduler(scheduler)
+        .with_codec(codec)
+}
+
+#[test]
+fn static_singleton_schedule_places_shares_identically_across_codecs() {
+    let schedule =
+        Arc::new(ShareSchedule::singleton(5, 2, Subset::from_indices(&[0, 2, 4])).unwrap());
+    let mut runs = Vec::new();
+    for codec in CodecId::ALL {
+        let config = config_with(codec, SchedulerKind::Static(Arc::clone(&schedule)));
+        let (sends, delivered) = run_loopback(config, 5, 400, 11, None);
+        assert_eq!(delivered, 400, "{codec}: loopback lost symbols");
+        // The singleton schedule names channels {0, 2, 4} only.
+        assert_eq!(sends[1], 0, "{codec}: share on unscheduled channel 1");
+        assert_eq!(sends[3], 0, "{codec}: share on unscheduled channel 3");
+        assert_eq!(sends[0], 400, "{codec}: channel 0 share count");
+        runs.push((codec, sends));
+    }
+    let (_, ref want) = runs[0];
+    for (codec, sends) in &runs[1..] {
+        assert_eq!(
+            sends, want,
+            "{codec}: per-channel share counts diverged from {}",
+            runs[0].0
+        );
+    }
+}
+
+#[test]
+fn round_robin_schedule_places_shares_identically_across_codecs() {
+    // Integer (κ, μ) = (2, 3) makes every draw exactly (2, 3), so the
+    // rotation is deterministic no matter how much randomness each
+    // codec consumed in between.
+    let mut runs = Vec::new();
+    for codec in CodecId::ALL {
+        let config = config_with(codec, SchedulerKind::RoundRobin);
+        let (sends, delivered) = run_loopback(config, 5, 400, 23, None);
+        assert_eq!(delivered, 400, "{codec}: loopback lost symbols");
+        assert_eq!(sends.iter().sum::<u64>(), 1_200, "{codec}: 3 shares/symbol");
+        runs.push((codec, sends));
+    }
+    let (_, ref want) = runs[0];
+    for (codec, sends) in &runs[1..] {
+        assert_eq!(
+            sends, want,
+            "{codec}: per-channel share counts diverged from {}",
+            runs[0].0
+        );
+    }
+}
+
+#[test]
+fn xor_codec_survives_a_dead_channel_at_threshold() {
+    // k = 2 of m = 3 on channels {0, 1, 2}; channel 1 drops every
+    // share. The surviving 2-subset covers every XOR piece (any
+    // k-subset does, by the staggered placement), so nothing is lost.
+    let schedule =
+        Arc::new(ShareSchedule::singleton(3, 2, Subset::from_indices(&[0, 1, 2])).unwrap());
+    let config = config_with(CodecId::Xor2d, SchedulerKind::Static(schedule));
+    let (sends, delivered) = run_loopback(config, 3, 300, 5, Some(1));
+    assert_eq!(sends, vec![300, 300, 300]);
+    assert_eq!(
+        delivered, 300,
+        "xor: symbols lost despite a covering subset"
+    );
+}

@@ -32,6 +32,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mcss_codec::CodecId;
 use mcss_core::setups;
 use mcss_gf256::simd::{Backend, MulTable};
 use mcss_gf256::Gf256;
@@ -91,8 +92,10 @@ fn steady_state_symbol_path_is_allocation_free() {
     ON_MEASURED_THREAD.with(|flag| flag.set(true));
     gf256_kernels_phase();
     split_into_phase();
+    xor_codec_phase();
     session_phase();
-    engine_external_phase();
+    engine_external_phase(CodecId::Shamir);
+    engine_external_phase(CodecId::Xor2d);
 }
 
 /// The GF(2⁸) kernels themselves — including the SIMD path and its
@@ -169,13 +172,54 @@ fn split_into_phase() {
     );
 }
 
+/// The XOR/2D codec's own split + reconstruct loop is allocation-free
+/// per symbol once the pad scratch and share buffers reach high water —
+/// the same contract `split_into_phase` pins for Shamir. Reconstruction
+/// reuses a warm output vector, so the whole round trip is measured.
+fn xor_codec_phase() {
+    use mcss_codec::xor2d;
+    use rand::SeedableRng;
+
+    let (k, m) = (3u8, 5u8);
+    let payload = vec![0xabu8; 1_250];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut pad = Vec::new();
+    let mut outs: Vec<Vec<u8>> = (0..m as usize).map(|_| Vec::with_capacity(2_048)).collect();
+    let mut secret = Vec::with_capacity(2_048);
+    let round = |outs: &mut Vec<Vec<u8>>,
+                 rng: &mut rand::rngs::StdRng,
+                 pad: &mut Vec<u8>,
+                 secret: &mut Vec<u8>| {
+        for o in outs.iter_mut() {
+            o.clear();
+        }
+        xor2d::split_into(&payload, k, m, rng, pad, outs).unwrap();
+        let shares: [(u8, &[u8]); 3] = [(1, &outs[0]), (3, &outs[2]), (5, &outs[4])];
+        xor2d::reconstruct_with(k, m, 3, |i| shares[i].0, |i| shares[i].1, secret).unwrap();
+        assert_eq!(secret.as_slice(), payload.as_slice());
+    };
+    for _ in 0..16 {
+        round(&mut outs, &mut rng, &mut pad, &mut secret);
+    }
+    let before = allocations();
+    for _ in 0..1_000 {
+        round(&mut outs, &mut rng, &mut pad, &mut secret);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "{during} allocations over 1000 XOR codec split+reconstruct rounds"
+    );
+}
+
 /// The sans-I/O engine in [`SourceMode::External`] — the configuration
-/// the UDP driver runs — is also allocation-free in steady state: the
-/// action queue, frame pool, and reassembly scratch all reach their
-/// high-water capacity during warmup, and offering symbols, draining
-/// `SendShare` actions, looping frames back to host B, and taking
-/// `DeliverSymbol` reconstructions allocate nothing after that.
-fn engine_external_phase() {
+/// the UDP driver runs — is also allocation-free in steady state for
+/// whichever codec the session selects: the action queue, frame pool,
+/// and reassembly scratch all reach their high-water capacity during
+/// warmup, and offering symbols, draining `SendShare` actions, looping
+/// frames back to host B, and taking `DeliverSymbol` reconstructions
+/// allocate nothing after that.
+fn engine_external_phase(codec: CodecId) {
     use mcss_base::{Endpoint, SimTime as T};
     use mcss_remicss::actions::{Action, Event};
     use mcss_remicss::engine::{Engine, SourceMode};
@@ -186,7 +230,8 @@ fn engine_external_phase() {
         ProtocolConfig::new(2.0, 3.0)
             .unwrap()
             .with_symbol_bytes(512)
-            .with_reassembly_timeout(T::from_millis(20)),
+            .with_reassembly_timeout(T::from_millis(20))
+            .with_codec(codec),
     );
     let mut engine = Engine::new(Arc::clone(&config), N, SourceMode::External).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
@@ -242,7 +287,7 @@ fn engine_external_phase() {
     assert_eq!(report.delivered_symbols, 2_500, "loopback lost symbols");
     assert_eq!(
         during, 0,
-        "external-source engine: {during} allocations in steady state"
+        "external-source engine [{codec}]: {during} allocations in steady state"
     );
 }
 

@@ -23,11 +23,12 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use mcss_base::{BufferPool, Endpoint, EventQueue, QueueKind, SimTime};
+use mcss_codec::CodecId;
 use mcss_obs::{GaugeSnapshot, MetricsSnapshot};
 use mcss_remicss::actions::{Action, Event};
 use mcss_remicss::config::ProtocolConfig;
 use mcss_remicss::engine::{Engine, SessionReport, SourceMode};
-use mcss_remicss::wire::{demux_frame, put_cid_prefix, DemuxFrame};
+use mcss_remicss::wire::{demux_frame, put_cid_prefix, DemuxFrame, WireError};
 use rand::rngs::StdRng;
 use rand::SeedableRng as _;
 
@@ -212,6 +213,15 @@ impl Shard {
     #[must_use]
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Sessions this shard owns that encode with `codec`.
+    #[must_use]
+    pub fn codec_session_count(&self, codec: CodecId) -> usize {
+        self.sessions
+            .values()
+            .filter(|slot| slot.engine.codec() == codec)
+            .count()
     }
 
     /// Live counters (shared with metric aggregators).
@@ -432,12 +442,17 @@ impl Shard {
             ShardStats::bump(&self.stats.dropped_unknown_cid);
             return;
         };
-        if slot
+        match slot
             .engine
             .handle_frame(now, channel, to, inner, &mut slot.rng)
-            .is_err()
         {
-            ShardStats::bump(&self.stats.dropped_bad_frame);
+            Ok(()) => {}
+            // Codec-version skew between peers gets its own counter;
+            // the frame is dropped either way, never misrouted.
+            Err(WireError::UnknownCodec { .. }) => {
+                ShardStats::bump(&self.stats.dropped_unknown_codec);
+            }
+            Err(_) => ShardStats::bump(&self.stats.dropped_bad_frame),
         }
         self.mark_ready(cid);
     }
@@ -861,6 +876,19 @@ impl ShardSet {
             name: "server.total.sessions".to_string(),
             value: self.session_count() as i64,
         });
+        // Per-codec session counts, so an operator sees codec rollouts
+        // (and stragglers on the old codec) at a glance.
+        for codec in CodecId::ALL {
+            let count: usize = self
+                .shards
+                .iter()
+                .map(|s| s.codec_session_count(codec))
+                .sum();
+            snapshot.gauges.push(GaugeSnapshot {
+                name: format!("server.total.sessions_{}", codec.name()),
+                value: count as i64,
+            });
+        }
         snapshot.gauges.push(GaugeSnapshot {
             name: "server.total.datagrams_per_syscall".to_string(),
             value: datagrams_per_syscall(&total),

@@ -85,6 +85,10 @@ shard_stats! {
     dropped_malformed,
     /// Frames routed to a session but undecodable as share/control.
     dropped_bad_frame,
+    /// Share frames carrying a codec id this build does not know;
+    /// counted apart from `dropped_bad_frame` so a codec-version skew
+    /// between peers is visible as itself, not as generic garbage.
+    dropped_unknown_codec,
     /// Bare pre-prefix frames routed to the legacy session.
     legacy_frames,
     /// Bare pre-prefix frames with no legacy session registered.

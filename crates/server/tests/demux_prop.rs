@@ -50,16 +50,32 @@ fn collect_datagrams(set: &mut ShardSet, symbols: usize) -> Vec<(u32, usize, Vec
 
 /// Corruption kinds: 0 rewrites the connection ID to an unregistered
 /// one, 1 truncates inside the prefix, 2 mutates the prefix version,
-/// 3 mutates the demux magic.
+/// 3 mutates the demux magic, 4 rewrites the inner share header to
+/// claim a codec id this build has never heard of (a peer running a
+/// future codec — the datagram routes fine but the share must drop
+/// under its own counter, whatever codec the session itself runs).
 fn corrupt(datagram: &[u8], kind: usize, fuzz: usize) -> Vec<u8> {
     let mut bytes = datagram.to_vec();
     match kind {
         0 => bytes[3..7].copy_from_slice(&UNKNOWN_CID.to_be_bytes()),
         1 => bytes.truncate(fuzz % (CID_PREFIX_BYTES + 1)),
         2 => bytes[2] = bytes[2].wrapping_add(1 + (fuzz % 250) as u8),
-        _ => {
+        3 => {
             bytes[0] = b'Q';
             bytes[1] = fuzz as u8;
+        }
+        _ => {
+            // The v2 header is the v1 header with a codec byte inserted
+            // at inner offset 6; upgrade v1 frames in place the same way
+            // so the codec byte lands where a v2 decoder reads it.
+            let version_at = CID_PREFIX_BYTES + 2;
+            let codec_at = CID_PREFIX_BYTES + 6;
+            if bytes[version_at] == 1 {
+                bytes[version_at] = 2;
+                bytes.insert(codec_at, 0xEE);
+            } else {
+                bytes[codec_at] = 0xEE;
+            }
         }
     }
     bytes
@@ -71,7 +87,7 @@ proptest! {
         shards in 1usize..=4,
         symbols in 1usize..=3,
         order_seed in any::<u64>(),
-        corruptions in collection::vec((0usize..4, any::<usize>()), 0..6),
+        corruptions in collection::vec((0usize..5, any::<usize>()), 0..6),
     ) {
         let config = Arc::new(
             ProtocolConfig::new(2.0, 3.0)
@@ -97,13 +113,14 @@ proptest! {
             .collect();
         let mut expect_unknown = 0u64;
         let mut expect_malformed = 0u64;
+        let mut expect_unknown_codec = 0u64;
         for (i, &(kind, fuzz)) in corruptions.iter().enumerate() {
             let (_, channel, template) = &clean[i % clean.len()];
             let mutated = corrupt(template, kind, fuzz);
-            if kind == 0 {
-                expect_unknown += 1;
-            } else {
-                expect_malformed += 1;
+            match kind {
+                0 => expect_unknown += 1,
+                4 => expect_unknown_codec += 1,
+                _ => expect_malformed += 1,
             }
             wire.push((*channel, mutated));
         }
@@ -130,6 +147,9 @@ proptest! {
         let totals = set.totals();
         prop_assert_eq!(totals.dropped_unknown_cid, expect_unknown);
         prop_assert_eq!(totals.dropped_malformed, expect_malformed);
+        // Unknown codec ids are their own failure mode, never folded
+        // into the generic bad-frame bucket.
+        prop_assert_eq!(totals.dropped_unknown_codec, expect_unknown_codec);
         prop_assert_eq!(totals.dropped_bad_frame, 0);
         // No legacy session is registered, so nothing may take the
         // legacy path.

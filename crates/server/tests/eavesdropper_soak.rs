@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mcss_base::SimTime;
+use mcss_codec::{xor2d, CodecId};
 use mcss_core::adversary::JointRisk;
 use mcss_core::{ScheduleBuilder, ShareSchedule, Subset};
 use mcss_remicss::config::{ProtocolConfig, SchedulerKind};
@@ -148,6 +149,124 @@ fn realized_exposure_matches_poisson_binomial_risk() {
     // Sanity on the regime: the chosen schedule sits in an interesting
     // middle ground, not a degenerate 0%/100% corner.
     assert!(expected > 0.02 && expected < 0.5, "Z(p)={expected:.4}");
+}
+
+/// The XOR codec's leg of the soak. Capturing ≥ k shares is *not* the
+/// XOR adversary's bar: recovery needs a captured subset whose replica
+/// placement covers every piece — a weaker (more often satisfied)
+/// condition than Shamir's threshold, which is why the expectation
+/// here is the codec's own combinatorial guarantee
+/// ([`xor2d::recovery_probability`] per schedule entry, weighted by
+/// entry probability) and **not** the Poisson-binomial `Z(p)`.
+/// Abscissa `i + 1` rides the `i`-th channel of the entry's subset in
+/// ascending index order, so each abscissa's capture risk is the risk
+/// of that channel.
+#[test]
+fn xor_codec_realized_exposure_matches_combinatorial_guarantee() {
+    const XOR_SESSIONS: u32 = 500;
+    const XOR_ROUNDS: usize = 800;
+    let risks = [0.05, 0.10, 0.20, 0.25, 0.40];
+    let channels = mcss_core::setups::diverse_with_risk(&risks);
+    let schedule = soak_schedule();
+    let shamir_expected = schedule.risk(&channels);
+    let expected: f64 = schedule
+        .entries()
+        .iter()
+        .map(|(entry, prob)| {
+            let subset_risks: Vec<f64> = entry.subset().iter().map(|ch| risks[ch]).collect();
+            let m = u8::try_from(subset_risks.len()).unwrap();
+            prob * xor2d::recovery_probability(entry.k(), m, &subset_risks)
+        })
+        .sum();
+    // The gap this leg exists to measure: the XOR guarantee is weaker,
+    // so its model exposure strictly dominates Z(p) on this schedule.
+    assert!(
+        expected > shamir_expected + 0.01,
+        "xor model {expected:.5} does not dominate shamir Z(p) {shamir_expected:.5}"
+    );
+
+    let config = Arc::new(
+        ProtocolConfig::new(schedule.kappa(), schedule.mu())
+            .unwrap()
+            .with_symbol_bytes(SYMBOL_BYTES)
+            .with_scheduler(SchedulerKind::Static(Arc::clone(&schedule)))
+            .with_codec(CodecId::Xor2d),
+    );
+    let mut set = ShardSet::new(&ServerConfig::with_shards(SHARDS));
+    for cid in 0..XOR_SESSIONS {
+        set.add_session(
+            cid,
+            Arc::clone(&config),
+            CHANNELS,
+            SourceMode::External,
+            u64::from(cid) + 0x40d,
+        )
+        .unwrap();
+        set.start(SimTime::ZERO, cid);
+    }
+
+    /// Which abscissas the adversary captured, as a bitmask (bit
+    /// `x − 1`), plus the symbol's `(k, m)` — cover is decided by
+    /// *which* shares were seen, not how many.
+    struct XorSight {
+        k: u8,
+        m: u8,
+        captured: u32,
+    }
+
+    let mut adversary = StdRng::seed_from_u64(0x40d5eed);
+    let payload = [0x96u8; SYMBOL_BYTES];
+    let mut total_symbols = 0u64;
+    let mut recovered_symbols = 0u64;
+    let mut sightings: HashMap<(u32, u64), XorSight> = HashMap::new();
+    for round in 0..XOR_ROUNDS {
+        let now = SimTime::from_millis(round as u64);
+        for cid in 0..XOR_SESSIONS {
+            set.offer_symbol(now, cid, &payload);
+        }
+        for shard in 0..SHARDS {
+            let mut seen: Vec<(u32, usize, u64, u8, u8, u8)> = Vec::new();
+            set.shard_mut(shard).drain_outbound(|d| {
+                let DemuxFrame::Cid { cid, inner } =
+                    demux_frame(&d.bytes).expect("server emits well-formed datagrams")
+                else {
+                    panic!("server emitted a bare legacy frame");
+                };
+                let share = ShareRef::decode(inner).expect("server emits valid shares");
+                assert_eq!(share.codec(), CodecId::Xor2d, "session codec on the wire");
+                seen.push((cid, d.channel, share.seq(), share.k(), share.m(), share.x()));
+            });
+            for (cid, channel, seq, k, m, x) in seen {
+                let sight =
+                    sightings
+                        .entry((cid, seq))
+                        .or_insert_with(|| XorSight { k, m, captured: 0 });
+                if adversary.random_bool(risks[channel]) {
+                    sight.captured |= 1 << (x - 1);
+                }
+            }
+        }
+        for (_, sight) in sightings.drain() {
+            total_symbols += 1;
+            if xor2d::recoverable(sight.k, sight.m, sight.captured) {
+                recovered_symbols += 1;
+            }
+        }
+    }
+
+    assert_eq!(
+        total_symbols,
+        u64::from(XOR_SESSIONS) * XOR_ROUNDS as u64,
+        "soak lost symbols on the wire"
+    );
+    let realized = recovered_symbols as f64 / total_symbols as f64;
+    let error = (realized - expected).abs();
+    assert!(
+        error < 0.01,
+        "xor realized exposure {realized:.5} vs combinatorial model {expected:.5} \
+         (error {error:.5} over {total_symbols} symbols; shamir Z(p) would be \
+         {shamir_expected:.5})"
+    );
 }
 
 /// The fixed-set (MICSS/courier) adversary: permanently tapping the
